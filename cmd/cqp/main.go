@@ -1,0 +1,244 @@
+// Command cqp is an interactive constrained-query-personalization shell
+// over the synthetic movie database: type SQL, get back the personalized
+// query chosen for the configured CQP problem and its ranked answers.
+//
+// Usage:
+//
+//	cqp                              # Problem 2, cmax 400 ms
+//	cqp -problem 3 -cmax 200 -smax 10
+//	cqp -profile my.profile          # load a profile file
+//
+// Shell commands: plain SQL executes personalized; "\plain <sql>" skips
+// personalization; "\explain <sql>" shows the decision; "\front <sql>"
+// prints the doi/cost Pareto frontier; "\profile" prints the active
+// profile; "\quit" exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cqp"
+)
+
+func main() {
+	var (
+		problem  = flag.Int("problem", 2, "CQP problem number (1-6, Table 1)")
+		cmaxMS   = flag.Float64("cmax", 400, "cost bound in ms (problems 2, 3)")
+		smin     = flag.Float64("smin", 1, "result-size lower bound (problems 1, 3, 5, 6)")
+		smax     = flag.Float64("smax", 50, "result-size upper bound (problems 1, 3, 5, 6)")
+		dmin     = flag.Float64("dmin", 0.9, "doi lower bound (problems 4, 5)")
+		k        = flag.Int("k", 20, "preferences considered (K)")
+		movies   = flag.Int("movies", 4000, "synthetic database size")
+		dataDir  = flag.String("data", "", "directory of relation CSVs (from datagen) to load instead of generating")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		anyMatch = flag.Bool("anymatch", false, "rank by doi over any matching preference instead of requiring all")
+		profPath = flag.String("profile", "", "profile file (default: synthetic profile)")
+	)
+	flag.Parse()
+
+	prob, err := buildProblem(*problem, *cmaxMS, *smin, *smax, *dmin)
+	if err != nil {
+		fatal(err)
+	}
+	var db *cqp.DB
+	if *dataDir != "" {
+		var err error
+		db, err = loadDir(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		db = cqp.SyntheticMovieDB(*movies, *seed)
+	}
+	p := cqp.NewPersonalizer(db)
+	profile := loadProfile(*profPath, *seed)
+	if err := profile.Validate(db.Schema()); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("CQP shell — %s, K=%d, %d movies. Type SQL, or \\help.\n", prob, *k, *movies)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("cqp> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "\\quit" || line == "\\q":
+			return
+		case line == "\\help":
+			fmt.Println("SQL executes personalized; \\plain <sql>; \\explain <sql>; \\front <sql>; \\profile; \\quit")
+		case line == "\\profile":
+			fmt.Print(profile.String())
+		case strings.HasPrefix(line, "\\plain "):
+			runPlain(p, db, strings.TrimPrefix(line, "\\plain "))
+		case strings.HasPrefix(line, "\\explain "):
+			runExplain(p, db, profile, prob, strings.TrimPrefix(line, "\\explain "), *k)
+		case strings.HasPrefix(line, "\\front "):
+			runFront(p, db, profile, strings.TrimPrefix(line, "\\front "), *k)
+		default:
+			runPersonalized(p, db, profile, prob, line, *k, *anyMatch)
+		}
+		fmt.Print("cqp> ")
+	}
+}
+
+func buildProblem(n int, cmax, smin, smax, dmin float64) (cqp.Problem, error) {
+	switch n {
+	case 1:
+		return cqp.Problem1(smin, smax), nil
+	case 2:
+		return cqp.Problem2(cmax), nil
+	case 3:
+		return cqp.Problem3(cmax, smin, smax), nil
+	case 4:
+		return cqp.Problem4(dmin), nil
+	case 5:
+		return cqp.Problem5(dmin, smin, smax), nil
+	case 6:
+		return cqp.Problem6(smin, smax), nil
+	default:
+		return cqp.Problem{}, fmt.Errorf("problem must be 1-6, got %d", n)
+	}
+}
+
+// loadDir builds a movie-schema database from datagen CSV files.
+func loadDir(dir string) (*cqp.DB, error) {
+	db := cqp.NewDB(cqp.MovieSchema(), 0)
+	for _, rel := range db.Schema().RelationNames() {
+		path := dir + "/" + strings.ToLower(rel) + ".csv"
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		n, err := cqp.LoadCSV(db, rel, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		fmt.Printf("loaded %s: %d rows\n", rel, n)
+	}
+	return db, nil
+}
+
+func loadProfile(path string, seed int64) *cqp.Profile {
+	if path == "" {
+		return cqp.SyntheticProfile(60, seed+1)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := cqp.ParseProfile(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	return profile
+}
+
+func runPlain(p *cqp.Personalizer, db *cqp.DB, sql string) {
+	q, err := cqp.ParseQuery(db.Schema(), sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := p.Evaluate(q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d rows, %d block reads\n", len(res.Rows), res.BlockReads)
+	printRows(res.Rows, 10)
+}
+
+func runPersonalized(p *cqp.Personalizer, db *cqp.DB, profile *cqp.Profile, prob cqp.Problem, sql string, k int, anyMatch bool) {
+	q, err := cqp.ParseQuery(db.Schema(), sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	opts := []cqp.Option{cqp.WithMaxK(k)}
+	if anyMatch {
+		opts = append(opts, cqp.WithAnyMatch())
+	}
+	res, err := p.Personalize(q, profile, prob, opts...)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("chosen %d/%d preferences (doi %.4f, est. cost %.0f ms, est. size %.1f):\n",
+		len(res.Preferences), k, res.Solution.Doi, res.Solution.Cost, res.Solution.Size)
+	for _, pr := range res.Preferences {
+		fmt.Println("  ", pr)
+	}
+	fmt.Println("personalized query:")
+	fmt.Println("  ", res.SQL)
+	rows, err := res.Execute()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d rows (%d block reads):\n", len(rows.Rows), rows.BlockReads)
+	for i, r := range rows.Rows {
+		if i >= 10 {
+			fmt.Printf("   ... %d more\n", len(rows.Rows)-10)
+			break
+		}
+		fmt.Printf("   %.4f  %v\n", r.Doi, r.Key)
+	}
+}
+
+// runExplain prints the personalization decision for the query.
+func runExplain(p *cqp.Personalizer, db *cqp.DB, profile *cqp.Profile, prob cqp.Problem, sql string, k int) {
+	q, err := cqp.ParseQuery(db.Schema(), sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := p.Personalize(q, profile, prob, cqp.WithMaxK(k))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res.Explain())
+}
+
+// runFront prints the doi/cost Pareto frontier for the query.
+func runFront(p *cqp.Personalizer, db *cqp.DB, profile *cqp.Profile, sql string, k int) {
+	q, err := cqp.ParseQuery(db.Schema(), sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	front, err := p.PersonalizeFront(q, profile, 0, 0, 0, 12, cqp.WithMaxK(k))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, fp := range front {
+		mark := " "
+		if fp.Knee {
+			mark = "*"
+		}
+		fmt.Printf(" %s %2d: doi %.4f  cost %6.0f ms  size %8.1f  (%d prefs)\n",
+			mark, i+1, fp.Doi, fp.CostMS, fp.Size, len(fp.Preferences))
+	}
+}
+
+func printRows(rows []cqp.Row, limit int) {
+	for i, r := range rows {
+		if i >= limit {
+			fmt.Printf("   ... %d more\n", len(rows)-limit)
+			return
+		}
+		fmt.Printf("   %v\n", r)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cqp:", err)
+	os.Exit(1)
+}

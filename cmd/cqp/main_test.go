@@ -1,0 +1,141 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cqp"
+)
+
+func TestBuildProblem(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		p, err := buildProblem(n, 100, 1, 50, 0.8)
+		if err != nil {
+			t.Errorf("problem %d: %v", n, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("problem %d invalid: %v", n, err)
+		}
+	}
+	if _, err := buildProblem(7, 100, 1, 50, 0.8); err == nil {
+		t.Error("problem 7 must fail")
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	// Produce a tiny dataset with the library itself.
+	src := cqp.SyntheticMovieDB(20, 1)
+	for _, rel := range src.Schema().RelationNames() {
+		f, err := os.Create(filepath.Join(dir, dirName(rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cqp.DumpCSV(src, rel, f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	db, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.MustTable("MOVIE").RowCount() != 20 {
+		t.Errorf("loaded %d movies", db.MustTable("MOVIE").RowCount())
+	}
+	if _, err := loadDir(t.TempDir()); err == nil {
+		t.Error("missing files must fail")
+	}
+}
+
+func dirName(rel string) string {
+	out := make([]rune, 0, len(rel))
+	for _, r := range rel {
+		if r >= 'A' && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		out = append(out, r)
+	}
+	return string(out) + ".csv"
+}
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func shellFixture(t *testing.T) (*cqp.Personalizer, *cqp.DB, *cqp.Profile) {
+	t.Helper()
+	db := cqp.SyntheticMovieDB(300, 1)
+	return cqp.NewPersonalizer(db), db, cqp.SyntheticProfile(20, 2)
+}
+
+func TestRunPlain(t *testing.T) {
+	p, db, _ := shellFixture(t)
+	out := capture(t, func() { runPlain(p, db, "SELECT title FROM MOVIE LIMIT 3") })
+	if !strings.Contains(out, "3 rows") {
+		t.Errorf("runPlain output: %q", out)
+	}
+	out = capture(t, func() { runPlain(p, db, "not sql") })
+	if !strings.Contains(out, "error:") {
+		t.Errorf("bad sql should report an error: %q", out)
+	}
+}
+
+func TestRunPersonalized(t *testing.T) {
+	p, db, profile := shellFixture(t)
+	prob, _ := buildProblem(2, 400, 1, 50, 0.9)
+	out := capture(t, func() {
+		runPersonalized(p, db, profile, prob, "SELECT title FROM MOVIE", 10, false)
+	})
+	for _, want := range []string{"chosen", "personalized query:", "block reads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runPersonalized missing %q:\n%s", want, out)
+		}
+	}
+	out = capture(t, func() {
+		runPersonalized(p, db, profile, prob, "garbage", 10, false)
+	})
+	if !strings.Contains(out, "error:") {
+		t.Errorf("bad sql: %q", out)
+	}
+}
+
+func TestRunExplainAndFront(t *testing.T) {
+	p, db, profile := shellFixture(t)
+	prob, _ := buildProblem(2, 400, 1, 50, 0.9)
+	out := capture(t, func() {
+		runExplain(p, db, profile, prob, "SELECT title FROM MOVIE", 10)
+	})
+	if !strings.Contains(out, "candidates (K") {
+		t.Errorf("explain output: %q", out)
+	}
+	out = capture(t, func() {
+		runFront(p, db, profile, "SELECT title FROM MOVIE", 10)
+	})
+	if !strings.Contains(out, "doi") || !strings.Contains(out, "*") {
+		t.Errorf("front output: %q", out)
+	}
+	out = capture(t, func() { runFront(p, db, profile, "nope", 10) })
+	if !strings.Contains(out, "error:") {
+		t.Errorf("front error path: %q", out)
+	}
+}

@@ -1,0 +1,111 @@
+// Command cqpbench regenerates the paper's evaluation (Section 7): every
+// figure and table, printed as aligned text tables and optionally as CSV
+// files for plotting.
+//
+// Usage:
+//
+//	cqpbench                         # all experiments, laptop scale
+//	cqpbench -exp fig12a             # one experiment
+//	cqpbench -profiles 20 -queries 10 -budget 0   # the paper's full scale
+//	cqpbench -csv out/               # also write CSV series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cqp/internal/bench"
+	"cqp/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(bench.ExperimentIDs(), ", ")+" or all)")
+		profiles = flag.Int("profiles", 4, "profiles per data point (paper: 20)")
+		queries  = flag.Int("queries", 5, "queries per data point (paper: 10)")
+		ks       = flag.String("ks", "10,20,30,40", "comma-separated K sweep")
+		cmaxMS   = flag.Float64("cmax", 400, "default cmax in ms (paper: 400)")
+		defK     = flag.Int("k", 20, "default K (paper: 20)")
+		budget   = flag.Int("budget", 1<<20, "per-run state budget; 0 = unlimited (paper-faithful, slow)")
+		movies   = flag.Int("movies", 4000, "movies in the synthetic database")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		csvDir   = flag.String("csv", "", "directory to also write CSV series into")
+	)
+	flag.Parse()
+
+	ksList, err := parseInts(*ks)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := bench.Config{
+		DB:            workload.DBConfig{Movies: *movies},
+		Profiles:      *profiles,
+		Queries:       *queries,
+		Ks:            ksList,
+		DefaultK:      *defK,
+		DefaultCmaxMS: *cmaxMS,
+		StateBudget:   *budget,
+		Seed:          *seed,
+	}
+	if *budget == 0 {
+		cfg.StateBudget = -1 // explicit "unlimited" (Config treats 0 as default)
+	}
+	r := bench.NewRunner(cfg)
+	fmt.Printf("workload: %d movies, %d profiles × %d queries = %d runs/point, state budget %s\n\n",
+		*movies, *profiles, *queries, r.Pairs(), budgetStr(cfg.StateBudget))
+
+	var tables []*bench.Table
+	if *exp == "all" {
+		tables, err = r.All()
+	} else {
+		var t *bench.Table
+		t, err = r.ByID(*exp)
+		tables = []*bench.Table{t}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			path := filepath.Join(*csvDir, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -ks element %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func budgetStr(b int) string {
+	if b <= 0 {
+		return "unlimited"
+	}
+	return strconv.Itoa(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cqpbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("10, 20,30")
+	if err != nil || len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Errorf("parseInts: %v %v", got, err)
+	}
+	if _, err := parseInts("10,x"); err == nil {
+		t.Error("bad element must fail")
+	}
+}
+
+func TestBudgetStr(t *testing.T) {
+	if budgetStr(0) != "unlimited" || budgetStr(-1) != "unlimited" {
+		t.Error("unlimited rendering")
+	}
+	if budgetStr(42) != "42" {
+		t.Error("numeric rendering")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesDatasetAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 50, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"movie.csv", "director.csv", "genre.csv", "actor.csv", "cast.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
+			t.Errorf("%s: no rows", f)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		name := filepath.Join(dir, "profile0"+string(rune('0'+i))+".txt")
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(data), "doi(") {
+			t.Errorf("%s: not a profile", name)
+		}
+	}
+	// Movie CSV header matches the schema.
+	movie, _ := os.ReadFile(filepath.Join(dir, "movie.csv"))
+	if !strings.HasPrefix(string(movie), "mid,title,year,duration,did") {
+		t.Errorf("movie header: %s", strings.SplitN(string(movie), "\n", 2)[0])
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	// A file where the directory should be.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(f, 10, 1, 1); err == nil {
+		t.Error("writing into a file path must fail")
+	}
+}

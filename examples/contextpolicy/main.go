@@ -1,0 +1,88 @@
+// Contextpolicy prototypes what the paper leaves as future work ("mapping
+// the search context onto the appropriate CQP problem is a policy issue"):
+// a small rule layer that turns device, network and user hints into a CQP
+// problem instance, then drives personalization with it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cqp"
+)
+
+// SearchContext captures the real-time factors of the paper's Section 1:
+// the device, the connection, and transient user requirements.
+type SearchContext struct {
+	Device     string  // "desktop", "tablet", "phone"
+	BandwidthM float64 // downstream Mbit/s
+	// MaxAnswers is a transient user requirement ("up to three
+	// restaurants"); 0 means unconstrained.
+	MaxAnswers int
+	// Impatient marks latency-critical interactions (voice, walking).
+	Impatient bool
+}
+
+// Policy maps a search context onto a CQP problem, scaled by the query's
+// base cost and size estimates.
+func Policy(ctx SearchContext, baseCost, baseSize float64) cqp.Problem {
+	// Cost budget shrinks with slow devices, slow networks and impatience.
+	budget := baseCost * 40
+	if ctx.Device != "desktop" {
+		budget = baseCost * 15
+	}
+	if ctx.BandwidthM < 2 {
+		budget = baseCost * 8
+	}
+	if ctx.Impatient {
+		budget /= 2
+	}
+	switch {
+	case ctx.MaxAnswers > 0:
+		// Hard cap on answers: Problem 3 (doi under cost and size bounds).
+		return cqp.Problem3(budget, 1, float64(ctx.MaxAnswers))
+	case ctx.Device == "phone":
+		// Small screens: keep answers browsable even without an explicit cap.
+		return cqp.Problem3(budget, 1, baseSize/20)
+	case ctx.Impatient:
+		// Latency first: cheapest query that is still clearly personal.
+		return cqp.Problem4(0.9)
+	default:
+		return cqp.Problem2(budget)
+	}
+}
+
+func main() {
+	db := cqp.SyntheticMovieDB(4000, 11)
+	p := cqp.NewPersonalizer(db)
+	profile := cqp.SyntheticProfile(50, 13)
+	q, err := cqp.ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseCost, baseSize, err := p.EstimateQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	contexts := []struct {
+		name string
+		ctx  SearchContext
+	}{
+		{"office desktop, fibre", SearchContext{Device: "desktop", BandwidthM: 500}},
+		{"tablet on hotel wifi", SearchContext{Device: "tablet", BandwidthM: 20}},
+		{"phone, walking, 'show me 3'", SearchContext{Device: "phone", BandwidthM: 1, MaxAnswers: 3, Impatient: true}},
+		{"voice assistant, impatient", SearchContext{Device: "tablet", BandwidthM: 50, Impatient: true}},
+	}
+	for _, c := range contexts {
+		prob := Policy(c.ctx, baseCost, baseSize)
+		res, err := p.Personalize(q, profile, prob, cqp.WithMaxK(20))
+		if err != nil {
+			fmt.Printf("%-30s -> %s: no solution (%v)\n", c.name, prob, err)
+			continue
+		}
+		fmt.Printf("%-30s -> %s\n", c.name, prob)
+		fmt.Printf("%30s    %d prefs, doi %.4f, cost %.0f ms, size %.1f\n",
+			"", len(res.Preferences), res.Solution.Doi, res.Solution.Cost, res.Solution.Size)
+	}
+}

@@ -1,0 +1,76 @@
+// Mobiletourist reproduces the paper's Section 1 scenario: the same user
+// (Al) issues the same request under two search contexts.
+//
+// At the office, on a fast connection, the system can afford an expensive
+// personalized query with extensive results — Problem 2 with a loose cost
+// bound. Walking through Pisa on a palmtop, it must answer fast and return
+// a handful of rows — Problem 3 with a tight cost bound and smax = 3.
+// The scenario is mapped onto the movie domain (the substrate this library
+// ships): "restaurants in Pisa" becomes "movies matching Al's tastes".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cqp"
+)
+
+func main() {
+	db := cqp.SyntheticMovieDB(4000, 42)
+	p := cqp.NewPersonalizer(db)
+	profile := cqp.SyntheticProfile(40, 7)
+
+	q, err := cqp.ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseCost, baseSize, err := p.EstimateQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base query: %s (est. %.0f ms, %.0f rows)\n\n", q.SQL(), baseCost, baseSize)
+
+	// Context 1: office desktop. Generous budget; keep the answer extensive
+	// (at least 10 rows) so over-personalization cannot empty it — the
+	// paper's motivation for the size lower bound.
+	office, err := p.Personalize(q, profile, cqp.Problem3(baseCost*40, 10, baseSize))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("office / high bandwidth (Problem 3, loose cmax, smin = 10)", office)
+
+	// Context 2: palmtop in the old town. Tight latency, at most 3 rows.
+	palmtop, err := p.Personalize(q, profile, cqp.Problem3(baseCost*6, 1, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("palmtop / walking in Pisa (Problem 3, tight cmax, smax = 3)", palmtop)
+
+	// Show what actually comes back in the palmtop context.
+	rows, err := palmtop.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("palmtop answer (%d rows):\n", len(rows.Rows))
+	for i, r := range rows.Rows {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("   doi %.4f  %v\n", r.Doi, r.Key)
+	}
+}
+
+func report(context string, res *cqp.Result) {
+	fmt.Printf("— %s —\n", context)
+	fmt.Printf("  %d preferences integrated, doi %.4f, est. cost %.0f ms, est. size %.1f rows\n",
+		len(res.Preferences), res.Solution.Doi, res.Solution.Cost, res.Solution.Size)
+	for i, pr := range res.Preferences {
+		if i >= 4 {
+			fmt.Printf("   ... %d more\n", len(res.Preferences)-4)
+			break
+		}
+		fmt.Println("   ", pr)
+	}
+	fmt.Println()
+}

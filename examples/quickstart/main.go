@@ -1,0 +1,88 @@
+// Quickstart: the paper's running example end to end — build the movie
+// database of Section 3, load the Figure 1 profile, personalize
+// "select title from MOVIE" under a cost bound (Problem 2), and execute
+// the rewritten query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cqp"
+)
+
+func main() {
+	// 1. Schema: MOVIE(mid, title, year, duration, did), DIRECTOR(did,
+	//    name), GENRE(mid, genre), with the schema-graph join edges.
+	s := cqp.NewSchema()
+	s.MustAddRelation("MOVIE", "mid",
+		cqp.Column{Name: "mid", Type: cqp.Int(0).Kind()},
+		cqp.Column{Name: "title", Type: cqp.Str("").Kind()},
+		cqp.Column{Name: "year", Type: cqp.Int(0).Kind()},
+		cqp.Column{Name: "duration", Type: cqp.Int(0).Kind()},
+		cqp.Column{Name: "did", Type: cqp.Int(0).Kind()})
+	s.MustAddRelation("DIRECTOR", "did",
+		cqp.Column{Name: "did", Type: cqp.Int(0).Kind()},
+		cqp.Column{Name: "name", Type: cqp.Str("").Kind()})
+	s.MustAddRelation("GENRE", "",
+		cqp.Column{Name: "mid", Type: cqp.Int(0).Kind()},
+		cqp.Column{Name: "genre", Type: cqp.Str("").Kind()})
+	s.MustAddJoin("MOVIE.did", "DIRECTOR.did")
+	s.MustAddJoin("MOVIE.mid", "GENRE.mid")
+
+	// 2. Data.
+	db := cqp.NewDB(s, 0)
+	d := db.MustTable("DIRECTOR")
+	d.MustInsert(cqp.Int(1), cqp.Str("W. Allen"))
+	d.MustInsert(cqp.Int(2), cqp.Str("A. Hitchcock"))
+	m := db.MustTable("MOVIE")
+	m.MustInsert(cqp.Int(1), cqp.Str("Bananas"), cqp.Int(1971), cqp.Int(82), cqp.Int(1))
+	m.MustInsert(cqp.Int(2), cqp.Str("Everyone Says I Love You"), cqp.Int(1996), cqp.Int(101), cqp.Int(1))
+	m.MustInsert(cqp.Int(3), cqp.Str("Vertigo"), cqp.Int(1958), cqp.Int(128), cqp.Int(2))
+	g := db.MustTable("GENRE")
+	g.MustInsert(cqp.Int(1), cqp.Str("comedy"))
+	g.MustInsert(cqp.Int(2), cqp.Str("musical"))
+	g.MustInsert(cqp.Int(2), cqp.Str("comedy"))
+	g.MustInsert(cqp.Int(3), cqp.Str("thriller"))
+
+	// 3. The user profile of Figure 1.
+	profile, err := cqp.ParseProfile(`
+doi(GENRE.genre = 'musical') = 0.5
+doi(MOVIE.mid = GENRE.mid) = 0.9
+doi(MOVIE.did = DIRECTOR.did) = 1.0
+doi(DIRECTOR.name = 'W. Allen') = 0.8
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Personalize under Problem 2: maximize interest, cost ≤ 1000 ms.
+	p := cqp.NewPersonalizer(db)
+	q, err := cqp.ParseQuery(db.Schema(), "select title from MOVIE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Personalize(q, profile, cqp.Problem2(1000))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("original query: ", q.SQL())
+	fmt.Printf("selected %d preferences (doi %.4f, est. cost %.0f ms):\n",
+		len(res.Preferences), res.Solution.Doi, res.Solution.Cost)
+	for _, pr := range res.Preferences {
+		fmt.Println("  ", pr)
+	}
+	fmt.Println("personalized query:")
+	fmt.Println("  ", res.SQL)
+
+	// 5. Execute: only the musical W. Allen movie satisfies both.
+	rows, err := res.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answers (%d block reads):\n", rows.BlockReads)
+	for _, r := range rows.Rows {
+		fmt.Printf("   doi %.4f  %v\n", r.Doi, r.Key)
+	}
+}

@@ -1,0 +1,3 @@
+module cqp
+
+go 1.22

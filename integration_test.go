@@ -1,0 +1,161 @@
+package cqp
+
+// Cross-module integration tests: the estimator, search, rewriter and
+// executor must agree end to end on randomized synthetic workloads.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqp/internal/prefs"
+)
+
+// TestCostEstimateMatchesExecutorIO: under the paper's cost model the
+// estimated cost of the chosen personalized query (in ms at b = 1 ms/block)
+// must equal the executor's block reads exactly — the model and the engine
+// implement the same assumptions.
+func TestCostEstimateMatchesExecutorIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	db := SyntheticMovieDB(600, 52)
+	p := NewPersonalizer(db)
+	for trial := 0; trial < 10; trial++ {
+		profile := SyntheticProfile(30, rng.Int63())
+		q, err := ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _, _ := p.EstimateQuery(q)
+		res, err := p.Personalize(q, profile, Problem2(base*(2+rng.Float64()*20)), WithMaxK(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := res.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBlocks := res.Solution.Cost // ms at 1 ms/block
+		if len(res.Preferences) == 0 {
+			// The bare query executes once; estimate equals its scan cost.
+			wantBlocks = base
+		}
+		if math.Abs(float64(rows.BlockReads)-wantBlocks) > 1e-6 {
+			t.Fatalf("trial %d: estimated %.0f blocks, executor read %d",
+				trial, wantBlocks, rows.BlockReads)
+		}
+	}
+}
+
+// TestExecutedDoiMatchesSolutionDoi: every all-match answer satisfies all
+// integrated preferences, so its executed doi equals the solution's doi.
+func TestExecutedDoiMatchesSolutionDoi(t *testing.T) {
+	db := SyntheticMovieDB(600, 53)
+	p := NewPersonalizer(db)
+	profile := SyntheticProfile(40, 54)
+	q, _ := ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	base, size, _ := p.EstimateQuery(q)
+	res, err := p.Personalize(q, profile, Problem3(base*8, 1, size), WithMaxK(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows.Rows {
+		if math.Abs(r.Doi-res.Solution.Doi) > 1e-9 {
+			t.Fatalf("row doi %v != solution doi %v", r.Doi, res.Solution.Doi)
+		}
+		if len(r.Matched) != len(res.Preferences) {
+			t.Fatalf("all-match row matched %d of %d preferences",
+				len(r.Matched), len(res.Preferences))
+		}
+	}
+}
+
+// TestSolutionDoiIsConjunctionOfPreferences: the reported doi composes the
+// chosen preferences' dois with Formula 10.
+func TestSolutionDoiIsConjunctionOfPreferences(t *testing.T) {
+	db := SyntheticMovieDB(600, 55)
+	p := NewPersonalizer(db)
+	profile := SyntheticProfile(40, 56)
+	q, _ := ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	base, _, _ := p.EstimateQuery(q)
+	res, err := p.Personalize(q, profile, Problem2(base*10), WithMaxK(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PreferenceDois) != len(res.Preferences) {
+		t.Fatalf("PreferenceDois misaligned: %d vs %d", len(res.PreferenceDois), len(res.Preferences))
+	}
+	if got := prefs.Conjunction(res.PreferenceDois...); math.Abs(got-res.Solution.Doi) > 1e-9 {
+		t.Fatalf("conjunction of reported preferences %v != solution doi %v", got, res.Solution.Doi)
+	}
+}
+
+// TestAlgorithmsAgreeOnWorkloads: the exact algorithms agree with each
+// other end to end on synthetic instances (heuristics stay within bound).
+func TestAlgorithmsAgreeOnWorkloads(t *testing.T) {
+	db := SyntheticMovieDB(600, 57)
+	p := NewPersonalizer(db)
+	profile := SyntheticProfile(40, 58)
+	q, _ := ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	base, _, _ := p.EstimateQuery(q)
+	for _, mult := range []float64{3, 6, 12} {
+		prob := Problem2(base * mult)
+		exact := -1.0
+		for _, name := range []string{"C_Boundaries", "D_MaxDoi"} {
+			res, err := p.Personalize(q, profile, prob, WithAlgorithm(name), WithMaxK(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact < 0 {
+				exact = res.Solution.Doi
+			} else if math.Abs(res.Solution.Doi-exact) > 1e-9 {
+				t.Fatalf("exact algorithms disagree at cmax ×%v: %v vs %v", mult, res.Solution.Doi, exact)
+			}
+		}
+		for _, name := range []string{"C_MaxBounds", "D_SingleMaxDoi", "D_HeurDoi"} {
+			res, err := p.Personalize(q, profile, prob, WithAlgorithm(name), WithMaxK(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Solution.Doi > exact+1e-9 {
+				t.Fatalf("%s beats the exact optimum", name)
+			}
+		}
+	}
+}
+
+// TestProblemSemantics: tighter bounds never improve the objective
+// (monotonicity of constrained optima).
+func TestProblemSemantics(t *testing.T) {
+	db := SyntheticMovieDB(600, 59)
+	p := NewPersonalizer(db)
+	profile := SyntheticProfile(40, 60)
+	q, _ := ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	base, _, _ := p.EstimateQuery(q)
+	prevDoi := -1.0
+	for _, mult := range []float64{2, 4, 8, 16, 32} {
+		res, err := p.Personalize(q, profile, Problem2(base*mult), WithMaxK(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Solution.Doi < prevDoi-1e-9 {
+			t.Fatalf("loosening cmax reduced doi: %v after %v", res.Solution.Doi, prevDoi)
+		}
+		prevDoi = res.Solution.Doi
+	}
+	// Problems 4: raising dmin never lowers the minimal cost.
+	prevCost := -1.0
+	for _, dmin := range []float64{0.3, 0.6, 0.9, 0.99} {
+		res, err := p.Personalize(q, profile, Problem4(dmin), WithMaxK(12))
+		if err != nil {
+			continue // high dmin may be infeasible; that's fine
+		}
+		if res.Solution.Cost < prevCost-1e-9 {
+			t.Fatalf("raising dmin reduced cost: %v after %v", res.Solution.Cost, prevCost)
+		}
+		prevCost = res.Solution.Cost
+	}
+}

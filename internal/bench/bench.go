@@ -1,0 +1,181 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 7) on the synthetic workload,
+// printing rows in the same shape the paper reports.
+//
+// Scale knobs default to a laptop-friendly configuration (fewer runs per
+// point than the paper's 200 and a per-run state budget); the cqpbench
+// binary exposes flags to raise them toward the paper's setting.
+package bench
+
+import (
+	"time"
+
+	"cqp/internal/core"
+	"cqp/internal/prefs"
+	"cqp/internal/prefspace"
+	"cqp/internal/query"
+	"cqp/internal/workload"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// DB sizes the synthetic database.
+	DB workload.DBConfig
+	// Profiles × Queries is the number of runs averaged per data point
+	// (the paper used 20 × 10 = 200).
+	Profiles int
+	Queries  int
+	// Ks is the preference-count sweep of Figures 12(a)/12(b)/13(a)/14(a).
+	Ks []int
+	// CmaxPcts is the Supreme-Cost percentage sweep of Figures 12(c,d),
+	// 13(b), 14(b).
+	CmaxPcts []int
+	// DefaultK and DefaultCmaxMS are the paper's defaults (20 and 400 ms).
+	DefaultK      int
+	DefaultCmaxMS float64
+	// StateBudget caps states visited per algorithm run (0 = unlimited —
+	// the paper's slow algorithms then run for real; see DESIGN.md).
+	StateBudget int
+	// Seed drives all generators.
+	Seed int64
+}
+
+// Defaults fills zero fields with the standard configuration.
+func (c *Config) Defaults() {
+	if c.Profiles <= 0 {
+		c.Profiles = 4
+	}
+	if c.Queries <= 0 {
+		c.Queries = 5
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{10, 20, 30, 40}
+	}
+	if len(c.CmaxPcts) == 0 {
+		c.CmaxPcts = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 20
+	}
+	if c.DefaultCmaxMS <= 0 {
+		c.DefaultCmaxMS = 400
+	}
+	if c.StateBudget == 0 {
+		c.StateBudget = 1 << 20
+	}
+	if c.DB.Seed == 0 {
+		c.DB.Seed = c.Seed + 1
+	}
+}
+
+// Runner prepares the shared workload and caches extracted instances.
+type Runner struct {
+	Cfg      Config
+	Env      *workload.Env
+	profiles []*prefs.Profile
+	queries  []*query.Query
+	// instances caches (pair, K) → instance so sweeps reuse extraction.
+	instances map[instKey]*core.Instance
+	spaces    map[instKey]*prefspace.Space
+}
+
+type instKey struct {
+	pair int
+	k    int
+}
+
+// NewRunner generates the database, profiles and queries.
+func NewRunner(cfg Config) *Runner {
+	cfg.Defaults()
+	return &Runner{
+		Cfg:       cfg,
+		Env:       workload.NewEnv(cfg.DB, 1),
+		profiles:  workload.Profiles(cfg.Profiles, workload.ProfileConfig{Seed: cfg.Seed + 3}),
+		queries:   workload.Queries(cfg.Queries, cfg.Seed+2),
+		instances: make(map[instKey]*core.Instance),
+		spaces:    make(map[instKey]*prefspace.Space),
+	}
+}
+
+// Pairs returns the number of (profile, query) pairs per data point.
+func (r *Runner) Pairs() int { return len(r.profiles) * len(r.queries) }
+
+// pairAt decomposes a pair index into its profile and query.
+func (r *Runner) pairAt(i int) (*prefs.Profile, *query.Query) {
+	return r.profiles[i/len(r.queries)], r.queries[i%len(r.queries)]
+}
+
+// Space extracts (and caches) the preference space for a pair at the given
+// K.
+func (r *Runner) Space(pair, k int) (*prefspace.Space, error) {
+	key := instKey{pair, k}
+	if sp, ok := r.spaces[key]; ok {
+		return sp, nil
+	}
+	profile, q := r.pairAt(pair)
+	sp, err := prefspace.Build(q, profile, r.Env.Est, prefspace.Options{MaxK: k})
+	if err != nil {
+		return nil, err
+	}
+	r.spaces[key] = sp
+	return sp, nil
+}
+
+// Instance extracts (and caches) the CQP instance for a pair at the given
+// K, with the configured state budget applied.
+func (r *Runner) Instance(pair, k int) (*core.Instance, error) {
+	key := instKey{pair, k}
+	if in, ok := r.instances[key]; ok {
+		return in, nil
+	}
+	sp, err := r.Space(pair, k)
+	if err != nil {
+		return nil, err
+	}
+	in := core.FromSpace(sp)
+	in.StateBudget = r.Cfg.StateBudget
+	r.instances[key] = in
+	return in, nil
+}
+
+// point aggregates one (algorithm, sweep-value) measurement across pairs.
+type point struct {
+	totalDur    time.Duration
+	totalMem    int64
+	totalStates int64
+	totalDoi    float64
+	truncated   int
+	runs        int
+}
+
+func (p *point) add(sol core.Solution) {
+	p.totalDur += sol.Stats.Duration
+	p.totalMem += sol.Stats.PeakMemBytes
+	p.totalStates += int64(sol.Stats.StatesVisited)
+	p.totalDoi += sol.Doi
+	if sol.Stats.Truncated {
+		p.truncated++
+	}
+	p.runs++
+}
+
+func (p *point) meanDur() time.Duration {
+	if p.runs == 0 {
+		return 0
+	}
+	return p.totalDur / time.Duration(p.runs)
+}
+
+func (p *point) meanMemKB() float64 {
+	if p.runs == 0 {
+		return 0
+	}
+	return float64(p.totalMem) / float64(p.runs) / 1024
+}
+
+func (p *point) meanDoi() float64 {
+	if p.runs == 0 {
+		return 0
+	}
+	return p.totalDoi / float64(p.runs)
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cqp/internal/workload"
+)
+
+// tinyConfig keeps harness tests fast: small DB, few pairs, small Ks.
+func tinyConfig() Config {
+	return Config{
+		DB:            workload.DBConfig{Movies: 300, Directors: 40, Actors: 150, BlockSize: 2048},
+		Profiles:      2,
+		Queries:       2,
+		Ks:            []int{5, 10},
+		CmaxPcts:      []int{25, 50, 100},
+		DefaultK:      10,
+		DefaultCmaxMS: 120,
+		StateBudget:   50000,
+		Seed:          1,
+	}
+}
+
+func TestRunnerSetup(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	if r.Pairs() != 4 {
+		t.Fatalf("pairs = %d", r.Pairs())
+	}
+	in, err := r.Instance(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.K != 10 {
+		t.Errorf("K = %d", in.K)
+	}
+	if in.StateBudget != 50000 {
+		t.Error("state budget not applied")
+	}
+	// Caching returns the same object.
+	in2, _ := r.Instance(0, 10)
+	if in != in2 {
+		t.Error("instance cache miss")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.Defaults()
+	if c.Profiles != 4 || c.Queries != 5 || c.DefaultK != 20 || c.DefaultCmaxMS != 400 {
+		t.Errorf("defaults: %+v", c)
+	}
+	if len(c.Ks) != 4 || len(c.CmaxPcts) != 10 {
+		t.Errorf("sweep defaults: %+v", c)
+	}
+	if c.StateBudget != 1<<20 {
+		t.Errorf("budget default: %d", c.StateBudget)
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	tables, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(ExperimentIDs()) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(ExperimentIDs()))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", tb.ID)
+		}
+		out := tb.Render()
+		if !strings.Contains(out, tb.ID) {
+			t.Errorf("%s: render missing id", tb.ID)
+		}
+		csv := tb.CSV()
+		if len(strings.Split(strings.TrimSpace(csv), "\n")) != len(tb.Rows)+1 {
+			t.Errorf("%s: csv row count wrong", tb.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	for _, id := range ExperimentIDs() {
+		tb, err := r.ByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tb.ID != id {
+			t.Errorf("ByID(%s) returned %s", id, tb.ID)
+		}
+		break // one is enough here; TestAllExperimentsProduceTables covers the rest
+	}
+	if _, err := r.ByID("nope"); err == nil {
+		t.Error("unknown id must fail")
+	}
+}
+
+// TestFig15ShapeHolds: estimated cost within a factor of the measured cost
+// and both grow with K (the paper's Figure 15 claim).
+func TestFig15ShapeHolds(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	tb, err := r.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevEst float64
+	for _, row := range tb.Rows {
+		est, err1 := strconv.ParseFloat(row[1], 64)
+		real, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		if est <= 0 || real <= 0 {
+			t.Fatalf("non-positive costs: %v", row)
+		}
+		ratio := real / est
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("estimated and real diverge: %v (ratio %.2f)", row, ratio)
+		}
+		if est < prevEst {
+			t.Errorf("estimated cost should grow with K: %v", tb.Rows)
+		}
+		prevEst = est
+	}
+}
+
+// TestFig14GapsNonNegative: the quality reference must dominate every
+// heuristic (gaps ≥ 0).
+func TestFig14GapsNonNegative(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	tb, err := r.Fig14a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if v < -1e-6 {
+				t.Errorf("negative quality gap %v in %v", v, row)
+			}
+		}
+	}
+}
+
+// TestTable1AllProblemsSolved: each of the six problems yields a feasible
+// answer on the workload instance.
+func TestTable1AllProblemsSolved(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	tb, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[2] == "" {
+			t.Errorf("problem %s: no solver", row[0])
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.Notes = append(tb.Notes, "note text")
+	out := tb.Render()
+	for _, want := range []string{"== x — t ==", "a  bb", "note: note text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csvTb := &Table{Header: []string{"a,b", "c"}}
+	csvTb.AddRow("x\"y", "z")
+	csv := csvTb.CSV()
+	if !strings.Contains(csv, `"a,b"`) || !strings.Contains(csv, `"x""y"`) {
+		t.Errorf("csv escaping: %q", csv)
+	}
+}

@@ -1,0 +1,156 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildHistogramBasics(t *testing.T) {
+	if h := buildHistogram(nil, 8); h != nil {
+		t.Error("empty input must yield nil")
+	}
+	h := buildHistogram([]float64{3, 1, 2}, 8)
+	if h.Total() != 3 || h.Min != 1 {
+		t.Errorf("total %d min %g", h.Total(), h.Min)
+	}
+	if h.Buckets() != 3 {
+		t.Errorf("buckets = %d (depth 1 expected for tiny input)", h.Buckets())
+	}
+	// Zero bucket budget selects the default.
+	h2 := buildHistogram(make([]float64, 1000), 0)
+	if h2.Buckets() == 0 {
+		t.Error("default buckets")
+	}
+}
+
+func TestHistogramExactOnDepthOne(t *testing.T) {
+	vals := []float64{1958, 1971, 1996}
+	h := buildHistogram(vals, 32)
+	cases := []struct {
+		x         float64
+		less, leq float64
+	}{
+		{1950, 0, 0},
+		{1958, 0, 1.0 / 3},
+		{1970, 1.0 / 3, 1.0 / 3},
+		{1971, 1.0 / 3, 2.0 / 3},
+		{1996, 2.0 / 3, 1},
+		{2000, 1, 1},
+	}
+	for _, c := range cases {
+		if got := h.LessFrac(c.x); math.Abs(got-c.less) > 1e-12 {
+			t.Errorf("LessFrac(%g) = %g, want %g", c.x, got, c.less)
+		}
+		if got := h.LeqFrac(c.x); math.Abs(got-c.leq) > 1e-12 {
+			t.Errorf("LeqFrac(%g) = %g, want %g", c.x, got, c.leq)
+		}
+	}
+}
+
+// TestHistogramSkewBeatsUniform: on a Zipf-like pile-up the histogram's
+// range estimate lands near truth where the uniform model is far off.
+func TestHistogramSkewBeatsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var vals []float64
+	// 90% of mass at small values, a long thin tail to 1e6.
+	for i := 0; i < 900; i++ {
+		vals = append(vals, float64(rng.Intn(10)))
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, float64(10+rng.Intn(1_000_000)))
+	}
+	h := buildHistogram(vals, 32)
+	truth := 0.0
+	for _, v := range vals {
+		if v < 10 {
+			truth++
+		}
+	}
+	truth /= float64(len(vals))
+	got := h.LessFrac(10)
+	if math.Abs(got-truth) > 0.05 {
+		t.Errorf("histogram estimate %g, truth %g", got, truth)
+	}
+	// The uniform model would claim ≈ 10/1e6 ≈ 0.
+	uniform := 10.0 / 1_000_000
+	if math.Abs(uniform-truth) < math.Abs(got-truth) {
+		t.Error("histogram did not improve on the uniform model")
+	}
+}
+
+// TestHistogramProperties: estimates stay in [0,1], are monotone in x,
+// Less ≤ Leq, and track the empirical CDF within one bucket's depth.
+func TestHistogramProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%500) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round(rng.NormFloat64() * 100)
+		}
+		h := buildHistogram(vals, 16)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		maxDepth := 0
+		for _, c := range h.counts {
+			if c > maxDepth {
+				maxDepth = c
+			}
+		}
+		tolerance := float64(maxDepth)/float64(n) + 1e-12
+		prevLess := -1.0
+		for probe := 0; probe < 50; probe++ {
+			x := math.Round(rng.NormFloat64() * 120)
+			less, leq := h.LessFrac(x), h.LeqFrac(x)
+			if less < 0 || leq > 1 || less > leq+1e-12 {
+				return false
+			}
+			// Empirical CDF comparison.
+			var truthLess float64
+			for _, v := range sorted {
+				if v < x {
+					truthLess++
+				}
+			}
+			truthLess /= float64(n)
+			if math.Abs(less-truthLess) > tolerance {
+				return false
+			}
+			_ = prevLess
+		}
+		// Monotonicity over an ordered sweep.
+		prev := -1.0
+		for x := -400.0; x <= 400; x += 10 {
+			cur := h.LessFrac(x)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramTieHeavyData(t *testing.T) {
+	// All values identical: one bucket, every query degenerate but sane.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 42
+	}
+	h := buildHistogram(vals, 8)
+	if h.Buckets() != 1 {
+		t.Errorf("buckets = %d", h.Buckets())
+	}
+	if h.LessFrac(42) != 0 || h.LeqFrac(42) != 1 {
+		t.Errorf("tie-heavy: less %g leq %g", h.LessFrac(42), h.LeqFrac(42))
+	}
+	if h.LessFrac(43) != 1 || h.LeqFrac(41) != 0 {
+		t.Error("edges wrong")
+	}
+}

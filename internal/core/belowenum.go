@@ -1,0 +1,88 @@
+package core
+
+import "cqp/internal/prefs"
+
+// suffixBest precomputes, for every floor position f, the dois of the
+// preferences at positions ≥ f sorted in decreasing order. bestBelow uses
+// it for optimistic doi bounds. O(K²) space — K is a few dozen.
+func (s *space) suffixBest(in *Instance) [][]float64 {
+	out := make([][]float64, s.K+1)
+	out[s.K] = nil
+	for f := s.K - 1; f >= 0; f-- {
+		d := in.Doi[s.vec[f]]
+		prev := out[f+1]
+		merged := make([]float64, 0, len(prev)+1)
+		placed := false
+		for _, x := range prev {
+			if !placed && d >= x {
+				merged = append(merged, d)
+				placed = true
+			}
+			merged = append(merged, x)
+		}
+		if !placed {
+			merged = append(merged, d)
+		}
+		out[f] = merged
+	}
+	return out
+}
+
+// bestBelow finds the maximum-doi state lying on or below the boundary r
+// (same group size, componentwise position ≥ r) that satisfies accept.
+// It enumerates canonical assignments y_0 < y_1 < … < y_{g−1} with
+// y_i ≥ r[i], pruning with an optimistic doi bound, and returns the best
+// accepted node (nil if none). Used by the windowed problem adapters
+// (Problems 1, 3, 5, 6), where the second search phase must respect
+// constraints beyond the space's own upper bound.
+func bestBelow(in *Instance, sp *space, r node, suffixBest [][]float64,
+	accept func(n node) bool, incumbent float64, st *Stats) (node, float64) {
+
+	g := len(r)
+	var best node
+	bestDoi := incumbent
+
+	cur := make(node, 0, g)
+	acc := prefs.NewConjAccum()
+
+	var rec func(slot, floor int)
+	rec = func(slot, floor int) {
+		if in.overBudget(st) {
+			return
+		}
+		if slot == g {
+			st.StatesVisited++
+			if acc.Doi() > bestDoi && accept(cur) {
+				bestDoi = acc.Doi()
+				best = cloneNode(cur)
+			}
+			return
+		}
+		lo := r[slot]
+		if floor > lo {
+			lo = floor
+		}
+		// Optimistic bound: the best g−slot dois available at ≥ lo.
+		need := g - slot
+		cands := suffixBest[lo]
+		if len(cands) < need {
+			return
+		}
+		prod := 1 - acc.Doi()
+		for i := 0; i < need; i++ {
+			prod *= 1 - cands[i]
+		}
+		if 1-prod <= bestDoi+1e-15 {
+			return
+		}
+		for y := lo; y <= sp.K-need; y++ {
+			cur = append(cur, y)
+			acc.Add(in.Doi[sp.vec[y]])
+			rec(slot+1, y+1)
+			acc.Remove(in.Doi[sp.vec[y]])
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0, 0)
+	return best, bestDoi
+}

@@ -1,0 +1,108 @@
+package core
+
+import "time"
+
+// maxDominanceScan caps how many recent boundaries the prune(.) dominance
+// check inspects per candidate, keeping pruning O(1) amortized. Skipping a
+// dominance hit only costs a re-visit that the visited set then stops.
+const maxDominanceScan = 32
+
+// CBoundaries is the paper's Algorithm C-BOUNDARIES (Figure 5), solving
+// Problem 2 (maximize doi subject to cost ≤ cmax) on the cost state space.
+//
+// Phase 1 (FINDBOUNDARY) locates the boundaries: feasible states whose
+// Vertical predecessors are all infeasible. It proceeds group by group —
+// Horizontal neighbors of found boundaries enqueue at the tail, Vertical
+// neighbors of infeasible states at the head — pruning states already
+// visited or lying below an earlier boundary of the same group.
+// Phase 2 (C_FINDMAXDOI) searches below the boundaries for the best doi.
+func CBoundaries(in *Instance, cmax float64) Solution {
+	return cBoundariesOn(in, in.costSpace(), cmax, "C-BOUNDARIES")
+}
+
+// cBoundariesOn runs the boundary search over an arbitrary space whose
+// feasibility predicate is "state cost ≤ cmax" (the constraint parameter is
+// always cost for Problem 2; Section 6 re-targets the space for the other
+// problems via the problem adapters).
+func cBoundariesOn(in *Instance, sp *space, cmax float64, name string) Solution {
+	start := time.Now()
+	st := Stats{Algorithm: name}
+	var mem memTracker
+
+	boundaries := findBoundary(in, sp, costPrimary(in, sp, cmax), &st, &mem)
+	set, _ := findMaxDoi(sp, in, boundaries, &st, &mem)
+
+	sol := in.solutionFor(set, true)
+	if len(set) == 0 && in.BaseCost > cmax {
+		sol.Feasible = false
+	}
+	st.Duration = time.Since(start)
+	st.PeakMemBytes = mem.peak
+	sol.Stats = st
+	return sol
+}
+
+// findBoundary is the paper's FINDBOUNDARY (Figure 5), generalized over
+// the primary constraint so the Section 6 adaptations (e.g. Problem 1 on
+// the size space) reuse it unchanged.
+func findBoundary(in *Instance, sp *space, pr primary, st *Stats, mem *memTracker) []node {
+	var boundaries []node
+	if sp.K == 0 {
+		return boundaries
+	}
+	visited := newVisitedSetFor(in, mem)
+	rq := newNodeDeque(mem)
+	seed := node{0}
+	visited.seen(seed)
+	rq.pushTail(seed)
+	byLen := make(map[int][]node) // boundaries grouped by size for pruning
+
+	// prune implements the paper's prune(.): a candidate is dropped when
+	// already visited or when it lies below a boundary already found in its
+	// group (it is then reachable from that boundary and cannot be one).
+	prune := func(n node) bool {
+		if visited.seen(n) {
+			return true
+		}
+		group := byLen[len(n)]
+		// Scan only the most recent dominators: full scans over large
+		// boundary lists would make prune itself quadratic in the number
+		// of boundaries (visited-set pruning keeps correctness).
+		lo := 0
+		if len(group) > maxDominanceScan {
+			lo = len(group) - maxDominanceScan
+		}
+		for _, b := range group[lo:] {
+			if dominatedBy(n, b) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for rq.len() > 0 {
+		if in.overBudget(st) {
+			break
+		}
+		r := rq.popHead()
+		st.StatesVisited++
+		if pr.ok(pr.value(r)) {
+			boundaries = append(boundaries, r)
+			byLen[len(r)] = append(byLen[len(r)], r)
+			mem.add(r.memBytes())
+			if h := sp.horizontal(r); h != nil && !visited.seen(h) {
+				rq.pushTail(h)
+			}
+			continue
+		}
+		vr := sp.vertical(r)
+		// Head insertion preserves within-group processing; push in reverse
+		// so the highest-cost neighbor pops first (the paper's ordering).
+		for i := len(vr) - 1; i >= 0; i-- {
+			if !prune(vr[i]) {
+				rq.pushHead(vr[i])
+			}
+		}
+	}
+	return boundaries
+}

@@ -1,0 +1,116 @@
+package core
+
+import "time"
+
+// CMaxBounds is the paper's Algorithm C-MAXBOUNDS (Figure 7): a greedy
+// first phase builds *maximal* boundaries — none a subset of or reachable
+// from another — by seeding each round with the most expensive preference
+// not yet examined and extending with the costliest additions that keep the
+// state feasible (Horizontal2 transitions). The second phase is the same
+// C_FINDMAXDOI as C-BOUNDARIES. The paper classifies C-MAXBOUNDS as
+// heuristic (only C-BOUNDARIES and D-MAXDOI are provably exact); Figure 14
+// measures its quality gap.
+//
+// Two documented divergences from the published pseudocode: (a) when a
+// Vertical neighbor drops the seed preference we skip it and keep scanning
+// rather than aborting the scan (the pseudocode's "exit for" would discard
+// unrelated neighbors on the ordering's whim); (b) a feasible seed with no
+// feasible extension is still recorded as a boundary (the pseudocode's
+// R ≠ R0 test would lose single-preference solutions under tight bounds).
+func CMaxBounds(in *Instance, cmax float64) Solution {
+	return cMaxBoundsOn(in, in.costSpace(), cmax, "C-MAXBOUNDS")
+}
+
+func cMaxBoundsOn(in *Instance, sp *space, cmax float64, name string) Solution {
+	start := time.Now()
+	st := Stats{Algorithm: name}
+	var mem memTracker
+
+	var maxBounds []node
+	byLen := make(map[int][]node)
+	visited := newVisitedSetFor(in, &mem)
+	lastSize := 0
+	pr := costPrimary(in, sp, cmax)
+	for k := 0; k+lastSize < sp.K && !st.Truncated; k++ {
+		got := findMaxBound(in, sp, k, pr, &maxBounds, byLen, visited, &st, &mem)
+		if got > lastSize {
+			lastSize = got
+		}
+	}
+	set, _ := findMaxDoi(sp, in, maxBounds, &st, &mem)
+
+	sol := in.solutionFor(set, true)
+	if len(set) == 0 && in.BaseCost > cmax {
+		sol.Feasible = false
+	}
+	st.Duration = time.Since(start)
+	st.PeakMemBytes = mem.peak
+	sol.Stats = st
+	return sol
+}
+
+// findMaxBound is the paper's FINDMAXBOUND: grow maximal boundaries that
+// contain the seed preference k. It returns the largest boundary size found
+// this round (0 if none).
+func findMaxBound(in *Instance, sp *space, k int, pr primary,
+	maxBounds *[]node, byLen map[int][]node, visited *visitedSet, st *Stats, mem *memTracker) int {
+
+	largest := 0
+	seed := node{k}
+	if visited.seen(seed) {
+		return 0
+	}
+	rq := newNodeDeque(mem)
+	rq.pushTail(seed)
+
+	// prune is visited-only: every Vertical neighbor of a maximal boundary
+	// lies below it by construction, so dominance pruning here would cut
+	// the entire branch phase and collapse the algorithm to a greedy.
+	prune := func(n node) bool { return visited.seen(n) }
+
+	for rq.len() > 0 {
+		if in.overBudget(st) {
+			break
+		}
+		r := rq.popHead()
+		st.StatesVisited++
+		r0 := r
+		if pr.ok(pr.value(r)) {
+			// Greedy maximal extension: repeatedly add the most expensive
+			// absent position that keeps the state feasible.
+			for {
+				extended := false
+				cur := pr.value(r)
+				sp.horizontal2From(r, 0, func(pos int) bool {
+					st.StatesVisited++
+					if pr.ok(pr.add(cur, pos)) {
+						r = r.insert(pos)
+						extended = true
+						return false
+					}
+					return true
+				})
+				if !extended {
+					break
+				}
+			}
+			if !equalNode(r, r0) || len(r0) == 1 {
+				*maxBounds = append(*maxBounds, r)
+				byLen[len(r)] = append(byLen[len(r)], r)
+				mem.add(r.memBytes())
+				if len(r) > largest {
+					largest = len(r)
+				}
+			}
+		}
+		for _, v := range sp.vertical(r) {
+			if !v.contains(k) {
+				continue // only build boundaries containing the seed
+			}
+			if !prune(v) {
+				rq.pushHead(v)
+			}
+		}
+	}
+	return largest
+}

@@ -1,0 +1,82 @@
+package core
+
+import "time"
+
+// DHeurDoi is the paper's Algorithm D-HEURDOI (Figure 11): the most
+// aggressive heuristic. Each round seeds with the next preference in doi
+// order and (a) greedily grows it to a maximal feasible state; (b) instead
+// of branching through a queue of Vertical alternatives, it repeatedly
+// drops the last-added (cheapest-kept) suffix element of the current state
+// and regrows, probing a handful of nearby maximal states. The number of
+// states examined is linear-ish in K, which is why Figure 12 shows it
+// almost flat in cmax.
+func DHeurDoi(in *Instance, cmax float64) Solution {
+	start := time.Now()
+	st := Stats{Algorithm: "D-HEURDOI"}
+	var mem memTracker
+	sp := in.doiSpace()
+
+	maxDoi := -1.0
+	var best []int
+	suffix := suffixConj(in)
+	pr := costPrimary(in, sp, cmax)
+
+	for k := 0; k < sp.K && maxDoi <= suffix[k] && !in.overBudget(&st); k++ {
+		seed := node{k}
+		if !pr.ok(pr.value(seed)) {
+			continue
+		}
+		r := greedyGrow(sp, seed, pr, &st)
+		mem.add(r.memBytes())
+		if d := sp.doiOf(in, r); d > maxDoi {
+			maxDoi = d
+			best = sp.toSet(r)
+		}
+		// Heuristic descent (Figure 11, step 2.5): drop the state's suffix
+		// element by element and regrow each truncation, hoping a cheaper
+		// tail frees budget for more interesting preferences.
+		for cut := len(r) - 1; cut >= 1; cut-- {
+			trunc := cloneNode(r[:cut])
+			grown := greedyGrowExcluding(sp, trunc, r[cut], pr, &st)
+			if d := sp.doiOf(in, grown); d > maxDoi {
+				maxDoi = d
+				best = sp.toSet(grown)
+			}
+		}
+		mem.sub(r.memBytes())
+	}
+
+	sol := in.solutionFor(best, true)
+	if len(best) == 0 && in.BaseCost > cmax {
+		sol.Feasible = false
+	}
+	st.Duration = time.Since(start)
+	st.PeakMemBytes = mem.peak
+	sol.Stats = st
+	return sol
+}
+
+// greedyGrowExcluding grows like greedyGrow but refuses to re-add the
+// excluded position, so each truncation explores a genuinely different
+// maximal state (Figure 11's "For each R” in HR, R” ≠ R'").
+func greedyGrowExcluding(sp *space, r node, excluded int, pr primary, st *Stats) node {
+	for {
+		extended := false
+		cur := pr.value(r)
+		sp.horizontal2From(r, 0, func(pos int) bool {
+			if pos == excluded {
+				return true
+			}
+			st.StatesVisited++
+			if pr.ok(pr.add(cur, pos)) {
+				r = r.insert(pos)
+				extended = true
+				return false
+			}
+			return true
+		})
+		if !extended {
+			return r
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// DMaxDoi is the paper's Algorithm D-MAXDOI (Figure 9), the provably exact
+// search on the doi state space (Theorem 3). FINDOPTIMAL grows each
+// candidate with Horizontal transitions while the cost constraint holds,
+// records the last feasible node of the chain as a possible solution, and
+// then branches through the Vertical neighbors of the first infeasible
+// successor. Vertical transitions are "blind" with respect to cost
+// (Table 5), which is exactly why the paper measures this algorithm as the
+// slowest and most memory-hungry — it must keep exploring states whose cost
+// it cannot bound. Pruning is therefore visited-set only, preserving
+// exactness.
+func DMaxDoi(in *Instance, cmax float64) Solution {
+	start := time.Now()
+	st := Stats{Algorithm: "D-MAXDOI"}
+	var mem memTracker
+	sp := in.doiSpace()
+
+	solutions := findOptimal(in, sp, costPrimary(in, sp, cmax), &st, &mem)
+	set, _ := dFindMaxDoi(sp, in, solutions, &st)
+
+	sol := in.solutionFor(set, true)
+	if len(set) == 0 && in.BaseCost > cmax {
+		sol.Feasible = false
+	}
+	st.Duration = time.Since(start)
+	st.PeakMemBytes = mem.peak
+	sol.Stats = st
+	return sol
+}
+
+// findOptimal is the paper's FINDOPTIMAL (Figure 9, first phase).
+func findOptimal(in *Instance, sp *space, pr primary, st *Stats, mem *memTracker) []node {
+	var solutions []node
+	if sp.K == 0 {
+		return solutions
+	}
+	visited := newVisitedSetFor(in, mem)
+	rq := newNodeDeque(mem)
+	seed := node{0}
+	visited.seen(seed)
+	rq.pushTail(seed)
+
+	for rq.len() > 0 {
+		if in.overBudget(st) {
+			break
+		}
+		r := rq.popHead()
+		st.StatesVisited++
+		branch := r // the node whose Vertical neighbors we branch through
+		if pr.ok(pr.value(r)) {
+			// Horizontal walk: extend while feasible.
+			for {
+				h := sp.horizontal(r)
+				if h == nil {
+					break
+				}
+				st.StatesVisited++
+				if !pr.ok(pr.value(h)) {
+					branch = h
+					break
+				}
+				r = h
+				branch = r
+			}
+			solutions = append(solutions, r)
+			mem.add(r.memBytes())
+			if equalNode(branch, r) {
+				// The chain ran off the edge of the space; no infeasible
+				// successor to branch from.
+				continue
+			}
+		}
+		for _, v := range sp.vertical(branch) {
+			if !visited.seen(v) {
+				rq.pushHead(v)
+			}
+		}
+	}
+	return solutions
+}
+
+// dFindMaxDoi is the paper's D_FINDMAXDOI (Figure 9, second phase): pick
+// the best-doi node among the recorded solutions, scanning in decreasing
+// group size with the BestExpectedDoi early exit.
+func dFindMaxDoi(sp *space, in *Instance, solutions []node, st *Stats) ([]int, float64) {
+	bs := make([]node, len(solutions))
+	copy(bs, solutions)
+	sort.SliceStable(bs, func(i, j int) bool { return len(bs[i]) > len(bs[j]) })
+
+	bound := in.topConj()
+	maxDoi := -1.0
+	var best []int
+	kr := in.K
+	for _, r := range bs {
+		if len(r) < kr {
+			kr = len(r)
+			if maxDoi > bound[kr] {
+				break
+			}
+		}
+		st.StatesVisited++
+		if d := sp.doiOf(in, r); d > maxDoi {
+			maxDoi = d
+			best = sp.toSet(r)
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	return best, maxDoi
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"time"
+
+	"cqp/internal/prefs"
+)
+
+// DSingleMaxDoi is the paper's Algorithm D-SINGLEMAXDOI (Figure 10): the
+// C-MAXBOUNDS idea transplanted to the doi space, collapsed to a single
+// phase. Each round seeds with the most interesting preference not yet
+// examined, greedily grows maximal feasible states (Horizontal2 walks that
+// always add the highest-doi preference that still fits the cost bound),
+// branches through Vertical neighbors that retain the seed, and keeps the
+// best doi seen. BestExpectedDoi — the doi of all preferences from the
+// current seed onward — bounds what later rounds can achieve and stops the
+// outer loop early.
+func DSingleMaxDoi(in *Instance, cmax float64) Solution {
+	start := time.Now()
+	st := Stats{Algorithm: "D-SINGLEMAXDOI"}
+	var mem memTracker
+	sp := in.doiSpace()
+
+	maxDoi := -1.0
+	var best []int
+	suffix := suffixConj(in)
+	visited := newVisitedSetFor(in, &mem)
+	pr := costPrimary(in, sp, cmax)
+
+	for k := 0; k < sp.K && maxDoi <= suffix[k] && !st.Truncated; k++ {
+		seed := node{k}
+		if visited.seen(seed) {
+			continue
+		}
+		rq := newNodeDeque(&mem)
+		rq.pushTail(seed)
+		for rq.len() > 0 {
+			if in.overBudget(&st) {
+				break
+			}
+			r := rq.popHead()
+			st.StatesVisited++
+			if pr.ok(pr.value(r)) {
+				r = greedyGrow(sp, r, pr, &st)
+				if d := sp.doiOf(in, r); d > maxDoi {
+					maxDoi = d
+					best = sp.toSet(r)
+				}
+				mem.add(r.memBytes())
+			}
+			for _, v := range sp.vertical(r) {
+				if !v.contains(k) {
+					continue
+				}
+				if visited.seen(v) {
+					continue
+				}
+				rq.pushHead(v)
+			}
+		}
+	}
+
+	sol := in.solutionFor(best, true)
+	if len(best) == 0 && in.BaseCost > cmax {
+		sol.Feasible = false
+	}
+	st.Duration = time.Since(start)
+	st.PeakMemBytes = mem.peak
+	sol.Stats = st
+	return sol
+}
+
+// greedyGrow extends a feasible node maximally: repeatedly add the absent
+// position of highest space weight (highest doi in the D space, highest
+// cost in the C space) whose addition keeps the primary constraint
+// satisfied.
+func greedyGrow(sp *space, r node, pr primary, st *Stats) node {
+	for {
+		extended := false
+		cur := pr.value(r)
+		sp.horizontal2From(r, 0, func(pos int) bool {
+			st.StatesVisited++
+			if pr.ok(pr.add(cur, pos)) {
+				r = r.insert(pos)
+				extended = true
+				return false
+			}
+			return true
+		})
+		if !extended {
+			return r
+		}
+	}
+}
+
+// suffixConj returns suffix[k] = doi of preferences k..K−1 together — the
+// paper's BestExpectedDoi after examining seeds 0..k−1.
+func suffixConj(in *Instance) []float64 {
+	out := make([]float64, in.K+1)
+	acc := prefs.NewConjAccum()
+	for k := in.K - 1; k >= 0; k-- {
+		acc.Add(in.Doi[k])
+		out[k] = acc.Doi()
+	}
+	if in.K > 0 {
+		out[in.K] = 0
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+
+	"cqp/internal/prefs"
+)
+
+// topConj returns bound[g] = doi of the g most interesting preferences —
+// the paper's BestExpectedDoi for group size g (P is doi-sorted, so the
+// best any state of size ≤ g can score is Conjunction(Doi[0..g-1])).
+func (in *Instance) topConj() []float64 {
+	bound := make([]float64, in.K+1)
+	acc := prefs.NewConjAccum()
+	for g := 1; g <= in.K; g++ {
+		acc.Add(in.Doi[g-1])
+		bound[g] = acc.Doi()
+	}
+	return bound
+}
+
+// findMaxDoi implements the paper's C_FINDMAXDOI (Figure 5, second phase):
+// among all states lying on or below the given boundaries, find the one
+// with the maximum doi.
+//
+// For each boundary R it runs the paper's greedy: slots are processed from
+// the most constrained (largest position) to the least, and each slot takes
+// the unused preference with the best doi among vector positions ≥ the
+// slot's position. The greedy is optimal because slot availability sets are
+// nested suffixes. Boundaries are visited in decreasing group size so the
+// BestExpectedDoi bound can stop the scan early.
+func findMaxDoi(sp *space, in *Instance, boundaries []node, st *Stats, mem *memTracker) ([]int, float64) {
+	// Order boundaries by decreasing group size (push order usually already
+	// gives this; sorting makes it independent of phase-1 discipline).
+	bs := make([]node, len(boundaries))
+	copy(bs, boundaries)
+	sort.SliceStable(bs, func(i, j int) bool { return len(bs[i]) > len(bs[j]) })
+
+	bound := in.topConj()
+	maxDoi := -1.0
+	var best []int
+	usedPos := make([]bool, sp.K)
+	mem.add(int64(sp.K)) // scratch accounting
+
+	kr := in.K
+	for _, r := range bs {
+		if len(r) < kr {
+			kr = len(r)
+			if maxDoi > bound[kr] {
+				break // no smaller group can beat the incumbent
+			}
+		}
+		// Greedy best-doi substitution below r.
+		for i := range usedPos {
+			usedPos[i] = false
+		}
+		set := make([]int, 0, len(r))
+		acc := prefs.NewConjAccum()
+		for i := len(r) - 1; i >= 0; i-- {
+			k := r[i]
+			bestP, bestPos := sp.K, -1
+			for j := k; j < sp.K; j++ {
+				if usedPos[j] {
+					continue
+				}
+				if sp.vec[j] < bestP {
+					bestP, bestPos = sp.vec[j], j
+				}
+			}
+			usedPos[bestPos] = true
+			set = append(set, bestP)
+			acc.Add(in.Doi[bestP])
+		}
+		st.StatesVisited++
+		if acc.Doi() > maxDoi {
+			maxDoi = acc.Doi()
+			sort.Ints(set)
+			best = set
+		}
+	}
+	mem.sub(int64(sp.K))
+	if best == nil {
+		return nil, 0
+	}
+	return best, maxDoi
+}

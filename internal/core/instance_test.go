@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cqp/internal/catalog"
+	"cqp/internal/estimate"
+	"cqp/internal/prefs"
+	"cqp/internal/prefspace"
+	"cqp/internal/sqlparse"
+	"cqp/internal/testutil"
+)
+
+// randInstance builds a random valid instance: dois descending in (0,1),
+// costs in [1, 100], shrinks in (0, 1].
+func randInstance(t testing.TB, rng *rand.Rand, k int) *Instance {
+	t.Helper()
+	dois := make([]float64, k)
+	costs := make([]float64, k)
+	shrinks := make([]float64, k)
+	for i := range dois {
+		dois[i] = rng.Float64()*0.98 + 0.01
+		costs[i] = 1 + rng.Float64()*99
+		shrinks[i] = 0.05 + rng.Float64()*0.95
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(dois)))
+	in, err := NewInstance(dois, costs, shrinks, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	ok := []float64{0.9, 0.5}
+	if _, err := NewInstance(ok, []float64{1}, []float64{1, 1}, 1, 10); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewInstance([]float64{0.5, 0.9}, []float64{1, 1}, []float64{1, 1}, 1, 10); err == nil {
+		t.Error("non-descending dois should fail")
+	}
+	if _, err := NewInstance([]float64{1.5, 0.5}, []float64{1, 1}, []float64{1, 1}, 1, 10); err == nil {
+		t.Error("doi > 1 should fail")
+	}
+	if _, err := NewInstance(ok, []float64{-1, 1}, []float64{1, 1}, 1, 10); err == nil {
+		t.Error("negative cost should fail")
+	}
+	if _, err := NewInstance(ok, []float64{1, 1}, []float64{2, 1}, 1, 10); err == nil {
+		t.Error("shrink > 1 should fail")
+	}
+	in, err := NewInstance(ok, []float64{3, 7}, []float64{0.5, 0.25}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.BaseSize != 1000 {
+		t.Error("default base size")
+	}
+	if err := in.Validate(); err != nil {
+		t.Error(err)
+	}
+	// C sorts by cost descending: cost[1]=7 > cost[0]=3.
+	if in.C[0] != 1 || in.C[1] != 0 {
+		t.Errorf("C = %v", in.C)
+	}
+	// S sorts by shrink ascending: shrink[1]=0.25 < shrink[0]=0.5.
+	if in.S[0] != 1 || in.S[1] != 0 {
+		t.Errorf("S = %v", in.S)
+	}
+}
+
+func TestSetParameterFunctions(t *testing.T) {
+	in, _ := NewInstance([]float64{0.8, 0.5}, []float64{10, 5}, []float64{0.5, 0.2}, 3, 100)
+	if got := in.SetCost(nil); got != 3 {
+		t.Errorf("empty cost = %g, want base 3", got)
+	}
+	if got := in.SetCost([]int{0, 1}); got != 15 {
+		t.Errorf("cost = %g", got)
+	}
+	if got := in.SetDoi([]int{0, 1}); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("doi = %g", got)
+	}
+	if got := in.SetSize([]int{0, 1}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("size = %g", got)
+	}
+	if got := in.SupremeCost(); got != 15 {
+		t.Errorf("supreme = %g", got)
+	}
+	empty := &Instance{BaseCost: 4}
+	if empty.SupremeCost() != 4 {
+		t.Error("empty supreme is base cost")
+	}
+}
+
+func TestInstanceValidateCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := randInstance(t, rng, 6)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *in
+	bad.C = append([]int(nil), in.C...)
+	bad.C[0], bad.C[len(bad.C)-1] = bad.C[len(bad.C)-1], bad.C[0]
+	if err := bad.Validate(); err == nil {
+		t.Error("corrupted C should fail validation")
+	}
+	bad2 := *in
+	bad2.Doi = append([]float64(nil), in.Doi...)
+	bad2.Doi[0], bad2.Doi[len(bad2.Doi)-1] = bad2.Doi[len(bad2.Doi)-1], bad2.Doi[0]
+	if err := bad2.Validate(); err == nil {
+		t.Error("unsorted Doi should fail validation")
+	}
+}
+
+func TestSolutionString(t *testing.T) {
+	in, _ := NewInstance([]float64{0.8}, []float64{10}, []float64{0.5}, 3, 100)
+	s := in.solutionFor([]int{0}, true)
+	s.Stats.Algorithm = "X"
+	if str := s.String(); str == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFromSpace(t *testing.T) {
+	// Build through the real pipeline to cover FromSpace.
+	db := testutil.MovieDB(256)
+	est := estimate.New(catalog.Build(db), 1)
+	profile, err := prefs.ParseProfile(`
+doi(MOVIE.mid = GENRE.mid) = 0.9
+doi(GENRE.genre = 'comedy') = 0.7
+doi(MOVIE.year >= 1980) = 0.6
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	sp, err := prefspace.Build(q, profile, est, prefspace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := FromSpace(sp)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.K != sp.K || in.BaseCost != sp.BaseCost || in.BaseSize != sp.BaseSize {
+		t.Errorf("FromSpace mismatch: %+v vs space", in)
+	}
+	for i := range sp.P {
+		if in.Doi[i] != sp.P[i].Doi || in.Cost[i] != sp.P[i].Cost || in.Shrink[i] != sp.P[i].Shrink {
+			t.Errorf("parameter %d mismatch", i)
+		}
+	}
+	// A skip-vector space synthesizes C and S locally.
+	sp2, err := prefspace.Build(q, profile, est, prefspace.Options{
+		SkipCostVector: true, SkipSizeVector: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := FromSpace(sp2)
+	if err := in2.Validate(); err != nil {
+		t.Errorf("synthesized vectors invalid: %v", err)
+	}
+}
+
+func TestValidateLengthMismatches(t *testing.T) {
+	in, _ := NewInstance([]float64{0.8, 0.5}, []float64{1, 2}, []float64{0.5, 0.5}, 1, 10)
+	bad := *in
+	bad.Doi = bad.Doi[:1]
+	if bad.Validate() == nil {
+		t.Error("short Doi must fail")
+	}
+	bad2 := *in
+	bad2.S = nil
+	if bad2.Validate() == nil {
+		t.Error("missing S must fail")
+	}
+	bad3 := *in
+	bad3.S = []int{1, 0}
+	if in.Shrink[0] != in.Shrink[1] {
+		if bad3.Validate() == nil && in.Shrink[1] > in.Shrink[0] {
+			t.Error("mis-sorted S must fail")
+		}
+	}
+}
+
+func TestProblemBetterTieBreaks(t *testing.T) {
+	p2 := Problem2(10)
+	if !p2.better(0.5, 3, 0.5, 4) {
+		t.Error("equal doi: cheaper wins under MaxDoi")
+	}
+	if p2.better(0.5, 4, 0.5, 3) {
+		t.Error("equal doi: pricier must not win")
+	}
+	p4 := Problem4(0.5)
+	if !p4.better(0.9, 3, 0.5, 3) {
+		t.Error("equal cost: higher doi wins under MinCost")
+	}
+	if p4.better(0.4, 3, 0.5, 3) {
+		t.Error("equal cost: lower doi must not win")
+	}
+}
+
+func TestLogWeightEdges(t *testing.T) {
+	if logWeight(0) != wCap {
+		t.Error("zero factor caps")
+	}
+	if logWeight(1) != 0 {
+		t.Error("unit factor weighs nothing")
+	}
+	if w := logWeight(1e-400); w != wCap {
+		t.Error("underflow caps")
+	}
+	prev := wCap + 1
+	for _, f := range []float64{1e-10, 0.01, 0.5, 0.9, 1} {
+		w := logWeight(f)
+		if w >= prev {
+			t.Errorf("logWeight not strictly decreasing at %g", f)
+		}
+		prev = w
+	}
+}
+
+func TestSizePrimaryAndSpace(t *testing.T) {
+	in, _ := NewInstance(
+		[]float64{0.9, 0.8, 0.7},
+		[]float64{5, 10, 3},
+		[]float64{0.5, 0.1, 0.9},
+		2, 100)
+	sp := in.sizeSpace()
+	// S ascending size = ascending shrink: P indices by shrink: 1(0.1), 0(0.5), 2(0.9).
+	if sp.vec[0] != 1 || sp.vec[1] != 0 || sp.vec[2] != 2 {
+		t.Fatalf("size space vec = %v", sp.vec)
+	}
+	// Weights non-increasing.
+	for i := 1; i < len(sp.w); i++ {
+		if sp.w[i] > sp.w[i-1]+1e-12 {
+			t.Fatal("size weights must be non-increasing")
+		}
+	}
+	pr := sizePrimary(in, sp, 20)
+	v := pr.value(node{0}) // most shrinking pref: size 100×0.1 = 10
+	if math.Abs(v-10) > 1e-9 {
+		t.Errorf("size value = %g", v)
+	}
+	if pr.ok(v) {
+		t.Error("10 < smin 20 must be infeasible")
+	}
+	if got := pr.add(v, 1); math.Abs(got-5) > 1e-9 {
+		t.Errorf("incremental size = %g (10 × shrink 0.5)", got)
+	}
+	// costOf/sizeOf/doiOf on the empty node return base parameters.
+	if sp.costOf(in, nil) != in.BaseCost || sp.sizeOf(in, nil) != in.BaseSize || sp.doiOf(in, nil) != 0 {
+		t.Error("empty-node parameters")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+// node is a state of a search space: a strictly increasing set of positions
+// into the active pointer vector (C, D or S). The paper writes these as the
+// index sets R.
+type node []int
+
+// cloneNode copies a node.
+func cloneNode(n node) node {
+	out := make(node, len(n))
+	copy(out, n)
+	return out
+}
+
+// contains reports whether the node includes the position (binary search —
+// nodes are sorted and small).
+func (n node) contains(pos int) bool {
+	lo, hi := 0, len(n)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case n[mid] == pos:
+			return true
+		case n[mid] < pos:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// replaceAt returns a new node with element at index idx replaced by pos,
+// re-sorted. The caller guarantees pos is not already a member.
+func (n node) replaceAt(idx, pos int) node {
+	out := make(node, len(n))
+	copy(out, n)
+	out[idx] = pos
+	// Re-sort locally: only one element moved, a single insertion pass fixes it.
+	for i := idx; i+1 < len(out) && out[i] > out[i+1]; i++ {
+		out[i], out[i+1] = out[i+1], out[i]
+	}
+	for i := idx; i-1 >= 0 && out[i] < out[i-1]; i-- {
+		out[i], out[i-1] = out[i-1], out[i]
+	}
+	return out
+}
+
+// insert returns a new node with pos added (pos must not be a member).
+func (n node) insert(pos int) node {
+	out := make(node, len(n)+1)
+	i := 0
+	for ; i < len(n) && n[i] < pos; i++ {
+		out[i] = n[i]
+	}
+	out[i] = pos
+	copy(out[i+1:], n[i:])
+	return out
+}
+
+// hash returns an FNV-1a hash of the node for visited sets. Nodes are
+// canonical (sorted), so equal sets hash equally.
+func (n node) hash() uint64 {
+	var h uint64 = 1469598103934665603
+	for _, p := range n {
+		h ^= uint64(p) + 1 // +1 so position 0 contributes
+		h *= 1099511628211
+	}
+	// Mix in the length to separate prefixes.
+	h ^= uint64(len(n))
+	h *= 1099511628211
+	return h
+}
+
+// memBytes estimates the node's in-memory footprint for the paper's
+// memory-requirements measurements (Figure 13): slice header + elements.
+func (n node) memBytes() int64 { return 24 + 8*int64(len(n)) }
+
+// equalNode reports set equality.
+func equalNode(a, b node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominatedBy reports whether a lies on or below b in the vertical order of
+// a space: same cardinality and componentwise a[i] ≥ b[i] (a is reachable
+// from b through Vertical transitions, hence cheaper in the space's
+// parameter).
+func dominatedBy(a, b node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteFront computes the exact doi/cost Pareto front by enumeration.
+func bruteFront(in *Instance, opt ParetoOptions) []ParetoPoint {
+	var all []ParetoPoint
+	add := func(set []int) {
+		p := ParetoPoint{
+			Set:  append([]int(nil), set...),
+			Doi:  in.SetDoi(set),
+			Cost: in.SetCost(set),
+			Size: in.SetSize(set),
+		}
+		if opt.CostMax > 0 && p.Cost > opt.CostMax+1e-9 {
+			return
+		}
+		if opt.SizeMin > 0 && p.Size < opt.SizeMin-1e-9 {
+			return
+		}
+		if opt.SizeMax > 0 && p.Size > opt.SizeMax+1e-9 {
+			return
+		}
+		all = append(all, p)
+	}
+	add(nil)
+	for mask := 1; mask < 1<<in.K; mask++ {
+		var set []int
+		for i := 0; i < in.K; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, i)
+			}
+		}
+		add(set)
+	}
+	var front []ParetoPoint
+	for _, p := range all {
+		dominated := false
+		for _, q := range all {
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}
+
+// frontSignature reduces a front to its distinct (doi, cost) pairs.
+func frontSignature(front []ParetoPoint) map[[2]float64]bool {
+	sig := make(map[[2]float64]bool)
+	for _, p := range front {
+		sig[[2]float64{math.Round(p.Doi * 1e9), math.Round(p.Cost * 1e6)}] = true
+	}
+	return sig
+}
+
+// TestParetoMatchesBruteForce: the branch-and-bound front equals the
+// enumerated front (as a set of distinct objective vectors) on random
+// instances, with and without constraints.
+func TestParetoMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(8)
+		in := randInstance(t, rng, k)
+		opt := ParetoOptions{}
+		if rng.Intn(2) == 0 {
+			opt.CostMax = in.SupremeCost() * (0.3 + 0.5*rng.Float64())
+		}
+		if rng.Intn(3) == 0 {
+			opt.SizeMin = in.SetSize(allIndices(in.K)) * 2
+		}
+		got, _ := ParetoFront(in, opt)
+		want := bruteFront(in, opt)
+		gs, ws := frontSignature(got), frontSignature(want)
+		if len(gs) != len(ws) {
+			t.Fatalf("trial %d: front size %d, want %d\n got %v\nwant %v",
+				trial, len(gs), len(ws), got, want)
+		}
+		for sig := range ws {
+			if !gs[sig] {
+				t.Fatalf("trial %d: missing front point %v", trial, sig)
+			}
+		}
+	}
+}
+
+// TestParetoFrontProperties: the front is cost-sorted, mutually
+// non-dominated, doi-increasing with cost, and contains the Problem-2
+// optimum for every cmax.
+func TestParetoFrontProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		in := randInstance(t, rng, 8)
+		front, st := ParetoFront(in, ParetoOptions{})
+		if st.Algorithm != "PARETO" || st.Duration <= 0 {
+			t.Fatal("stats not populated")
+		}
+		for i := range front {
+			for j := range front {
+				if i != j && dominates(front[i], front[j]) {
+					t.Fatalf("front contains dominated point: %v dominates %v", front[i], front[j])
+				}
+			}
+			if i > 0 {
+				if front[i].Cost < front[i-1].Cost {
+					t.Fatal("front not cost-sorted")
+				}
+				if front[i].Doi <= front[i-1].Doi {
+					t.Fatal("doi must increase along the cost-sorted front")
+				}
+			}
+		}
+		// Consistency with Problem 2: for random cmax values, the best
+		// front point within budget matches the exhaustive optimum.
+		for probe := 0; probe < 5; probe++ {
+			cmax := in.SupremeCost() * (0.2 + 0.8*rng.Float64())
+			want := Exhaustive(in, cmax)
+			best := -1.0
+			for _, p := range front {
+				if p.Cost <= cmax+1e-9 && p.Doi > best {
+					best = p.Doi
+				}
+			}
+			if math.Abs(best-want.Doi) > 1e-9 {
+				t.Fatalf("front misses P2 optimum at cmax %.1f: %v vs %v", cmax, best, want.Doi)
+			}
+		}
+	}
+}
+
+func TestParetoMaxPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	in := randInstance(t, rng, 10)
+	full, _ := ParetoFront(in, ParetoOptions{})
+	if len(full) < 4 {
+		t.Skip("front too small to thin")
+	}
+	thin, _ := ParetoFront(in, ParetoOptions{MaxPoints: 3})
+	if len(thin) != 3 {
+		t.Fatalf("thinned to %d, want 3", len(thin))
+	}
+	// Extremes survive thinning.
+	if thin[0].Cost != full[0].Cost || thin[len(thin)-1].Doi != full[len(full)-1].Doi {
+		t.Errorf("thinning dropped the extremes: %v vs %v", thin, full)
+	}
+}
+
+func TestParetoEmptyAndDegenerate(t *testing.T) {
+	empty := &Instance{BaseCost: 5, BaseSize: 100}
+	front, _ := ParetoFront(empty, ParetoOptions{})
+	if len(front) != 1 || front[0].Doi != 0 {
+		t.Fatalf("empty instance front: %v", front)
+	}
+	// Impossible constraints: empty front.
+	in, _ := NewInstance([]float64{0.5}, []float64{10}, []float64{0.5}, 1, 100)
+	none, _ := ParetoFront(in, ParetoOptions{CostMax: 0.5})
+	if len(none) != 0 {
+		t.Fatalf("infeasible constraints must empty the front: %v", none)
+	}
+}
+
+func TestKneePoint(t *testing.T) {
+	if _, ok := KneePoint(nil); ok {
+		t.Error("empty front has no knee")
+	}
+	single := []ParetoPoint{{Doi: 0.5, Cost: 10}}
+	if p, ok := KneePoint(single); !ok || p.Doi != 0.5 {
+		t.Error("single-point knee")
+	}
+	// A front with an obvious knee: big doi jump early, diminishing after.
+	front := []ParetoPoint{
+		{Doi: 0.10, Cost: 10},
+		{Doi: 0.80, Cost: 20},
+		{Doi: 0.85, Cost: 60},
+		{Doi: 0.88, Cost: 100},
+	}
+	p, ok := KneePoint(front)
+	if !ok || p.Cost != 20 {
+		t.Errorf("knee = %v, want the 20-cost point", p)
+	}
+	rng := rand.New(rand.NewSource(44))
+	in := randInstance(t, rng, 8)
+	f, _ := ParetoFront(in, ParetoOptions{})
+	if p, ok := KneePoint(f); ok {
+		found := false
+		for _, q := range f {
+			if q.Cost == p.Cost && q.Doi == p.Doi {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("knee must be a member of the front")
+		}
+	}
+}
+
+// TestParetoBudget: truncation returns a valid partial front.
+func TestParetoBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	in := randInstance(t, rng, 14)
+	in.StateBudget = 50
+	front, st := ParetoFront(in, ParetoOptions{})
+	if !st.Truncated {
+		t.Skip("budget not reached")
+	}
+	for i := range front {
+		for j := range front {
+			if i != j && dominates(front[i], front[j]) {
+				t.Fatal("truncated front contains dominated points")
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Portfolio runs all five Problem-2 algorithms concurrently on the same
+// instance and returns the best feasible answer found, with per-algorithm
+// stats attached. With a StateBudget in force none of the exact algorithms
+// is guaranteed optimal individually; the portfolio hedges across their
+// different truncation behaviors — the classic algorithm-portfolio remedy
+// for complementary search strategies.
+func Portfolio(in *Instance, cmax float64) (Solution, []Stats) {
+	start := time.Now()
+	sols := make([]Solution, len(Algorithms))
+	var wg sync.WaitGroup
+	for i, a := range Algorithms {
+		wg.Add(1)
+		go func(i int, solve Problem2Solver) {
+			defer wg.Done()
+			sols[i] = solve(in, cmax)
+		}(i, a.Solve)
+	}
+	wg.Wait()
+
+	best := sols[0]
+	stats := make([]Stats, len(sols))
+	var states int
+	var peak int64
+	for i, s := range sols {
+		stats[i] = s.Stats
+		states += s.Stats.StatesVisited
+		if s.Stats.PeakMemBytes > peak {
+			peak = s.Stats.PeakMemBytes
+		}
+		if i > 0 {
+			better := s.Feasible && (!best.Feasible || s.Doi > best.Doi ||
+				(s.Doi == best.Doi && s.Cost < best.Cost))
+			if better {
+				best = s
+			}
+		}
+	}
+	best.Stats = Stats{
+		Algorithm:     "PORTFOLIO(" + best.Stats.Algorithm + ")",
+		Duration:      time.Since(start),
+		StatesVisited: states,
+		PeakMemBytes:  peak,
+		Truncated:     best.Stats.Truncated,
+	}
+	return best, stats
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective selects which query parameter a CQP problem optimizes.
+type Objective uint8
+
+// The two objectives of Table 1.
+const (
+	// ObjMaxDoi maximizes the degree of interest (Problems 1–3).
+	ObjMaxDoi Objective = iota
+	// ObjMinCost minimizes execution cost (Problems 4–6).
+	ObjMinCost
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	if o == ObjMinCost {
+		return "MIN cost"
+	}
+	return "MAX doi"
+}
+
+// Problem is one instantiation of the CQP family (Table 1): an objective
+// plus range constraints on the remaining parameters. Zero-valued bounds
+// are absent. The paper's default lower size bound ("empty answers are
+// always undesirable") is expressed by SizeMin = 1.
+type Problem struct {
+	Objective Objective
+	// CostMax bounds execution cost in milliseconds (0 = unbounded).
+	CostMax float64
+	// DoiMin bounds the degree of interest from below (0 = unbounded).
+	DoiMin float64
+	// SizeMin and SizeMax window the result size (0 = unbounded).
+	SizeMin float64
+	SizeMax float64
+}
+
+// The six problems of Table 1.
+
+// Problem1 maximizes doi subject to smin ≤ size ≤ smax.
+func Problem1(smin, smax float64) Problem {
+	return Problem{Objective: ObjMaxDoi, SizeMin: smin, SizeMax: smax}
+}
+
+// Problem2 maximizes doi subject to cost ≤ cmax.
+func Problem2(cmax float64) Problem {
+	return Problem{Objective: ObjMaxDoi, CostMax: cmax}
+}
+
+// Problem3 maximizes doi subject to cost ≤ cmax and smin ≤ size ≤ smax.
+func Problem3(cmax, smin, smax float64) Problem {
+	return Problem{Objective: ObjMaxDoi, CostMax: cmax, SizeMin: smin, SizeMax: smax}
+}
+
+// Problem4 minimizes cost subject to doi ≥ dmin.
+func Problem4(dmin float64) Problem {
+	return Problem{Objective: ObjMinCost, DoiMin: dmin}
+}
+
+// Problem5 minimizes cost subject to doi ≥ dmin and smin ≤ size ≤ smax.
+func Problem5(dmin, smin, smax float64) Problem {
+	return Problem{Objective: ObjMinCost, DoiMin: dmin, SizeMin: smin, SizeMax: smax}
+}
+
+// Problem6 minimizes cost subject to smin ≤ size ≤ smax.
+func Problem6(smin, smax float64) Problem {
+	return Problem{Objective: ObjMinCost, SizeMin: smin, SizeMax: smax}
+}
+
+// Validate rejects meaningless instantiations (Section 4.1's discussion of
+// which problems are meaningful).
+func (p Problem) Validate() error {
+	if p.CostMax < 0 || p.DoiMin < 0 || p.SizeMin < 0 || p.SizeMax < 0 {
+		return fmt.Errorf("core: negative bound in %+v", p)
+	}
+	if p.DoiMin > 1 {
+		return fmt.Errorf("core: doi lower bound %g exceeds 1", p.DoiMin)
+	}
+	if p.SizeMin > 0 && p.SizeMax > 0 && p.SizeMin > p.SizeMax {
+		return fmt.Errorf("core: empty size window [%g, %g]", p.SizeMin, p.SizeMax)
+	}
+	if p.Objective == ObjMaxDoi && p.CostMax == 0 && p.SizeMin == 0 && p.SizeMax == 0 {
+		return fmt.Errorf("core: unconstrained doi maximization is the degenerate all-preferences query")
+	}
+	if p.Objective == ObjMinCost && p.DoiMin == 0 && p.SizeMin == 0 && p.SizeMax == 0 {
+		return fmt.Errorf("core: unconstrained cost minimization is the degenerate empty personalization")
+	}
+	return nil
+}
+
+// Feasible checks the constraints against concrete parameter values.
+func (p Problem) Feasible(doi, cost, size float64) bool {
+	if p.CostMax > 0 && cost > p.CostMax+1e-9 {
+		return false
+	}
+	if p.DoiMin > 0 && doi < p.DoiMin-1e-12 {
+		return false
+	}
+	if p.SizeMin > 0 && size < p.SizeMin-1e-9 {
+		return false
+	}
+	if p.SizeMax > 0 && size > p.SizeMax+1e-9 {
+		return false
+	}
+	return true
+}
+
+// better reports whether (doi1, cost1) improves on (doi0, cost0) under the
+// problem's objective, with the other parameter as tie-break.
+func (p Problem) better(doi1, cost1, doi0, cost0 float64) bool {
+	if p.Objective == ObjMaxDoi {
+		if doi1 != doi0 {
+			return doi1 > doi0
+		}
+		return cost1 < cost0
+	}
+	if cost1 != cost0 {
+		return cost1 < cost0
+	}
+	return doi1 > doi0
+}
+
+// String renders the problem as in Table 1.
+func (p Problem) String() string {
+	s := p.Objective.String()
+	if p.CostMax > 0 {
+		s += fmt.Sprintf(", cost ≤ %g", p.CostMax)
+	}
+	if p.DoiMin > 0 {
+		s += fmt.Sprintf(", doi ≥ %g", p.DoiMin)
+	}
+	if p.SizeMin > 0 || p.SizeMax > 0 {
+		lo, hi := p.SizeMin, p.SizeMax
+		if hi == 0 {
+			hi = math.Inf(1)
+		}
+		s += fmt.Sprintf(", %g ≤ size ≤ %g", lo, hi)
+	}
+	return s
+}

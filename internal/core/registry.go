@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// Problem2Solver is the signature shared by the five state-space algorithms
+// of Section 5.2 (and EXHAUSTIVE): solve Problem 2 for the given cmax.
+type Problem2Solver func(in *Instance, cmax float64) Solution
+
+// Algorithms lists the paper's five algorithms in the order Figures 12–14
+// plot them, keyed by the names the figures use.
+var Algorithms = []struct {
+	Name  string
+	Solve Problem2Solver
+	// Exact marks the provably correct algorithms (Theorems 2 and 3);
+	// the rest are the heuristics Figure 14 grades.
+	Exact bool
+}{
+	{"D_MaxDoi", DMaxDoi, true},
+	{"D_SingleMaxDoi", DSingleMaxDoi, false},
+	{"C_Boundaries", CBoundaries, true},
+	{"C_MaxBounds", CMaxBounds, false},
+	{"D_HeurDoi", DHeurDoi, false},
+}
+
+// SolverByName returns the named Problem-2 solver ("EXHAUSTIVE" and
+// "BRANCH-BOUND" included).
+func SolverByName(name string) (Problem2Solver, error) {
+	switch name {
+	case "EXHAUSTIVE":
+		return Exhaustive, nil
+	case "PORTFOLIO":
+		return func(in *Instance, cmax float64) Solution {
+			sol, _ := Portfolio(in, cmax)
+			return sol
+		}, nil
+	case "BRANCH-BOUND":
+		return func(in *Instance, cmax float64) Solution {
+			return BranchBound(in, Problem2(cmax))
+		}, nil
+	}
+	for _, a := range Algorithms {
+		if a.Name == name {
+			return a.Solve, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %q", name)
+}
+
+// Solve dispatches a full CQP Problem (Table 1) to the appropriate engine:
+//
+//   - Problem 2 → the requested state-space algorithm (algo name, default
+//     C-MAXBOUNDS);
+//   - Problem 1 → S-space boundary search (Section 6 adaptation);
+//   - Problem 3 → cost-space boundary search with the size window in the
+//     second phase;
+//   - Problems 4–6 → exact branch-and-bound (MinCostGreedy is available
+//     separately as the fast heuristic).
+func Solve(in *Instance, prob Problem, algo string) (Solution, error) {
+	if err := prob.Validate(); err != nil {
+		return Solution{}, err
+	}
+	switch {
+	case prob.Objective == ObjMaxDoi && prob.CostMax > 0 && prob.SizeMin == 0 && prob.SizeMax == 0:
+		// Problem 2.
+		if algo == "" {
+			algo = "C_MaxBounds"
+		}
+		solver, err := SolverByName(algo)
+		if err != nil {
+			return Solution{}, err
+		}
+		return solver(in, prob.CostMax), nil
+	case prob.Objective == ObjMaxDoi && prob.CostMax > 0:
+		// Problem 3.
+		return windowedWithFallback(in, prob,
+			CBoundariesP3(in, prob.CostMax, prob.SizeMin, prob.SizeMax)), nil
+	case prob.Objective == ObjMaxDoi:
+		// Problem 1.
+		return windowedWithFallback(in, prob,
+			SBoundariesP1(in, prob.SizeMin, prob.SizeMax)), nil
+	default:
+		// Problems 4–6.
+		return BranchBound(in, prob), nil
+	}
+}
+
+// windowedWithFallback escalates a truncated, answerless windowed search to
+// the branch-and-bound solver (same state budget, much stronger pruning):
+// the paper's state-space adaptation stays primary, but a budget-starved
+// run must not report infeasibility it has not proven.
+func windowedWithFallback(in *Instance, prob Problem, sol Solution) Solution {
+	if sol.Feasible || !sol.Stats.Truncated {
+		return sol
+	}
+	fb := BranchBound(in, prob)
+	fb.Stats.Algorithm = sol.Stats.Algorithm + "+BB-FALLBACK"
+	fb.Stats.StatesVisited += sol.Stats.StatesVisited
+	fb.Stats.Duration += sol.Stats.Duration
+	if sol.Stats.PeakMemBytes > fb.Stats.PeakMemBytes {
+		fb.Stats.PeakMemBytes = sol.Stats.PeakMemBytes
+	}
+	return fb
+}

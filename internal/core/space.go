@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// wCap caps the additive log-domain weights used to order doi- and
+// size-space neighbors, so must-have preferences (doi = 1) and empty-result
+// shrinks (factor 0) stay finite.
+const wCap = 700.0
+
+// logWeight maps a multiplicative survival factor f ∈ [0,1] to the additive
+// weight −log(f), capped. Larger weight = stronger effect.
+func logWeight(f float64) float64 {
+	if f <= 0 {
+		return wCap
+	}
+	w := -math.Log(f)
+	if w > wCap {
+		return wCap
+	}
+	return w
+}
+
+// space is one of the paper's search spaces: positions 0..K−1 over a
+// pointer vector, with a per-position weight that is non-increasing in the
+// position index (the space's own ordering parameter: cost for the C space,
+// doi for the D space, size shrink for the S space). Transitions use the
+// weights only to order neighbors; feasibility is checked by the algorithms
+// against the CQP constraints, which may concern a different parameter.
+type space struct {
+	K   int
+	vec []int     // position -> P index
+	w   []float64 // per-position weight, non-increasing
+}
+
+// costSpace builds the C-based space (Section 5.2.1).
+func (in *Instance) costSpace() *space {
+	s := &space{K: in.K, vec: in.C}
+	s.w = make([]float64, in.K)
+	for pos, p := range in.C {
+		s.w[pos] = in.Cost[p]
+	}
+	return s
+}
+
+// doiSpace builds the D-based space (Section 5.2.2). D is the identity, and
+// the weights are the log-domain doi contributions −log(1 − doi), which
+// order exactly like doi.
+func (in *Instance) doiSpace() *space {
+	s := &space{K: in.K, vec: make([]int, in.K)}
+	s.w = make([]float64, in.K)
+	for i := 0; i < in.K; i++ {
+		s.vec[i] = i
+		s.w[i] = logWeight(1 - in.Doi[i])
+	}
+	return s
+}
+
+// sizeSpace builds the S-based space (Section 6, Problem 1): positions
+// ordered by increasing size(Q ∧ p), i.e. decreasing shrink weight.
+func (in *Instance) sizeSpace() *space {
+	s := &space{K: in.K, vec: in.S}
+	s.w = make([]float64, in.K)
+	for pos, p := range in.S {
+		s.w[pos] = logWeight(in.Shrink[p])
+	}
+	return s
+}
+
+// primary is the constraint a boundary search is aligned with: the
+// parameter that is monotone along the space's Vertical direction. For
+// Problem 2 it is "cost ≤ cmax" on the cost space; for Problem 1 it is
+// "size ≥ smin" on the size space (Section 6 reverses transition directions
+// by construction of the S vector). value/add compute the running parameter
+// incrementally during greedy walks; ok tests the bound.
+type primary struct {
+	value func(n node) float64
+	add   func(v float64, pos int) float64
+	ok    func(v float64) bool
+}
+
+// costPrimary builds the "cost ≤ cmax" constraint over the space.
+func costPrimary(in *Instance, sp *space, cmax float64) primary {
+	return primary{
+		value: func(n node) float64 { return sp.costOf(in, n) },
+		add: func(v float64, pos int) float64 {
+			return v + in.Cost[sp.vec[pos]]
+		},
+		ok: func(v float64) bool { return v <= cmax },
+	}
+}
+
+// sizePrimary builds the "size ≥ smin" constraint over the space. A state's
+// size only decreases as preferences are added, mirroring cost's growth, so
+// the boundary machinery applies unchanged.
+func sizePrimary(in *Instance, sp *space, smin float64) primary {
+	return primary{
+		value: func(n node) float64 { return sp.sizeOf(in, n) },
+		add: func(v float64, pos int) float64 {
+			return v * in.Shrink[sp.vec[pos]]
+		},
+		ok: func(v float64) bool { return v >= smin },
+	}
+}
+
+// toSet maps a node (positions) to sorted P indices.
+func (s *space) toSet(n node) []int {
+	out := make([]int, len(n))
+	for i, pos := range n {
+		out[i] = s.vec[pos]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// costOf computes cost(Q ∧ state) without materializing the P-index set.
+func (s *space) costOf(in *Instance, n node) float64 {
+	if len(n) == 0 {
+		return in.BaseCost
+	}
+	c := 0.0
+	for _, pos := range n {
+		c += in.Cost[s.vec[pos]]
+	}
+	return c
+}
+
+// sizeOf computes the estimated size of Q ∧ state.
+func (s *space) sizeOf(in *Instance, n node) float64 {
+	sz := in.BaseSize
+	for _, pos := range n {
+		sz *= in.Shrink[s.vec[pos]]
+	}
+	return sz
+}
+
+// doiOf computes doi(Q ∧ state).
+func (s *space) doiOf(in *Instance, n node) float64 {
+	prod := 1.0
+	for _, pos := range n {
+		prod *= 1 - in.Doi[s.vec[pos]]
+	}
+	return 1 - prod
+}
+
+// weight sums the space weights of a node's positions.
+func (s *space) weight(n node) float64 {
+	t := 0.0
+	for _, pos := range n {
+		t += s.w[pos]
+	}
+	return t
+}
+
+// horizontal is the paper's Horizontal transition: extend the node with the
+// successor of its largest position. Returns nil at the edge of the space.
+func (s *space) horizontal(n node) node {
+	if len(n) == 0 {
+		if s.K == 0 {
+			return nil
+		}
+		return node{0}
+	}
+	next := n[len(n)-1] + 1
+	if next >= s.K {
+		return nil
+	}
+	return n.insert(next)
+}
+
+// vertical is the paper's Vertical transition set: every node obtained by
+// replacing one position with its successor (when absent), ordered by
+// decreasing resulting weight — i.e. preferring the neighbor that gives up
+// the least of the space's parameter.
+func (s *space) vertical(n node) []node {
+	var out []node
+	for idx := len(n) - 1; idx >= 0; idx-- {
+		next := n[idx] + 1
+		if next >= s.K || n.contains(next) {
+			continue
+		}
+		out = append(out, n.replaceAt(idx, next))
+	}
+	if len(out) > 1 {
+		sort.SliceStable(out, func(a, b int) bool {
+			return s.weight(out[a]) > s.weight(out[b])
+		})
+	}
+	return out
+}
+
+// horizontal2 is the paper's Horizontal2 transition set (C-MAXBOUNDS):
+// every node obtained by adding one absent position, ordered by decreasing
+// resulting weight. Since weights are non-increasing in position, that is
+// simply ascending position order.
+func (s *space) horizontal2(n node) []node {
+	out := make([]node, 0, s.K-len(n))
+	for pos := 0; pos < s.K; pos++ {
+		if !n.contains(pos) {
+			out = append(out, n.insert(pos))
+		}
+	}
+	return out
+}
+
+// horizontal2From yields absent positions in ascending order starting from
+// a given position, letting walk loops avoid materializing all neighbors.
+func (s *space) horizontal2From(n node, from int, yield func(pos int) bool) {
+	for pos := from; pos < s.K; pos++ {
+		if !n.contains(pos) {
+			if !yield(pos) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import "time"
+
+// Stats instruments one algorithm run with the measurements the paper's
+// evaluation reports: execution time (Figure 12), peak memory (Figure 13)
+// and the number of states examined.
+type Stats struct {
+	// Algorithm is the name of the algorithm that produced the solution.
+	Algorithm string
+	// Duration is the wall-clock optimization time.
+	Duration time.Duration
+	// StatesVisited counts states whose parameters were evaluated.
+	StatesVisited int
+	// PeakMemBytes is the maximum simultaneous footprint of the search's
+	// live data structures (queues, boundary lists, visited set), in bytes,
+	// under the accounting model of node.memBytes.
+	PeakMemBytes int64
+	// Truncated reports that the run hit the instance's StateBudget and
+	// returned the best solution found up to that point.
+	Truncated bool
+}
+
+// memTracker accumulates live bytes and records the peak.
+type memTracker struct {
+	cur, peak int64
+}
+
+func (m *memTracker) add(b int64) {
+	m.cur += b
+	if m.cur > m.peak {
+		m.peak = m.cur
+	}
+}
+
+func (m *memTracker) sub(b int64) { m.cur -= b }
+
+// visitedSet is a hash set of node fingerprints with memory accounting.
+// Collisions are possible but vanishingly rare and only risk re-pruning an
+// unvisited state; correctness tests cover the algorithms end to end.
+// A disabled set (paper-faithful mode) reports nothing as seen.
+type visitedSet struct {
+	m        map[uint64]struct{}
+	mem      *memTracker
+	disabled bool
+}
+
+func newVisitedSet(mem *memTracker) *visitedSet {
+	return &visitedSet{m: make(map[uint64]struct{}), mem: mem}
+}
+
+// newVisitedSetFor builds a visited set honoring the instance's memo mode.
+func newVisitedSetFor(in *Instance, mem *memTracker) *visitedSet {
+	v := newVisitedSet(mem)
+	v.disabled = in.DisableMemo
+	return v
+}
+
+// seen reports whether the node was recorded before, recording it if not.
+func (v *visitedSet) seen(n node) bool {
+	if v.disabled {
+		return false
+	}
+	h := n.hash()
+	if _, ok := v.m[h]; ok {
+		return true
+	}
+	v.m[h] = struct{}{}
+	v.mem.add(16) // 8-byte key + bucket overhead
+	return false
+}
+
+// nodeDeque is a double-ended queue of nodes with memory accounting: the
+// paper's RQ, where Horizontal results enqueue at the tail and Vertical
+// results at the head (C-BOUNDARIES' group-by-group discipline). It is a
+// two-stack deque: front holds head-side nodes in reverse, back holds
+// tail-side nodes in order.
+type nodeDeque struct {
+	front  []node // next head element is front[len(front)-1]
+	back   []node // back[backAt:] are tail-side elements in FIFO order
+	backAt int
+	mem    *memTracker
+}
+
+func newNodeDeque(mem *memTracker) *nodeDeque { return &nodeDeque{mem: mem} }
+
+func (d *nodeDeque) len() int { return len(d.front) + len(d.back) - d.backAt }
+
+func (d *nodeDeque) pushTail(n node) {
+	d.back = append(d.back, n)
+	d.mem.add(n.memBytes())
+}
+
+func (d *nodeDeque) pushHead(n node) {
+	d.front = append(d.front, n)
+	d.mem.add(n.memBytes())
+}
+
+func (d *nodeDeque) popHead() node {
+	var n node
+	if len(d.front) > 0 {
+		n = d.front[len(d.front)-1]
+		d.front[len(d.front)-1] = nil
+		d.front = d.front[:len(d.front)-1]
+	} else {
+		n = d.back[d.backAt]
+		d.back[d.backAt] = nil
+		d.backAt++
+		if d.backAt == len(d.back) {
+			d.back = d.back[:0]
+			d.backAt = 0
+		}
+	}
+	d.mem.sub(n.memBytes())
+	return n
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// figure4Space builds a 4-preference cost space with distinct costs, as in
+// Figure 4 / Table 3 of the paper. Costs are assigned so that C is the
+// identity: c1 is the most expensive preference.
+func figure4Space(t *testing.T) (*Instance, *space) {
+	t.Helper()
+	in, err := NewInstance(
+		[]float64{0.9, 0.8, 0.7, 0.6},
+		[]float64{40, 30, 20, 10},
+		[]float64{0.9, 0.8, 0.7, 0.6},
+		1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, in.costSpace()
+}
+
+func nodesEqual(a []node, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !equalNode(a[i], node(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFigure4Transitions reproduces the paper's worked example:
+// Horizontal(c1c3) = c1c3c4 and Vertical(c1c3) = {c1c4, c2c3}.
+func TestFigure4Transitions(t *testing.T) {
+	_, sp := figure4Space(t)
+	c1c3 := node{0, 2}
+	h := sp.horizontal(c1c3)
+	if !equalNode(h, node{0, 2, 3}) {
+		t.Errorf("Horizontal(c1c3) = %v, want c1c3c4", h)
+	}
+	v := sp.vertical(c1c3)
+	// Vertical neighbors: {c1,c4} (cost 50) and {c2,c3} (cost 50) — equal
+	// cost here, so both orders are valid; check the set.
+	if len(v) != 2 {
+		t.Fatalf("Vertical(c1c3) = %v", v)
+	}
+	found := map[string]bool{}
+	for _, n := range v {
+		if equalNode(n, node{0, 3}) {
+			found["c1c4"] = true
+		}
+		if equalNode(n, node{1, 2}) {
+			found["c2c3"] = true
+		}
+	}
+	if !found["c1c4"] || !found["c2c3"] {
+		t.Errorf("Vertical(c1c3) = %v, want {c1c4, c2c3}", v)
+	}
+	// Horizontal at the edge of the space.
+	if sp.horizontal(node{0, 3}) != nil {
+		t.Error("Horizontal(c1c4) must not exist (c4 is last)")
+	}
+	// Horizontal of the empty node starts the space.
+	if h := sp.horizontal(node{}); !equalNode(h, node{0}) {
+		t.Errorf("Horizontal({}) = %v", h)
+	}
+	// Horizontal2(c2) = {c1c2, c2c3, c2c4} in decreasing cost order.
+	h2 := sp.horizontal2(node{1})
+	if !nodesEqual(h2, [][]int{{0, 1}, {1, 2}, {1, 3}}) {
+		t.Errorf("Horizontal2(c2) = %v", h2)
+	}
+}
+
+// TestTable4Directions verifies the documented monotone effects of
+// cost-space transitions: Horizontal increases cost and doi; Vertical
+// decreases cost (Table 4).
+func TestTable4Directions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		in := randInstance(t, rng, 8)
+		sp := in.costSpace()
+		n := randomNode(rng, sp.K)
+		if len(n) == 0 {
+			continue
+		}
+		c0 := sp.costOf(in, n)
+		d0 := sp.doiOf(in, n)
+		if h := sp.horizontal(n); h != nil {
+			if sp.costOf(in, h) < c0-1e-9 {
+				t.Fatalf("Horizontal decreased cost: %v -> %v", n, h)
+			}
+			if sp.doiOf(in, h) < d0-1e-12 {
+				t.Fatalf("Horizontal decreased doi: %v -> %v", n, h)
+			}
+		}
+		for _, v := range sp.vertical(n) {
+			if sp.costOf(in, v) > c0+1e-9 {
+				t.Fatalf("Vertical increased cost: %v -> %v", n, v)
+			}
+		}
+	}
+}
+
+// TestTable5Directions verifies doi-space directions: Horizontal increases
+// doi and cost; Vertical decreases doi (cost is unknown — not checked).
+func TestTable5Directions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		in := randInstance(t, rng, 8)
+		sp := in.doiSpace()
+		n := randomNode(rng, sp.K)
+		if len(n) == 0 {
+			continue
+		}
+		c0 := sp.costOf(in, n)
+		d0 := sp.doiOf(in, n)
+		if h := sp.horizontal(n); h != nil {
+			if sp.doiOf(in, h) < d0-1e-12 {
+				t.Fatalf("Horizontal decreased doi")
+			}
+			if sp.costOf(in, h) < c0-1e-9 {
+				t.Fatalf("Horizontal decreased cost")
+			}
+		}
+		for _, v := range sp.vertical(n) {
+			if sp.doiOf(in, v) > d0+1e-12 {
+				t.Fatalf("doi-space Vertical increased doi: %v -> %v", n, v)
+			}
+		}
+	}
+}
+
+// TestProposition1 checks that every transition destination is a valid
+// state: sorted, duplicate-free, within the space.
+func TestProposition1(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		in := randInstance(t, rng, 10)
+		for _, sp := range []*space{in.costSpace(), in.doiSpace(), in.sizeSpace()} {
+			n := randomNode(rng, sp.K)
+			var dests []node
+			if h := sp.horizontal(n); h != nil {
+				dests = append(dests, h)
+			}
+			dests = append(dests, sp.vertical(n)...)
+			dests = append(dests, sp.horizontal2(n)...)
+			for _, d := range dests {
+				checkValidNode(t, d, sp.K)
+			}
+		}
+	}
+}
+
+func checkValidNode(t *testing.T, n node, k int) {
+	t.Helper()
+	for i, p := range n {
+		if p < 0 || p >= k {
+			t.Fatalf("position %d out of range in %v", p, n)
+		}
+		if i > 0 && n[i-1] >= p {
+			t.Fatalf("node not strictly sorted: %v", n)
+		}
+	}
+}
+
+func randomNode(rng *rand.Rand, k int) node {
+	var n node
+	for i := 0; i < k; i++ {
+		if rng.Intn(3) == 0 {
+			n = append(n, i)
+		}
+	}
+	return n
+}
+
+func TestNodeOps(t *testing.T) {
+	n := node{1, 4, 7}
+	if !n.contains(4) || n.contains(5) {
+		t.Error("contains")
+	}
+	if got := n.insert(5); !equalNode(got, node{1, 4, 5, 7}) {
+		t.Errorf("insert = %v", got)
+	}
+	if got := n.insert(0); !equalNode(got, node{0, 1, 4, 7}) {
+		t.Errorf("insert head = %v", got)
+	}
+	if got := n.insert(9); !equalNode(got, node{1, 4, 7, 9}) {
+		t.Errorf("insert tail = %v", got)
+	}
+	if got := n.replaceAt(1, 5); !equalNode(got, node{1, 5, 7}) {
+		t.Errorf("replaceAt = %v", got)
+	}
+	if got := n.replaceAt(0, 6); !equalNode(got, node{4, 6, 7}) {
+		t.Errorf("replaceAt resort = %v", got)
+	}
+	if !equalNode(cloneNode(n), n) {
+		t.Error("clone")
+	}
+	if n.hash() == (node{1, 4}).hash() && n.hash() == (node{1, 4, 8}).hash() {
+		t.Error("suspicious hash collisions")
+	}
+	if !dominatedBy(node{2, 5}, node{1, 4}) || dominatedBy(node{0, 5}, node{1, 4}) {
+		t.Error("dominatedBy")
+	}
+	if dominatedBy(node{1}, node{1, 2}) {
+		t.Error("dominatedBy must require equal cardinality")
+	}
+}
+
+func TestDequeOrdering(t *testing.T) {
+	var mem memTracker
+	d := newNodeDeque(&mem)
+	d.pushTail(node{1})
+	d.pushTail(node{2})
+	d.pushHead(node{0})
+	if d.len() != 3 {
+		t.Fatalf("len = %d", d.len())
+	}
+	want := []int{0, 1, 2}
+	for _, w := range want {
+		if got := d.popHead(); got[0] != w {
+			t.Fatalf("pop = %v, want %d", got, w)
+		}
+	}
+	if d.len() != 0 {
+		t.Error("not empty")
+	}
+	if mem.cur != 0 || mem.peak <= 0 {
+		t.Errorf("mem accounting cur=%d peak=%d", mem.cur, mem.peak)
+	}
+}

@@ -1,0 +1,145 @@
+// Package estimate implements CQP's Parameter Estimation module
+// (Sections 4.3 and 7.1 of the paper): approximate cost, result-size and
+// degree-of-interest estimates for personalized queries.
+//
+// Cost model (Formulas 6 and 11): the cost of the personalized query
+// Qx = Q ∧ Px rewritten as a union of sub-queries qi is Σ cost(qi), and
+// cost(qi) = b × Σ blocks(Rij) over the relations of the sub-query —
+// I/O only, no indexes, memory-resident intermediates, negligible
+// group-by/having. b defaults to 1 ms per block as in the paper.
+//
+// Size model: standard System-R style independence estimates. Each
+// preference contributes a multiplicative shrink factor ≤ 1 to the base
+// query's cardinality, which keeps Formula 8's partial order
+// (Px ⊆ Py ⇒ size(Q∧Px) ≥ size(Q∧Py)) valid by construction.
+package estimate
+
+import (
+	"cqp/internal/catalog"
+	"cqp/internal/prefs"
+	"cqp/internal/query"
+)
+
+// DefaultBlockMillis is b, the per-block read time in milliseconds
+// (Section 7.1 of the paper).
+const DefaultBlockMillis = 1.0
+
+// Estimator estimates personalized-query parameters from catalog
+// statistics.
+type Estimator struct {
+	cat *catalog.Catalog
+	// BlockMillis is b, the milliseconds charged per block read.
+	BlockMillis float64
+}
+
+// New returns an estimator over the catalog. bMillis ≤ 0 selects the
+// paper's default of 1 ms.
+func New(cat *catalog.Catalog, bMillis float64) *Estimator {
+	if bMillis <= 0 {
+		bMillis = DefaultBlockMillis
+	}
+	return &Estimator{cat: cat, BlockMillis: bMillis}
+}
+
+// Catalog exposes the underlying statistics.
+func (e *Estimator) Catalog() *catalog.Catalog { return e.cat }
+
+// QueryCost estimates the execution cost of a conjunctive query in
+// milliseconds: b × Σ blocks over its FROM relations (Formula 11).
+func (e *Estimator) QueryCost(q *query.Query) float64 {
+	var blocks int64
+	for _, r := range q.From {
+		blocks += e.cat.Blocks(r)
+	}
+	return float64(blocks) * e.BlockMillis
+}
+
+// QuerySize estimates the result cardinality of a conjunctive query under
+// the independence assumption: Π |R| × Π joinSel × Π selectionSel.
+func (e *Estimator) QuerySize(q *query.Query) float64 {
+	size := 1.0
+	for _, r := range q.From {
+		size *= float64(e.cat.RowCount(r))
+	}
+	for _, j := range q.Joins {
+		size *= e.cat.JoinSelectivity(j.Left, j.Right)
+	}
+	for _, s := range q.Selections {
+		size *= e.cat.Selectivity(s.Attr, s.Op.CatalogOp(), s.Value)
+	}
+	return size
+}
+
+// SubQueryCost estimates cost(Q ∧ p) in milliseconds for one preference:
+// b × Σ blocks over Q's relations plus the relations the preference's join
+// path introduces. Relations already in Q are not double-charged within
+// the one sub-query.
+func (e *Estimator) SubQueryCost(q *query.Query, p prefs.Implicit) float64 {
+	var blocks int64
+	seen := make(map[string]bool, len(q.From)+len(p.Path))
+	for _, r := range q.From {
+		seen[r] = true
+		blocks += e.cat.Blocks(r)
+	}
+	for _, r := range p.Relations() {
+		if !seen[r] {
+			seen[r] = true
+			blocks += e.cat.Blocks(r)
+		}
+	}
+	return float64(blocks) * e.BlockMillis
+}
+
+// Shrink estimates the multiplicative factor by which conjoining the
+// preference reduces the base query's result cardinality. The raw
+// independence estimate is clamped to [0, 1] so that Formula 8 holds in the
+// model (a conjunct can never enlarge a result under set semantics).
+func (e *Estimator) Shrink(q *query.Query, p prefs.Implicit) float64 {
+	f := 1.0
+	seen := make(map[string]bool, len(q.From))
+	for _, r := range q.From {
+		seen[r] = true
+	}
+	for _, j := range p.Path {
+		// Joining in a new relation multiplies cardinality by
+		// |R_new| × joinSel; for key/foreign-key joins this is ≈ 1.
+		if !seen[j.Right.Relation] {
+			f *= float64(e.cat.RowCount(j.Right.Relation))
+			seen[j.Right.Relation] = true
+		}
+		f *= e.cat.JoinSelectivity(j.Left, j.Right)
+	}
+	f *= e.cat.Selectivity(p.Sel.Attr, p.Sel.Op.CatalogOp(), p.Sel.Value)
+	if f > 1 {
+		f = 1
+	}
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// Params bundles the three CQP query parameters of one candidate state.
+type Params struct {
+	Doi  float64
+	Cost float64 // milliseconds
+	Size float64 // estimated rows
+}
+
+// State estimates all three parameters of Q ∧ Px for a set of preferences,
+// given their individual sub-query costs and shrink factors (as produced by
+// SubQueryCost and Shrink). An empty set degenerates to the original query.
+func (e *Estimator) State(baseCost, baseSize float64, dois, costs, shrinks []float64) Params {
+	if len(dois) == 0 {
+		return Params{Doi: 0, Cost: baseCost, Size: baseSize}
+	}
+	p := Params{Size: baseSize}
+	acc := prefs.NewConjAccum()
+	for i := range dois {
+		acc.Add(dois[i])
+		p.Cost += costs[i]
+		p.Size *= shrinks[i]
+	}
+	p.Doi = acc.Doi()
+	return p
+}

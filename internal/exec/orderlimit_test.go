@@ -1,0 +1,40 @@
+package exec
+
+import (
+	"testing"
+
+	"cqp/internal/testutil"
+)
+
+func TestOrderByExecution(t *testing.T) {
+	db := testutil.MovieDB(0)
+	res := evalSQL(t, db, "SELECT title, year FROM MOVIE ORDER BY year DESC, title")
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		prev, cur := res.Rows[i-1], res.Rows[i]
+		if prev[1].AsInt() < cur[1].AsInt() {
+			t.Fatalf("year not descending at %d: %v then %v", i, prev, cur)
+		}
+		if prev[1].AsInt() == cur[1].AsInt() && prev[0].String() > cur[0].String() {
+			t.Fatalf("title tiebreak not ascending at %d", i)
+		}
+	}
+}
+
+func TestLimitExecution(t *testing.T) {
+	db := testutil.MovieDB(0)
+	res := evalSQL(t, db, "SELECT title, year FROM MOVIE ORDER BY year LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].AsInt() != 1958 || res.Rows[1][1].AsInt() != 1960 {
+		t.Errorf("top-2 oldest: %v", res.Rows)
+	}
+	// Limit larger than the result is a no-op.
+	res2 := evalSQL(t, db, "SELECT title FROM MOVIE LIMIT 100")
+	if len(res2.Rows) != 6 {
+		t.Errorf("rows = %d", len(res2.Rows))
+	}
+}

@@ -1,0 +1,189 @@
+// Package metaheur implements the generic optimization baselines the paper
+// contrasts CQP's special-purpose algorithms against (Section 2): genetic
+// search, simulated annealing and tabu search, plus two ablations — a
+// doi-per-cost greedy and a scaled knapsack dynamic program. All solve
+// Problem 2 (maximize doi subject to cost ≤ cmax) on a core.Instance, so
+// benchmarks can quantify the paper's claim that generic approaches ignore
+// the problem's syntax-based partial orders.
+//
+// The knapsack DP exists because, under the paper's chosen estimation
+// formulas, Problem 2 *is* a knapsack in disguise: maximizing
+// 1 − Π(1 − doi_i) equals maximizing Σ −log(1 − doi_i) under an additive
+// cost bound. The paper argues (correctly) that the general CQP family is
+// not — other formulas for f⊗ and r need not be separable — so the DP is
+// an ablation of that discussion, not a CQP algorithm.
+package metaheur
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cqp/internal/core"
+)
+
+// logGain converts a doi to its additive log-domain gain −log(1−doi),
+// capped for must-have preferences.
+func logGain(doi float64) float64 {
+	if doi >= 1 {
+		return 700
+	}
+	return -math.Log(1 - doi)
+}
+
+// evalMask computes (doi, cost) of a selection mask.
+func evalMask(in *core.Instance, mask []bool) (doi, cost float64) {
+	prod := 1.0
+	for i, on := range mask {
+		if on {
+			prod *= 1 - in.Doi[i]
+			cost += in.Cost[i]
+		}
+	}
+	if cost == 0 {
+		cost = in.BaseCost
+	}
+	return 1 - prod, cost
+}
+
+// maskSet converts a mask to sorted indices.
+func maskSet(mask []bool) []int {
+	var out []int
+	for i, on := range mask {
+		if on {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// repair drops the worst value-density members until the mask is feasible.
+func repair(in *core.Instance, mask []bool, cmax float64, rng *rand.Rand) {
+	for {
+		_, cost := evalMask(in, mask)
+		if cost <= cmax || noneSet(mask) {
+			return
+		}
+		// Drop the member with the worst gain per cost, breaking ties
+		// randomly to preserve diversity.
+		worst, worstRate := -1, math.Inf(1)
+		for i, on := range mask {
+			if !on {
+				continue
+			}
+			rate := logGain(in.Doi[i]) / math.Max(in.Cost[i], 1e-9)
+			if rate < worstRate || (rate == worstRate && rng.Intn(2) == 0) {
+				worst, worstRate = i, rate
+			}
+		}
+		mask[worst] = false
+	}
+}
+
+func noneSet(mask []bool) bool {
+	for _, on := range mask {
+		if on {
+			return false
+		}
+	}
+	return true
+}
+
+// finish assembles a Solution from the best feasible mask found.
+func finish(in *core.Instance, best []bool, found bool, cmax float64, name string, start time.Time, states int) core.Solution {
+	var sol core.Solution
+	if found {
+		set := maskSet(best)
+		sol = core.Solution{
+			Set:      set,
+			Doi:      in.SetDoi(set),
+			Cost:     in.SetCost(set),
+			Size:     in.SetSize(set),
+			Feasible: true,
+		}
+	} else if in.BaseCost <= cmax {
+		sol = core.Solution{Set: []int{}, Cost: in.BaseCost, Size: in.BaseSize, Feasible: true}
+	} else {
+		sol = core.Solution{Feasible: false}
+	}
+	sol.Stats = core.Stats{
+		Algorithm:     name,
+		Duration:      time.Since(start),
+		StatesVisited: states,
+	}
+	return sol
+}
+
+// Greedy solves Problem 2 by value density: add preferences in decreasing
+// doi-gain-per-cost order while they fit, then try each remaining
+// preference once (classic knapsack greedy with a fill pass).
+func Greedy(in *core.Instance, cmax float64) core.Solution {
+	start := time.Now()
+	order := make([]int, in.K)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra := logGain(in.Doi[order[a]]) / math.Max(in.Cost[order[a]], 1e-9)
+		rb := logGain(in.Doi[order[b]]) / math.Max(in.Cost[order[b]], 1e-9)
+		return ra > rb
+	})
+	mask := make([]bool, in.K)
+	cost := 0.0
+	states := 0
+	for _, i := range order {
+		states++
+		if cost+in.Cost[i] <= cmax {
+			mask[i] = true
+			cost += in.Cost[i]
+		}
+	}
+	return finish(in, mask, !noneSet(mask), cmax, "GREEDY", start, states)
+}
+
+// KnapsackDP solves the log-domain knapsack exactly up to cost
+// discretization: costs are scaled onto `resolution` integer buckets of
+// cmax (default 10000), giving a pseudo-polynomial O(K × resolution)
+// algorithm. With fine enough resolution it matches EXHAUSTIVE.
+func KnapsackDP(in *core.Instance, cmax float64, resolution int) core.Solution {
+	start := time.Now()
+	if resolution <= 0 {
+		resolution = 10000
+	}
+	if in.K == 0 || cmax <= 0 {
+		return finish(in, make([]bool, in.K), false, cmax, "KNAPSACK-DP", start, 0)
+	}
+	scale := float64(resolution) / cmax
+	w := make([]int, in.K)
+	g := make([]float64, in.K)
+	for i := 0; i < in.K; i++ {
+		// Round weights UP so the DP never overfills the true budget.
+		w[i] = int(math.Ceil(in.Cost[i] * scale))
+		g[i] = logGain(in.Doi[i])
+	}
+	// dp[i][b] = best gain using items 0..i−1 within integer budget b.
+	dp := make([][]float64, in.K+1)
+	dp[0] = make([]float64, resolution+1)
+	states := 0
+	for i := 1; i <= in.K; i++ {
+		dp[i] = make([]float64, resolution+1)
+		copy(dp[i], dp[i-1])
+		for b := w[i-1]; b <= resolution; b++ {
+			states++
+			if cand := dp[i-1][b-w[i-1]] + g[i-1]; cand > dp[i][b] {
+				dp[i][b] = cand
+			}
+		}
+	}
+	// Reconstruct from the full budget.
+	mask := make([]bool, in.K)
+	b := resolution
+	for i := in.K; i >= 1; i-- {
+		if dp[i][b] != dp[i-1][b] {
+			mask[i-1] = true
+			b -= w[i-1]
+		}
+	}
+	return finish(in, mask, !noneSet(mask), cmax, "KNAPSACK-DP", start, states)
+}

@@ -1,0 +1,160 @@
+package metaheur
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cqp/internal/core"
+)
+
+func randInstance(t testing.TB, rng *rand.Rand, k int) *core.Instance {
+	t.Helper()
+	dois := make([]float64, k)
+	costs := make([]float64, k)
+	shr := make([]float64, k)
+	for i := range dois {
+		dois[i] = rng.Float64()*0.98 + 0.01
+		costs[i] = 1 + rng.Float64()*99
+		shr[i] = 0.1 + 0.9*rng.Float64()
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(dois)))
+	in, err := core.NewInstance(dois, costs, shr, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+type solver func(in *core.Instance, cmax float64) core.Solution
+
+func allSolvers() map[string]solver {
+	return map[string]solver{
+		"GREEDY": Greedy,
+		"KNAPSACK-DP": func(in *core.Instance, cmax float64) core.Solution {
+			return KnapsackDP(in, cmax, 0)
+		},
+		"GENETIC": func(in *core.Instance, cmax float64) core.Solution {
+			return Genetic(in, cmax, GAConfig{Seed: 1})
+		},
+		"ANNEAL": func(in *core.Instance, cmax float64) core.Solution {
+			return Anneal(in, cmax, SAConfig{Seed: 1})
+		},
+		"TABU": func(in *core.Instance, cmax float64) core.Solution {
+			return Tabu(in, cmax, TabuConfig{Seed: 1})
+		},
+	}
+}
+
+// TestFeasibilityAndBound: every baseline returns cost-feasible solutions
+// that never exceed the exhaustive optimum.
+func TestFeasibilityAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		k := 3 + rng.Intn(8)
+		in := randInstance(t, rng, k)
+		cmax := in.SupremeCost() * (0.2 + 0.6*rng.Float64())
+		opt := core.Exhaustive(in, cmax)
+		for name, s := range allSolvers() {
+			got := s(in, cmax)
+			if got.Feasible && got.Cost > cmax+1e-9 && len(got.Set) > 0 {
+				t.Fatalf("%s trial %d: cost %g > cmax %g", name, trial, got.Cost, cmax)
+			}
+			if got.Doi > opt.Doi+1e-9 {
+				t.Fatalf("%s trial %d: doi %v beats optimum %v", name, trial, got.Doi, opt.Doi)
+			}
+			if got.Stats.Algorithm == "" {
+				t.Fatalf("%s: stats missing", name)
+			}
+		}
+	}
+}
+
+// TestKnapsackDPNearExact: with fine resolution the DP matches EXHAUSTIVE
+// on most instances (ceil-rounding can exclude knife-edge optima).
+func TestKnapsackDPNearExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	var worst float64
+	for trial := 0; trial < 40; trial++ {
+		in := randInstance(t, rng, 3+rng.Intn(8))
+		cmax := in.SupremeCost() * (0.2 + 0.6*rng.Float64())
+		opt := core.Exhaustive(in, cmax)
+		got := KnapsackDP(in, cmax, 100000)
+		if gap := opt.Doi - got.Doi; gap > worst {
+			worst = gap
+		}
+	}
+	if worst > 1e-3 {
+		t.Errorf("knapsack DP gap %g too large at fine resolution", worst)
+	}
+}
+
+// TestMetaheuristicsReasonableQuality: on small instances the generic
+// methods should land close to the optimum (they are the paper's "generic
+// approaches" — applicable but unguided).
+func TestMetaheuristicsReasonableQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	gaps := map[string]float64{}
+	trials := 20
+	for trial := 0; trial < trials; trial++ {
+		in := randInstance(t, rng, 10)
+		cmax := in.SupremeCost() * 0.5
+		opt := core.Exhaustive(in, cmax)
+		for name, s := range allSolvers() {
+			got := s(in, cmax)
+			gaps[name] += opt.Doi - got.Doi
+		}
+	}
+	for name, total := range gaps {
+		avg := total / float64(trials)
+		t.Logf("%s: average optimality gap %.6f", name, avg)
+		if avg > 0.05 {
+			t.Errorf("%s: average gap %.4f exceeds 5%%", name, avg)
+		}
+	}
+}
+
+// TestDegenerateInstances: zero preferences and zero budget.
+func TestDegenerateInstances(t *testing.T) {
+	empty := &core.Instance{BaseCost: 5, BaseSize: 10}
+	for name, s := range allSolvers() {
+		got := s(empty, 10)
+		if !got.Feasible || len(got.Set) != 0 {
+			t.Errorf("%s on empty instance: %+v", name, got)
+		}
+	}
+	in := randInstanceFixed(t)
+	for name, s := range allSolvers() {
+		got := s(in, 0.5) // below base cost 1: nothing feasible
+		if got.Feasible {
+			t.Errorf("%s with impossible budget: %+v", name, got)
+		}
+	}
+}
+
+func randInstanceFixed(t *testing.T) *core.Instance {
+	in, err := core.NewInstance(
+		[]float64{0.9, 0.5}, []float64{10, 20}, []float64{0.5, 0.5}, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestDeterminism: fixed seeds give reproducible answers.
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	in := randInstance(t, rng, 12)
+	cmax := in.SupremeCost() * 0.4
+	a := Genetic(in, cmax, GAConfig{Seed: 7})
+	b := Genetic(in, cmax, GAConfig{Seed: 7})
+	if math.Abs(a.Doi-b.Doi) > 0 {
+		t.Error("GA must be deterministic under a fixed seed")
+	}
+	c := Anneal(in, cmax, SAConfig{Seed: 7})
+	d := Anneal(in, cmax, SAConfig{Seed: 7})
+	if c.Doi != d.Doi {
+		t.Error("SA must be deterministic under a fixed seed")
+	}
+}

@@ -1,0 +1,235 @@
+package metaheur
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"cqp/internal/core"
+)
+
+// GAConfig tunes the genetic algorithm. Zero values select defaults.
+type GAConfig struct {
+	Population  int     // default 60
+	Generations int     // default 120
+	MutateProb  float64 // per-gene flip probability, default 2/K
+	Elite       int     // individuals copied unchanged, default 2
+	Seed        int64
+}
+
+// Genetic solves Problem 2 with a steady generational GA: tournament
+// selection, uniform crossover, per-gene mutation, and density repair of
+// infeasible offspring.
+func Genetic(in *core.Instance, cmax float64, cfg GAConfig) core.Solution {
+	start := time.Now()
+	if cfg.Population <= 0 {
+		cfg.Population = 60
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = 120
+	}
+	if cfg.Elite <= 0 {
+		cfg.Elite = 2
+	}
+	if cfg.MutateProb <= 0 {
+		cfg.MutateProb = 2.0 / math.Max(float64(in.K), 1)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	states := 0
+
+	if in.K == 0 {
+		return finish(in, nil, false, cmax, "GENETIC", start, states)
+	}
+
+	type indiv struct {
+		mask []bool
+		doi  float64
+	}
+	eval := func(mask []bool) float64 {
+		states++
+		repair(in, mask, cmax, rng)
+		doi, cost := evalMask(in, mask)
+		if cost > cmax {
+			return -1
+		}
+		return doi
+	}
+	pop := make([]indiv, cfg.Population)
+	for i := range pop {
+		mask := make([]bool, in.K)
+		for j := range mask {
+			mask[j] = rng.Intn(3) == 0
+		}
+		pop[i] = indiv{mask: mask, doi: eval(mask)}
+	}
+	bestOf := func(a, b indiv) indiv {
+		if a.doi >= b.doi {
+			return a
+		}
+		return b
+	}
+	tournament := func() indiv {
+		return bestOf(pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))])
+	}
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Sort descending by doi (selection + elitism).
+		for i := 1; i < len(pop); i++ {
+			for j := i; j > 0 && pop[j].doi > pop[j-1].doi; j-- {
+				pop[j], pop[j-1] = pop[j-1], pop[j]
+			}
+		}
+		next := make([]indiv, 0, cfg.Population)
+		for i := 0; i < cfg.Elite && i < len(pop); i++ {
+			next = append(next, pop[i])
+		}
+		for len(next) < cfg.Population {
+			a, b := tournament(), tournament()
+			child := make([]bool, in.K)
+			for j := range child {
+				if rng.Intn(2) == 0 {
+					child[j] = a.mask[j]
+				} else {
+					child[j] = b.mask[j]
+				}
+				if rng.Float64() < cfg.MutateProb {
+					child[j] = !child[j]
+				}
+			}
+			next = append(next, indiv{mask: child, doi: eval(child)})
+		}
+		pop = next
+	}
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		best = bestOf(best, ind)
+	}
+	return finish(in, best.mask, best.doi >= 0 && !noneSet(best.mask), cmax, "GENETIC", start, states)
+}
+
+// SAConfig tunes simulated annealing. Zero values select defaults.
+type SAConfig struct {
+	Steps  int     // default 20000
+	InitT  float64 // default 0.05 (doi-scale temperature)
+	CoolTo float64 // default 1e-4
+	Seed   int64
+}
+
+// Anneal solves Problem 2 with simulated annealing over single-bit flips
+// with a geometric cooling schedule; infeasible flips are rejected outright
+// (cost feasibility is cheap to maintain incrementally).
+func Anneal(in *core.Instance, cmax float64, cfg SAConfig) core.Solution {
+	start := time.Now()
+	if cfg.Steps <= 0 {
+		cfg.Steps = 20000
+	}
+	if cfg.InitT <= 0 {
+		cfg.InitT = 0.05
+	}
+	if cfg.CoolTo <= 0 {
+		cfg.CoolTo = 1e-4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	states := 0
+	if in.K == 0 {
+		return finish(in, nil, false, cmax, "ANNEAL", start, states)
+	}
+	mask := make([]bool, in.K)
+	doi, cost := evalMask(in, mask)
+	cost = 0 // empty selection carries no sub-query cost
+	bestMask := append([]bool(nil), mask...)
+	bestDoi := doi
+	alpha := math.Pow(cfg.CoolTo/cfg.InitT, 1/float64(cfg.Steps))
+	temp := cfg.InitT
+	for step := 0; step < cfg.Steps; step++ {
+		i := rng.Intn(in.K)
+		var nc float64
+		if mask[i] {
+			nc = cost - in.Cost[i]
+		} else {
+			nc = cost + in.Cost[i]
+		}
+		if nc > cmax {
+			temp *= alpha
+			continue
+		}
+		mask[i] = !mask[i]
+		nd, _ := evalMask(in, mask)
+		states++
+		if nd >= doi || rng.Float64() < math.Exp((nd-doi)/temp) {
+			doi, cost = nd, nc
+			if doi > bestDoi {
+				bestDoi = doi
+				copy(bestMask, mask)
+			}
+		} else {
+			mask[i] = !mask[i] // revert
+		}
+		temp *= alpha
+	}
+	return finish(in, bestMask, !noneSet(bestMask), cmax, "ANNEAL", start, states)
+}
+
+// TabuConfig tunes tabu search. Zero values select defaults.
+type TabuConfig struct {
+	Iterations int // default 2000
+	Tenure     int // default K/3+1
+	Seed       int64
+}
+
+// Tabu solves Problem 2 with tabu search over single-bit flips: each
+// iteration takes the best non-tabu feasible flip (aspiration overrides
+// tabu when it improves the incumbent).
+func Tabu(in *core.Instance, cmax float64, cfg TabuConfig) core.Solution {
+	start := time.Now()
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 2000
+	}
+	if cfg.Tenure <= 0 {
+		cfg.Tenure = in.K/3 + 1
+	}
+	states := 0
+	if in.K == 0 {
+		return finish(in, nil, false, cmax, "TABU", start, states)
+	}
+	mask := make([]bool, in.K)
+	doi := 0.0
+	cost := 0.0
+	bestMask := append([]bool(nil), mask...)
+	bestDoi := doi
+	tabuUntil := make([]int, in.K)
+	for it := 1; it <= cfg.Iterations; it++ {
+		bestFlip, bestFlipDoi, bestFlipCost := -1, -2.0, 0.0
+		for i := 0; i < in.K; i++ {
+			var nc float64
+			if mask[i] {
+				nc = cost - in.Cost[i]
+			} else {
+				nc = cost + in.Cost[i]
+			}
+			if nc > cmax {
+				continue
+			}
+			mask[i] = !mask[i]
+			nd, _ := evalMask(in, mask)
+			mask[i] = !mask[i]
+			states++
+			if tabuUntil[i] > it && nd <= bestDoi {
+				continue // tabu without aspiration
+			}
+			if nd > bestFlipDoi {
+				bestFlip, bestFlipDoi, bestFlipCost = i, nd, nc
+			}
+		}
+		if bestFlip < 0 {
+			break
+		}
+		mask[bestFlip] = !mask[bestFlip]
+		doi, cost = bestFlipDoi, bestFlipCost
+		tabuUntil[bestFlip] = it + cfg.Tenure
+		if doi > bestDoi {
+			bestDoi = doi
+			copy(bestMask, mask)
+		}
+	}
+	return finish(in, bestMask, !noneSet(bestMask), cmax, "TABU", start, states)
+}

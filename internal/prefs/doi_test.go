@@ -1,0 +1,162 @@
+package prefs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clamp01 maps arbitrary float64s into [0,1] for property tests.
+func clamp01(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Abs(x)
+	return x - math.Floor(x)
+}
+
+func TestComposeBasics(t *testing.T) {
+	if got := Compose(); got != 1 {
+		t.Errorf("Compose() = %g, want 1 (empty product)", got)
+	}
+	if got := Compose(0.8, 1.0); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Compose(0.8, 1.0) = %g", got)
+	}
+	// The paper's p3 ∧ p4 example: 1.0 × 0.8 = 0.8.
+	if got := Compose(1.0, 0.8); got != 0.8 {
+		t.Errorf("p3∧p4 doi = %g, want 0.8", got)
+	}
+}
+
+// TestComposeFormula2 checks f⊗(d1..dm) ≤ min(di) — the paper's Formula 2.
+func TestComposeFormula2(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		d1, d2, d3 := clamp01(a), clamp01(b), clamp01(c)
+		got := Compose(d1, d2, d3)
+		minD := math.Min(d1, math.Min(d2, d3))
+		return got <= minD+1e-12 && got >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConjunctionBasics(t *testing.T) {
+	if got := Conjunction(); got != 0 {
+		t.Errorf("Conjunction() = %g, want 0", got)
+	}
+	if got := Conjunction(0.5); got != 0.5 {
+		t.Errorf("Conjunction(0.5) = %g", got)
+	}
+	// 1 - (1-0.5)(1-0.8) = 0.9
+	if got := Conjunction(0.5, 0.8); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Conjunction(0.5, 0.8) = %g, want 0.9", got)
+	}
+	if got := Conjunction(1.0, 0.2); got != 1 {
+		t.Errorf("must-have preference forces doi 1, got %g", got)
+	}
+}
+
+// TestConjunctionFormula4 checks monotonicity under set inclusion
+// (Formula 4): Px ⊆ Py ⇒ doi(Px) ≤ doi(Py).
+func TestConjunctionFormula4(t *testing.T) {
+	f := func(raw []float64, extraRaw float64) bool {
+		dois := make([]float64, len(raw))
+		for i, x := range raw {
+			dois[i] = clamp01(x)
+		}
+		base := Conjunction(dois...)
+		withExtra := Conjunction(append(append([]float64{}, dois...), clamp01(extraRaw))...)
+		return withExtra >= base-1e-12 && base >= 0 && withExtra <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConjAccumMatchesConjunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(12)
+		dois := make([]float64, n)
+		a := NewConjAccum()
+		for i := range dois {
+			dois[i] = rng.Float64()
+			if rng.Intn(10) == 0 {
+				dois[i] = 1 // exercise the must-have path
+			}
+			a.Add(dois[i])
+		}
+		want := Conjunction(dois...)
+		if math.Abs(a.Doi()-want) > 1e-9 {
+			t.Fatalf("trial %d: accum %g, direct %g", trial, a.Doi(), want)
+		}
+		if a.Len() != n {
+			t.Fatalf("Len = %d, want %d", a.Len(), n)
+		}
+	}
+}
+
+func TestConjAccumRemove(t *testing.T) {
+	a := NewConjAccum()
+	a.Add(0.5)
+	a.Add(0.8)
+	a.Add(1.0)
+	if a.Doi() != 1 {
+		t.Fatal("with a must-have, doi is 1")
+	}
+	a.Remove(1.0)
+	if math.Abs(a.Doi()-0.9) > 1e-9 {
+		t.Errorf("after removing the 1.0: %g, want 0.9", a.Doi())
+	}
+	a.Remove(0.8)
+	if math.Abs(a.Doi()-0.5) > 1e-9 {
+		t.Errorf("after removing 0.8: %g, want 0.5", a.Doi())
+	}
+	a.Remove(0.5)
+	if a.Doi() != 0 || a.Len() != 0 {
+		t.Errorf("empty accum: doi %g len %d", a.Doi(), a.Len())
+	}
+}
+
+func TestConjAccumReset(t *testing.T) {
+	var a ConjAccum
+	a.Reset()
+	if a.Doi() != 0 {
+		t.Error("reset accum should have doi 0")
+	}
+	a.Add(0.3)
+	a.Reset()
+	if a.Doi() != 0 || a.Len() != 0 {
+		t.Error("reset must clear state")
+	}
+}
+
+// TestConjAccumAddRemoveProperty verifies add/remove round trips keep the
+// accumulator consistent with direct computation.
+func TestConjAccumAddRemoveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewConjAccum()
+		var live []float64
+		for step := 0; step < 50; step++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				a.Remove(live[i])
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				d := rng.Float64()
+				a.Add(d)
+				live = append(live, d)
+			}
+			if math.Abs(a.Doi()-Conjunction(live...)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

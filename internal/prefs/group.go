@@ -1,0 +1,104 @@
+package prefs
+
+import "fmt"
+
+// Group profile support: the paper's introduction frames personalization
+// for users "as individuals or members of particular groups". A group
+// profile combines member profiles condition by condition, so a query can
+// be personalized once for a family, a team, or a segment.
+
+// CombineMode selects how the dois of a condition shared by several
+// members combine.
+type CombineMode uint8
+
+const (
+	// CombineAverage uses the mean doi over members that hold the
+	// preference, scaled by the fraction of members holding it — a
+	// consensus reading: a preference half the group holds at doi 0.8
+	// enters the group profile at 0.4.
+	CombineAverage CombineMode = iota
+	// CombineMax uses the strongest member doi — an advocacy reading: one
+	// enthusiast is enough to surface a preference.
+	CombineMax
+	// CombineMin uses the weakest doi among members that hold the
+	// preference and drops conditions any member lacks entirely — a
+	// unanimity reading.
+	CombineMin
+)
+
+// String names the mode.
+func (m CombineMode) String() string {
+	switch m {
+	case CombineAverage:
+		return "average"
+	case CombineMax:
+		return "max"
+	case CombineMin:
+		return "min"
+	default:
+		return fmt.Sprintf("CombineMode(%d)", uint8(m))
+	}
+}
+
+// CombineProfiles merges member profiles into one group profile under the
+// given mode. Join preferences combine exactly like selections: their dois
+// express how strongly related entities carry preference across, which is
+// as member-dependent as value interest.
+func CombineProfiles(mode CombineMode, members ...*Profile) (*Profile, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("prefs: combining zero profiles")
+	}
+	type acc struct {
+		atom  Atomic
+		sum   float64
+		max   float64
+		min   float64
+		count int
+	}
+	var order []string
+	byCond := make(map[string]*acc)
+	for _, m := range members {
+		for _, a := range m.Atoms() {
+			key := a.Condition()
+			e, ok := byCond[key]
+			if !ok {
+				e = &acc{atom: a, min: a.Doi}
+				byCond[key] = e
+				order = append(order, key)
+			}
+			e.sum += a.Doi
+			e.count++
+			if a.Doi > e.max {
+				e.max = a.Doi
+			}
+			if a.Doi < e.min {
+				e.min = a.Doi
+			}
+		}
+	}
+	out := NewProfile()
+	n := float64(len(members))
+	for _, key := range order {
+		e := byCond[key]
+		var doi float64
+		switch mode {
+		case CombineAverage:
+			doi = e.sum / n // members without the preference contribute 0
+		case CombineMax:
+			doi = e.max
+		case CombineMin:
+			if e.count < len(members) {
+				continue // unanimity: every member must hold it
+			}
+			doi = e.min
+		default:
+			return nil, fmt.Errorf("prefs: unknown combine mode %d", mode)
+		}
+		merged := e.atom
+		merged.Doi = doi
+		if err := out.Add(merged); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package prefs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func memberProfiles(t *testing.T) (*Profile, *Profile, *Profile) {
+	t.Helper()
+	parse := func(src string) *Profile {
+		t.Helper()
+		p, err := ParseProfile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := parse(`
+doi(GENRE.genre = 'comedy') = 0.8
+doi(MOVIE.year >= 1990) = 0.6
+doi(MOVIE.mid = GENRE.mid) = 0.9
+`)
+	b := parse(`
+doi(GENRE.genre = 'comedy') = 0.4
+doi(GENRE.genre = 'drama') = 0.7
+doi(MOVIE.mid = GENRE.mid) = 0.5
+`)
+	c := parse(`
+doi(GENRE.genre = 'comedy') = 0.6
+`)
+	return a, b, c
+}
+
+func findDoi(t *testing.T, p *Profile, cond string) (float64, bool) {
+	t.Helper()
+	for _, a := range p.Atoms() {
+		if a.Condition() == cond {
+			return a.Doi, true
+		}
+	}
+	return 0, false
+}
+
+func TestCombineAverage(t *testing.T) {
+	a, b, c := memberProfiles(t)
+	g, err := CombineProfiles(CombineAverage, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// comedy held by all three: (0.8+0.4+0.6)/3 = 0.6
+	if doi, ok := findDoi(t, g, "GENRE.genre = 'comedy'"); !ok || math.Abs(doi-0.6) > 1e-12 {
+		t.Errorf("comedy doi = %v, %v", doi, ok)
+	}
+	// drama held by one of three: 0.7/3
+	if doi, ok := findDoi(t, g, "GENRE.genre = 'drama'"); !ok || math.Abs(doi-0.7/3) > 1e-12 {
+		t.Errorf("drama doi = %v", doi)
+	}
+	// join preference combines too: (0.9+0.5)/3
+	if doi, ok := findDoi(t, g, "MOVIE.mid = GENRE.mid"); !ok || math.Abs(doi-1.4/3) > 1e-12 {
+		t.Errorf("join doi = %v", doi)
+	}
+}
+
+func TestCombineMax(t *testing.T) {
+	a, b, c := memberProfiles(t)
+	g, err := CombineProfiles(CombineMax, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doi, _ := findDoi(t, g, "GENRE.genre = 'comedy'"); doi != 0.8 {
+		t.Errorf("comedy max = %v", doi)
+	}
+	if doi, _ := findDoi(t, g, "GENRE.genre = 'drama'"); doi != 0.7 {
+		t.Errorf("drama max = %v", doi)
+	}
+	if g.Len() != 4 {
+		t.Errorf("group has %d prefs", g.Len())
+	}
+}
+
+func TestCombineMinUnanimity(t *testing.T) {
+	a, b, c := memberProfiles(t)
+	g, err := CombineProfiles(CombineMin, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only comedy is unanimous.
+	if g.Len() != 1 {
+		t.Fatalf("unanimous prefs = %d, want 1: %s", g.Len(), g.String())
+	}
+	if doi, _ := findDoi(t, g, "GENRE.genre = 'comedy'"); doi != 0.4 {
+		t.Errorf("comedy min = %v", doi)
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	if _, err := CombineProfiles(CombineAverage); err == nil {
+		t.Error("zero profiles must fail")
+	}
+	a, _, _ := memberProfiles(t)
+	if _, err := CombineProfiles(CombineMode(99), a); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+func TestCombineSingleIsIdentityByMode(t *testing.T) {
+	a, _, _ := memberProfiles(t)
+	for _, mode := range []CombineMode{CombineAverage, CombineMax, CombineMin} {
+		g, err := CombineProfiles(mode, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Len() != a.Len() {
+			t.Errorf("%v: %d prefs, want %d", mode, g.Len(), a.Len())
+		}
+		for _, atom := range a.Atoms() {
+			doi, ok := findDoi(t, g, atom.Condition())
+			if !ok || math.Abs(doi-atom.Doi) > 1e-12 {
+				t.Errorf("%v: %s doi %v, want %v", mode, atom.Condition(), doi, atom.Doi)
+			}
+		}
+	}
+}
+
+func TestCombineModeString(t *testing.T) {
+	for _, m := range []CombineMode{CombineAverage, CombineMax, CombineMin} {
+		if m.String() == "" || strings.HasPrefix(m.String(), "CombineMode(") {
+			t.Errorf("mode %d has no name", m)
+		}
+	}
+	if !strings.HasPrefix(CombineMode(42).String(), "CombineMode(") {
+		t.Error("unknown mode string")
+	}
+}

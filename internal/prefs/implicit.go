@@ -1,0 +1,94 @@
+package prefs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Implicit is an implicit selection preference (Section 3): a directed
+// acyclic path of join preferences through the personalization graph ending
+// in an atomic selection preference. Its doi composes the constituent
+// atomic dois with f⊗ (Compose).
+//
+// Example (the paper's p3 ∧ p4):
+//
+//	MOVIE.did = DIRECTOR.did AND DIRECTOR.name = 'W. Allen'    doi = 1.0 × 0.8
+type Implicit struct {
+	// Path holds the join conditions in traversal order; empty for an
+	// atomic selection preference.
+	Path []JoinCond
+	// Sel is the terminal selection condition.
+	Sel SelectionCond
+	// Doi is the composed degree of interest.
+	Doi float64
+}
+
+// NewImplicit composes a path of join atoms with a terminal selection atom,
+// computing the doi with f⊗ and verifying acyclicity (no relation visited
+// twice).
+func NewImplicit(path []Atomic, sel Atomic) (Implicit, error) {
+	if !sel.IsSelection() {
+		return Implicit{}, fmt.Errorf("prefs: terminal preference %s is not a selection", sel)
+	}
+	imp := Implicit{Sel: *sel.Sel, Doi: sel.Doi}
+	seen := map[string]bool{}
+	for i, a := range path {
+		if a.IsSelection() {
+			return Implicit{}, fmt.Errorf("prefs: path element %s is not a join", a)
+		}
+		j := *a.Join
+		if i == 0 {
+			seen[j.Left.Relation] = true
+		} else if path[i-1].Join.Right.Relation != j.Left.Relation {
+			return Implicit{}, fmt.Errorf("prefs: path is not connected at %s", j)
+		}
+		if seen[j.Right.Relation] {
+			return Implicit{}, fmt.Errorf("prefs: path revisits relation %s (cyclic)", j.Right.Relation)
+		}
+		seen[j.Right.Relation] = true
+		imp.Path = append(imp.Path, j)
+		imp.Doi = Compose(imp.Doi, a.Doi)
+	}
+	if len(imp.Path) > 0 {
+		last := imp.Path[len(imp.Path)-1]
+		if last.Right.Relation != imp.Sel.Attr.Relation {
+			return Implicit{}, fmt.Errorf("prefs: selection %s not attached to path end %s",
+				imp.Sel, last.Right.Relation)
+		}
+	}
+	return imp, nil
+}
+
+// Anchor returns the relation at which the preference attaches to a query:
+// the first join's left relation, or the selection's own relation for an
+// atomic selection preference.
+func (i Implicit) Anchor() string {
+	if len(i.Path) > 0 {
+		return i.Path[0].Left.Relation
+	}
+	return i.Sel.Attr.Relation
+}
+
+// Relations returns every relation the preference touches, anchor first.
+func (i Implicit) Relations() []string {
+	out := []string{i.Anchor()}
+	for _, j := range i.Path {
+		out = append(out, j.Right.Relation)
+	}
+	return out
+}
+
+// Condition renders the full conjunction in SQL syntax.
+func (i Implicit) Condition() string {
+	parts := make([]string, 0, len(i.Path)+1)
+	for _, j := range i.Path {
+		parts = append(parts, j.String())
+	}
+	parts = append(parts, i.Sel.String())
+	return strings.Join(parts, " AND ")
+}
+
+// String renders the preference with its doi.
+func (i Implicit) String() string {
+	return fmt.Sprintf("doi(%s) = %g", i.Condition(), i.Doi)
+}

@@ -1,0 +1,166 @@
+package prefs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cqp/internal/query"
+	"cqp/internal/schema"
+	"cqp/internal/value"
+)
+
+// ParseProfile parses the text profile format of Figure 1 in the paper:
+// one preference per line,
+//
+//	doi(GENRE.genre = 'musical') = 0.5
+//	doi(MOVIE.did = DIRECTOR.did) = 1.0
+//
+// Blank lines and lines starting with '#' are skipped. A right-hand side of
+// the form REL.attr makes the line a (directed) join preference; a literal
+// makes it a selection preference.
+func ParseProfile(src string) (*Profile, error) {
+	p := NewProfile()
+	for lineNo, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		a, err := ParseAtomic(t)
+		if err != nil {
+			return nil, fmt.Errorf("prefs: line %d: %v", lineNo+1, err)
+		}
+		if err := p.Add(a); err != nil {
+			return nil, fmt.Errorf("prefs: line %d: %v", lineNo+1, err)
+		}
+	}
+	return p, nil
+}
+
+// ParseAtomic parses one "doi(<condition>) = <number>" line.
+func ParseAtomic(line string) (Atomic, error) {
+	t := strings.TrimSpace(line)
+	if !strings.HasPrefix(strings.ToLower(t), "doi(") {
+		return Atomic{}, fmt.Errorf("expected doi(...), got %q", line)
+	}
+	// Find the matching close parenthesis of doi( ... ), respecting quotes.
+	body, rest, err := splitParen(t[len("doi("):])
+	if err != nil {
+		return Atomic{}, err
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "=") {
+		return Atomic{}, fmt.Errorf("expected '= <doi>' after condition in %q", line)
+	}
+	doi, err := strconv.ParseFloat(strings.TrimSpace(rest[1:]), 64)
+	if err != nil {
+		return Atomic{}, fmt.Errorf("bad doi value in %q: %v", line, err)
+	}
+	cond, err := parseCondition(body)
+	if err != nil {
+		return Atomic{}, err
+	}
+	cond.Doi = doi
+	return cond, nil
+}
+
+// splitParen splits "body) tail" into body and tail, honoring single-quoted
+// strings in body.
+func splitParen(s string) (body, tail string, err error) {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			inStr = !inStr
+		case ')':
+			if !inStr {
+				return s[:i], s[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unbalanced parenthesis in %q", s)
+}
+
+// parseCondition parses "attr op rhs" where rhs is an attribute reference
+// (join) or a literal (selection).
+func parseCondition(s string) (Atomic, error) {
+	opIdx, opLen := findOp(s)
+	if opIdx < 0 {
+		return Atomic{}, fmt.Errorf("no comparison operator in condition %q", s)
+	}
+	lhs := strings.TrimSpace(s[:opIdx])
+	opText := s[opIdx : opIdx+opLen]
+	rhs := strings.TrimSpace(s[opIdx+opLen:])
+	attr, err := schema.ParseAttrRef(lhs)
+	if err != nil {
+		return Atomic{}, err
+	}
+	op, err := query.ParseOp(opText)
+	if err != nil {
+		return Atomic{}, err
+	}
+	// Join if the RHS looks like Relation.attr (identifier.identifier).
+	if isAttrRef(rhs) {
+		if op != query.OpEq {
+			return Atomic{}, fmt.Errorf("join preference must use '=', got %q", opText)
+		}
+		right, err := schema.ParseAttrRef(rhs)
+		if err != nil {
+			return Atomic{}, err
+		}
+		return Atomic{Join: &JoinCond{Left: attr, Right: right}}, nil
+	}
+	v, err := value.ParseLiteral(rhs)
+	if err != nil {
+		return Atomic{}, err
+	}
+	return Atomic{Sel: &SelectionCond{Attr: attr, Op: op, Value: v}}, nil
+}
+
+// findOp locates the first comparison operator outside quotes, preferring
+// two-character operators.
+func findOp(s string) (idx, length int) {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\'' {
+			inStr = !inStr
+			continue
+		}
+		if inStr {
+			continue
+		}
+		switch c {
+		case '<':
+			if i+1 < len(s) && (s[i+1] == '=' || s[i+1] == '>') {
+				return i, 2
+			}
+			return i, 1
+		case '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				return i, 2
+			}
+			return i, 1
+		case '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				return i, 2
+			}
+		case '=':
+			return i, 1
+		}
+	}
+	return -1, 0
+}
+
+// isAttrRef reports whether s has the shape ident.ident (not a quoted or
+// numeric literal).
+func isAttrRef(s string) bool {
+	if s == "" || s[0] == '\'' || s[0] == '-' || (s[0] >= '0' && s[0] <= '9') {
+		return false
+	}
+	dot := strings.IndexByte(s, '.')
+	if dot <= 0 || dot == len(s)-1 {
+		return false
+	}
+	return !strings.ContainsAny(s, "' ")
+}

@@ -1,0 +1,266 @@
+package prefs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cqp/internal/query"
+	"cqp/internal/schema"
+	"cqp/internal/testutil"
+	"cqp/internal/value"
+)
+
+// figure1Profile builds the paper's Figure 1 example profile:
+//
+//	p1: doi(GENRE.genre='musical')      = 0.5
+//	p2: doi(MOVIE.mid = GENRE.mid)      = 0.9
+//	p3: doi(MOVIE.did = DIRECTOR.did)   = 1.0
+//	p4: doi(DIRECTOR.name = 'W. Allen') = 0.8
+func figure1Profile(t *testing.T) *Profile {
+	t.Helper()
+	p := NewProfile()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(p.AddSelection(schema.AttrRef{Relation: "GENRE", Attr: "genre"}, query.OpEq, value.Str("musical"), 0.5))
+	must(p.AddJoin(schema.AttrRef{Relation: "MOVIE", Attr: "mid"}, schema.AttrRef{Relation: "GENRE", Attr: "mid"}, 0.9))
+	must(p.AddJoin(schema.AttrRef{Relation: "MOVIE", Attr: "did"}, schema.AttrRef{Relation: "DIRECTOR", Attr: "did"}, 1.0))
+	must(p.AddSelection(schema.AttrRef{Relation: "DIRECTOR", Attr: "name"}, query.OpEq, value.Str("W. Allen"), 0.8))
+	return p
+}
+
+func TestProfileIndexes(t *testing.T) {
+	p := figure1Profile(t)
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	joins := p.JoinsFrom("MOVIE")
+	if len(joins) != 2 {
+		t.Errorf("JoinsFrom(MOVIE) = %v", joins)
+	}
+	if len(p.JoinsFrom("GENRE")) != 0 {
+		t.Error("join preferences are directed; GENRE has no outgoing edges")
+	}
+	sels := p.SelectionsOn("DIRECTOR")
+	if len(sels) != 1 || sels[0].Doi != 0.8 {
+		t.Errorf("SelectionsOn(DIRECTOR) = %v", sels)
+	}
+	if len(p.SelectionsOn("MOVIE")) != 0 {
+		t.Error("MOVIE has no selection preferences")
+	}
+	if len(p.Atoms()) != 4 {
+		t.Error("Atoms length")
+	}
+}
+
+func TestProfileAddValidation(t *testing.T) {
+	p := NewProfile()
+	if err := p.Add(Atomic{Doi: 0.5}); err == nil {
+		t.Error("no condition should fail")
+	}
+	sel := &SelectionCond{Attr: schema.AttrRef{Relation: "GENRE", Attr: "genre"}, Op: query.OpEq, Value: value.Str("x")}
+	jn := &JoinCond{Left: schema.AttrRef{Relation: "A", Attr: "x"}, Right: schema.AttrRef{Relation: "B", Attr: "y"}}
+	if err := p.Add(Atomic{Sel: sel, Join: jn, Doi: 0.5}); err == nil {
+		t.Error("both conditions should fail")
+	}
+	if err := p.Add(Atomic{Sel: sel, Doi: -0.1}); err == nil {
+		t.Error("doi < 0 should fail")
+	}
+	if err := p.Add(Atomic{Sel: sel, Doi: 1.1}); err == nil {
+		t.Error("doi > 1 should fail")
+	}
+	if err := p.Add(Atomic{Sel: sel, Doi: 0.5}); err != nil {
+		t.Errorf("valid add failed: %v", err)
+	}
+	if err := p.Add(Atomic{Sel: sel, Doi: 0.6}); err == nil {
+		t.Error("duplicate condition should fail")
+	}
+}
+
+func TestProfileValidateAgainstSchema(t *testing.T) {
+	s := testutil.MovieSchema()
+	if err := figure1Profile(t).Validate(s); err != nil {
+		t.Errorf("figure-1 profile must validate: %v", err)
+	}
+	bad := NewProfile()
+	_ = bad.AddSelection(schema.AttrRef{Relation: "NOPE", Attr: "x"}, query.OpEq, value.Int(1), 0.5)
+	if err := bad.Validate(s); err == nil {
+		t.Error("unknown relation must fail validation")
+	}
+	bad2 := NewProfile()
+	_ = bad2.AddSelection(schema.AttrRef{Relation: "MOVIE", Attr: "year"}, query.OpEq, value.Str("x"), 0.5)
+	if err := bad2.Validate(s); err == nil {
+		t.Error("incomparable literal must fail validation")
+	}
+	bad3 := NewProfile()
+	_ = bad3.AddJoin(schema.AttrRef{Relation: "MOVIE", Attr: "title"}, schema.AttrRef{Relation: "DIRECTOR", Attr: "did"}, 0.5)
+	if err := bad3.Validate(s); err == nil {
+		t.Error("type-mismatched join must fail validation")
+	}
+	bad4 := NewProfile()
+	_ = bad4.AddJoin(schema.AttrRef{Relation: "MOVIE", Attr: "mid"}, schema.AttrRef{Relation: "MOVIE", Attr: "did"}, 0.5)
+	if err := bad4.Validate(s); err == nil {
+		t.Error("intra-relation join must fail validation")
+	}
+}
+
+func TestParseProfileRoundTrip(t *testing.T) {
+	src := `# Figure 1 of the paper
+doi(GENRE.genre = 'musical') = 0.5
+doi(MOVIE.mid = GENRE.mid) = 0.9
+
+doi(MOVIE.did = DIRECTOR.did) = 1.0
+doi(DIRECTOR.name = 'W. Allen') = 0.8
+`
+	p, err := ParseProfile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	atoms := p.Atoms()
+	if !atoms[0].IsSelection() || atoms[0].Doi != 0.5 || atoms[0].Sel.Value.AsStr() != "musical" {
+		t.Errorf("p1 = %v", atoms[0])
+	}
+	if atoms[1].IsSelection() || atoms[1].Join.Right.Relation != "GENRE" {
+		t.Errorf("p2 = %v", atoms[1])
+	}
+	// Serialize and reparse.
+	p2, err := ParseProfile(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.String() != p.String() {
+		t.Errorf("round trip changed profile:\n%s\n%s", p.String(), p2.String())
+	}
+}
+
+func TestParseProfileOperatorsAndLiterals(t *testing.T) {
+	p, err := ParseProfile(`
+doi(MOVIE.year >= 1990) = 0.7
+doi(MOVIE.duration < 120) = 0.4
+doi(MOVIE.title <> 'Heat') = 0.2
+doi(MOVIE.duration <= 90.5) = 0.3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := p.Atoms()
+	if atoms[0].Sel.Op != query.OpGe || atoms[0].Sel.Value.AsInt() != 1990 {
+		t.Errorf("atom0 = %v", atoms[0])
+	}
+	if atoms[1].Sel.Op != query.OpLt {
+		t.Errorf("atom1 = %v", atoms[1])
+	}
+	if atoms[2].Sel.Op != query.OpNe {
+		t.Errorf("atom2 = %v", atoms[2])
+	}
+	if atoms[3].Sel.Value.Kind() != value.KindFloat {
+		t.Errorf("atom3 = %v", atoms[3])
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	bad := []string{
+		"nonsense",
+		"doi(GENRE.genre = 'musical') 0.5",   // missing =
+		"doi(GENRE.genre = 'musical') = x",   // bad doi
+		"doi(GENRE.genre 'musical') = 0.5",   // no operator
+		"doi(GENRE = 'musical') = 0.5",       // bad attr ref
+		"doi(MOVIE.mid < GENRE.mid) = 0.5",   // join must be =
+		"doi(GENRE.genre = 'musical' = 0.5",  // unbalanced paren
+		"doi(GENRE.genre = ) = 0.5",          // empty literal
+		"doi(GENRE.genre = 'musical') = 2.0", // doi out of range
+	}
+	for _, src := range bad {
+		if _, err := ParseProfile(src); err == nil {
+			t.Errorf("ParseProfile(%q) should fail", src)
+		}
+	}
+	// Errors carry the line number.
+	_, err := ParseProfile("doi(GENRE.genre = 'musical') = 0.5\nbroken")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line info, got %v", err)
+	}
+}
+
+func TestParseProfileQuotedParenAndOps(t *testing.T) {
+	// Value contains a parenthesis and an operator character.
+	p, err := ParseProfile(`doi(MOVIE.title = 'Movie (with > parens)') = 0.6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Atoms()[0].Sel.Value.AsStr(); got != "Movie (with > parens)" {
+		t.Errorf("parsed value %q", got)
+	}
+}
+
+func TestImplicitComposition(t *testing.T) {
+	p := figure1Profile(t)
+	atoms := p.Atoms()
+	// p3 ∧ p4: MOVIE -> DIRECTOR join then name selection. doi = 1.0 × 0.8.
+	imp, err := NewImplicit([]Atomic{atoms[2]}, atoms[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imp.Doi-0.8) > 1e-12 {
+		t.Errorf("doi = %g, want 0.8", imp.Doi)
+	}
+	if imp.Anchor() != "MOVIE" {
+		t.Errorf("anchor = %s", imp.Anchor())
+	}
+	rels := imp.Relations()
+	if len(rels) != 2 || rels[0] != "MOVIE" || rels[1] != "DIRECTOR" {
+		t.Errorf("relations = %v", rels)
+	}
+	want := "MOVIE.did = DIRECTOR.did AND DIRECTOR.name = 'W. Allen'"
+	if imp.Condition() != want {
+		t.Errorf("condition = %q", imp.Condition())
+	}
+	if !strings.Contains(imp.String(), "= 0.8") {
+		t.Errorf("String = %q", imp.String())
+	}
+	// Atomic selection preference: empty path.
+	imp2, err := NewImplicit(nil, atoms[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp2.Anchor() != "DIRECTOR" || imp2.Doi != 0.8 {
+		t.Errorf("atomic implicit = %+v", imp2)
+	}
+}
+
+func TestImplicitValidation(t *testing.T) {
+	p := figure1Profile(t)
+	atoms := p.Atoms()
+	// Terminal must be a selection.
+	if _, err := NewImplicit(nil, atoms[2]); err == nil {
+		t.Error("join terminal should fail")
+	}
+	// Path element must be a join.
+	if _, err := NewImplicit([]Atomic{atoms[0]}, atoms[3]); err == nil {
+		t.Error("selection in path should fail")
+	}
+	// Selection must attach to the path end.
+	if _, err := NewImplicit([]Atomic{atoms[1]}, atoms[3]); err == nil {
+		t.Error("detached selection should fail (path ends at GENRE, selection on DIRECTOR)")
+	}
+	// Disconnected path.
+	back := Atomic{Join: &JoinCond{
+		Left:  schema.AttrRef{Relation: "GENRE", Attr: "mid"},
+		Right: schema.AttrRef{Relation: "MOVIE", Attr: "mid"},
+	}, Doi: 0.9}
+	if _, err := NewImplicit([]Atomic{atoms[2], back}, atoms[0]); err == nil {
+		t.Error("disconnected path should fail (DIRECTOR then GENRE->MOVIE)")
+	}
+	// Cyclic path: MOVIE->GENRE then GENRE->MOVIE revisits MOVIE.
+	sel := Atomic{Sel: &SelectionCond{Attr: schema.AttrRef{Relation: "MOVIE", Attr: "year"}, Op: query.OpEq, Value: value.Int(1990)}, Doi: 0.5}
+	if _, err := NewImplicit([]Atomic{atoms[1], back}, sel); err == nil {
+		t.Error("cyclic path should fail")
+	}
+}

@@ -1,0 +1,351 @@
+// Package prefspace implements the paper's Preference Space module
+// (Section 4.4, Figure 3): given a query Q and a user profile U, it
+// extracts the set P of atomic and implicit selection preferences related
+// to Q in decreasing order of doi, and builds the pointer vectors
+//
+//	D — preference order by decreasing doi (identity, by construction),
+//	C — order by decreasing cost(Q ∧ p),
+//	S — order by increasing size(Q ∧ p),
+//
+// which the CQP state-space search algorithms operate on.
+//
+// The traversal is best-first over the personalization graph: a priority
+// queue of candidate paths ordered by doi. Because f⊗ is non-increasing in
+// path length (Formula 2), candidates pop in globally non-increasing doi
+// order, so P is produced already sorted. One divergence from the published
+// pseudocode: Figure 3's step 3.3 exits the whole loop when the head
+// violates the CQP constraints; since cost is not aligned with the doi
+// ordering, we skip the candidate and continue instead (pruning remains
+// sound — cost is monotone under path extension, so a too-expensive path
+// can never become feasible again).
+package prefspace
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"cqp/internal/estimate"
+	"cqp/internal/prefs"
+	"cqp/internal/query"
+)
+
+// Pref is one element of the preference set P: an implicit (or atomic)
+// selection preference with its estimated parameters relative to Q.
+type Pref struct {
+	Imp prefs.Implicit
+	// Doi is the composed degree of interest (copied from Imp for locality).
+	Doi float64
+	// Cost is cost(Q ∧ p) in milliseconds (Formula 11): the cost of the
+	// sub-query that integrates just this preference into Q.
+	Cost float64
+	// Shrink is the multiplicative size factor of conjoining p (≤ 1).
+	Shrink float64
+	// Size is size(Q ∧ p) = size(Q) × Shrink, in estimated rows.
+	Size float64
+}
+
+// Space is the output of the Preference Space module.
+type Space struct {
+	// Query is the original query Q.
+	Query *query.Query
+	// BaseCost and BaseSize are cost(Q) and size(Q) estimates.
+	BaseCost float64
+	BaseSize float64
+	// P holds the preferences in decreasing doi order.
+	P []Pref
+	// D, C, S are 0-based pointer vectors into P: D by decreasing doi
+	// (identity by construction), C by decreasing Cost, S by increasing
+	// Size. (The paper writes them 1-based.)
+	D, C, S []int
+	// K is len(P).
+	K int
+}
+
+// Options tunes preference extraction.
+type Options struct {
+	// MaxK caps the number of preferences extracted (the paper's K
+	// experiment parameter). 0 means no cap.
+	MaxK int
+	// CostMax prunes candidates whose single-preference sub-query already
+	// exceeds this bound in milliseconds (sound for upper-bounded cost
+	// problems since cost is monotone). 0 disables the pruning.
+	CostMax float64
+	// MaxPathLen bounds the join-path length to keep traversal finite on
+	// profiles with long join chains. 0 means the default of 4.
+	MaxPathLen int
+	// SkipCostVector and SkipSizeVector omit building C and S, matching the
+	// paper's D_PrefSelTime configuration (doi-only ordering) in Fig. 12(b).
+	SkipCostVector bool
+	SkipSizeVector bool
+}
+
+// candidate is a queue entry: a join path under construction or a completed
+// implicit preference.
+type candidate struct {
+	doi  float64
+	path []prefs.Atomic // join atoms so far
+	sel  *prefs.Atomic  // terminal selection; nil while still a path
+	seq  int            // FIFO tie-break for determinism
+}
+
+// candQueue is a max-heap on doi (ties broken by insertion order).
+type candQueue []*candidate
+
+func (q candQueue) Len() int { return len(q) }
+func (q candQueue) Less(i, j int) bool {
+	if q[i].doi != q[j].doi {
+		return q[i].doi > q[j].doi
+	}
+	return q[i].seq < q[j].seq
+}
+func (q candQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *candQueue) Push(x any)   { *q = append(*q, x.(*candidate)) }
+func (q *candQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Build runs the Preference Space algorithm.
+func Build(q *query.Query, profile *prefs.Profile, est *estimate.Estimator, opt Options) (*Space, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("prefspace: query has no relations")
+	}
+	maxPath := opt.MaxPathLen
+	if maxPath <= 0 {
+		maxPath = 4
+	}
+	sp := &Space{
+		Query:    q,
+		BaseCost: est.QueryCost(q),
+		BaseSize: est.QuerySize(q),
+	}
+
+	var qp candQueue
+	seq := 0
+	push := func(c *candidate) {
+		c.seq = seq
+		seq++
+		heap.Push(&qp, c)
+	}
+	// Step 2: seed with atomic preferences syntactically related to Q.
+	for _, rel := range q.From {
+		for _, a := range profile.SelectionsOn(rel) {
+			a := a
+			push(&candidate{doi: a.Doi, sel: &a})
+		}
+		for _, a := range profile.JoinsFrom(rel) {
+			push(&candidate{doi: a.Doi, path: []prefs.Atomic{a}})
+		}
+	}
+
+	// Step 3: best-first expansion.
+	for qp.Len() > 0 {
+		if opt.MaxK > 0 && sp.K >= opt.MaxK {
+			break
+		}
+		c := heap.Pop(&qp).(*candidate)
+		if c.sel != nil {
+			// A complete (implicit) selection preference.
+			imp, err := prefs.NewImplicit(c.path, *c.sel)
+			if err != nil {
+				return nil, fmt.Errorf("prefspace: %v", err)
+			}
+			p := Pref{
+				Imp:    imp,
+				Doi:    imp.Doi,
+				Cost:   est.SubQueryCost(q, imp),
+				Shrink: est.Shrink(q, imp),
+			}
+			p.Size = sp.BaseSize * p.Shrink
+			if opt.CostMax > 0 && p.Cost > opt.CostMax {
+				continue // can never participate in a feasible query
+			}
+			sp.P = append(sp.P, p)
+			sp.K++
+			continue
+		}
+		// A join path: expand through preferences adjacent to its end.
+		end := c.path[len(c.path)-1].Join.Right.Relation
+		if opt.CostMax > 0 && pathCost(est, q, c.path) > opt.CostMax {
+			continue // extensions only get more expensive
+		}
+		for _, a := range profile.SelectionsOn(end) {
+			a := a
+			push(&candidate{
+				doi:  prefs.Compose(c.doi, a.Doi),
+				path: c.path,
+				sel:  &a,
+			})
+		}
+		if len(c.path) >= maxPath {
+			continue
+		}
+		for _, a := range profile.JoinsFrom(end) {
+			if revisits(c.path, a.Join.Right.Relation) {
+				continue // acyclicity (Figure 3's "p ∧ pi is acyclic")
+			}
+			next := make([]prefs.Atomic, len(c.path)+1)
+			copy(next, c.path)
+			next[len(c.path)] = a
+			push(&candidate{doi: prefs.Compose(c.doi, a.Doi), path: next})
+		}
+	}
+
+	sp.buildVectors(opt)
+	return sp, nil
+}
+
+// pathCost estimates the sub-query cost of a partial path (without its
+// terminal selection — the selection adds no relations beyond the path).
+func pathCost(est *estimate.Estimator, q *query.Query, path []prefs.Atomic) float64 {
+	imp := prefs.Implicit{}
+	for _, a := range path {
+		imp.Path = append(imp.Path, *a.Join)
+	}
+	// Anchor the probe selection at the path end so Relations() is complete.
+	imp.Sel.Attr = path[len(path)-1].Join.Right
+	return est.SubQueryCost(q, imp)
+}
+
+// revisits reports whether the path already touches the relation.
+func revisits(path []prefs.Atomic, rel string) bool {
+	if path[0].Join.Left.Relation == rel {
+		return true
+	}
+	for _, a := range path {
+		if a.Join.Right.Relation == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// buildVectors constructs D, C and S. D is the identity because P is
+// produced in decreasing doi order; C and S are built with addrank-style
+// stable insertion (Figure 3).
+func (sp *Space) buildVectors(opt Options) {
+	sp.D = make([]int, sp.K)
+	for i := range sp.D {
+		sp.D[i] = i
+	}
+	if !opt.SkipCostVector {
+		sp.C = rankBy(sp.K, func(a, b int) bool { return sp.P[a].Cost > sp.P[b].Cost })
+	}
+	if !opt.SkipSizeVector {
+		sp.S = rankBy(sp.K, func(a, b int) bool { return sp.P[a].Size < sp.P[b].Size })
+	}
+}
+
+// rankBy returns the permutation of 0..k-1 ordered by the strict less
+// function, stable in the original (doi) order.
+func rankBy(k int, less func(a, b int) bool) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	// Insertion sort: stable and matches the paper's addrank incremental
+	// construction; K is small (≤ a few dozen) by design.
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Dois returns the doi of each preference in P order.
+func (sp *Space) Dois() []float64 {
+	out := make([]float64, sp.K)
+	for i, p := range sp.P {
+		out[i] = p.Doi
+	}
+	return out
+}
+
+// Costs returns cost(Q ∧ p) of each preference in P order (milliseconds).
+func (sp *Space) Costs() []float64 {
+	out := make([]float64, sp.K)
+	for i, p := range sp.P {
+		out[i] = p.Cost
+	}
+	return out
+}
+
+// Shrinks returns each preference's size shrink factor in P order.
+func (sp *Space) Shrinks() []float64 {
+	out := make([]float64, sp.K)
+	for i, p := range sp.P {
+		out[i] = p.Shrink
+	}
+	return out
+}
+
+// SupremeCost is the cost of incorporating all K preferences — the paper's
+// "Supreme Cost" against which cmax percentages are defined (Section 7.2).
+// With no preferences it degenerates to the base query cost.
+func (sp *Space) SupremeCost() float64 {
+	if sp.K == 0 {
+		return sp.BaseCost
+	}
+	c := 0.0
+	for _, p := range sp.P {
+		c += p.Cost
+	}
+	return c
+}
+
+// Validate checks the structural invariants the search algorithms rely on:
+// P sorted by non-increasing doi; D, C, S are permutations with their
+// documented orderings; parameters are finite and within range.
+func (sp *Space) Validate() error {
+	if sp.K != len(sp.P) {
+		return fmt.Errorf("prefspace: K=%d but len(P)=%d", sp.K, len(sp.P))
+	}
+	for i, p := range sp.P {
+		if p.Doi < 0 || p.Doi > 1 || math.IsNaN(p.Doi) {
+			return fmt.Errorf("prefspace: P[%d] doi %g out of range", i, p.Doi)
+		}
+		if p.Cost < 0 || math.IsInf(p.Cost, 0) || math.IsNaN(p.Cost) {
+			return fmt.Errorf("prefspace: P[%d] cost %g invalid", i, p.Cost)
+		}
+		if p.Shrink < 0 || p.Shrink > 1 {
+			return fmt.Errorf("prefspace: P[%d] shrink %g out of [0,1]", i, p.Shrink)
+		}
+		if i > 0 && sp.P[i-1].Doi < p.Doi-1e-12 {
+			return fmt.Errorf("prefspace: P not sorted by doi at %d", i)
+		}
+	}
+	checkPerm := func(name string, v []int, ok func(a, b int) bool) error {
+		if v == nil {
+			return nil
+		}
+		if len(v) != sp.K {
+			return fmt.Errorf("prefspace: %s has length %d, want %d", name, len(v), sp.K)
+		}
+		seen := make([]bool, sp.K)
+		for _, x := range v {
+			if x < 0 || x >= sp.K || seen[x] {
+				return fmt.Errorf("prefspace: %s is not a permutation", name)
+			}
+			seen[x] = true
+		}
+		for i := 1; i < sp.K; i++ {
+			if !ok(v[i-1], v[i]) {
+				return fmt.Errorf("prefspace: %s ordering violated at %d", name, i)
+			}
+		}
+		return nil
+	}
+	if err := checkPerm("D", sp.D, func(a, b int) bool { return sp.P[a].Doi >= sp.P[b].Doi-1e-12 }); err != nil {
+		return err
+	}
+	if err := checkPerm("C", sp.C, func(a, b int) bool { return sp.P[a].Cost >= sp.P[b].Cost-1e-9 }); err != nil {
+		return err
+	}
+	return checkPerm("S", sp.S, func(a, b int) bool { return sp.P[a].Size <= sp.P[b].Size+1e-9 })
+}

@@ -1,0 +1,354 @@
+package prefspace
+
+import (
+	"math"
+	"testing"
+
+	"cqp/internal/catalog"
+	"cqp/internal/estimate"
+	"cqp/internal/prefs"
+	"cqp/internal/query"
+	"cqp/internal/schema"
+	"cqp/internal/sqlparse"
+	"cqp/internal/storage"
+	"cqp/internal/testutil"
+	"cqp/internal/value"
+)
+
+// figure1Setup builds the paper's running example: the movie DB, the
+// Figure 1 profile, and the query "select title from MOVIE".
+func figure1Setup(t *testing.T) (*estimate.Estimator, *prefs.Profile, *Space) {
+	t.Helper()
+	db := testutil.MovieDB(256) // small blocks so every table has >0 blocks
+	est := estimate.New(catalog.Build(db), 1)
+	profile, err := prefs.ParseProfile(`
+doi(GENRE.genre = 'musical') = 0.5
+doi(MOVIE.mid = GENRE.mid) = 0.9
+doi(MOVIE.did = DIRECTOR.did) = 1.0
+doi(DIRECTOR.name = 'W. Allen') = 0.8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	sp, err := Build(q, profile, est, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, profile, sp
+}
+
+func TestFigure1Extraction(t *testing.T) {
+	_, _, sp := figure1Setup(t)
+	// Expected implicit preferences anchored at MOVIE:
+	//   p3∧p4: MOVIE⋈DIRECTOR, name='W. Allen'  doi = 1.0×0.8 = 0.8
+	//   p2∧p1: MOVIE⋈GENRE, genre='musical'     doi = 0.9×0.5 = 0.45
+	if sp.K != 2 {
+		t.Fatalf("K = %d, want 2; P = %v", sp.K, sp.P)
+	}
+	if math.Abs(sp.P[0].Doi-0.8) > 1e-12 {
+		t.Errorf("P[0].Doi = %g, want 0.8 (best first)", sp.P[0].Doi)
+	}
+	if math.Abs(sp.P[1].Doi-0.45) > 1e-12 {
+		t.Errorf("P[1].Doi = %g, want 0.45", sp.P[1].Doi)
+	}
+	if sp.P[0].Imp.Sel.Attr.Relation != "DIRECTOR" {
+		t.Errorf("P[0] = %v", sp.P[0].Imp)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorsTable2(t *testing.T) {
+	// Table 2 of the paper: P = {p1,p2,p3} with
+	//   doi  = 0.5, 0.8, 0.7
+	//   cost = 10, 5, 12
+	//   size = 3, 2, 10
+	// gives D = {2,3,1}, C = {3,1,2}, S = {2,1,3} (1-based).
+	// Our vectors are 0-based: D = {1,2,0}, C = {2,0,1}, S = {1,0,2}.
+	// D is defined over P sorted by doi, so P here is given doi-sorted:
+	// p2(0.8), p3(0.7), p1(0.5) with matching cost/size.
+	sp := &Space{K: 3, P: []Pref{
+		{Doi: 0.8, Cost: 5, Size: 2},
+		{Doi: 0.7, Cost: 12, Size: 10},
+		{Doi: 0.5, Cost: 10, Size: 3},
+	}}
+	sp.buildVectors(Options{})
+	wantD := []int{0, 1, 2}
+	wantC := []int{1, 2, 0} // costs 12, 10, 5 decreasing
+	wantS := []int{0, 2, 1} // sizes 2, 3, 10 increasing
+	eq := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq(sp.D, wantD) || !eq(sp.C, wantC) || !eq(sp.S, wantS) {
+		t.Errorf("D=%v C=%v S=%v", sp.D, sp.C, sp.S)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostMaxPruning(t *testing.T) {
+	db := testutil.MovieDB(256)
+	est := estimate.New(catalog.Build(db), 1)
+	profile, _ := prefs.ParseProfile(`
+doi(MOVIE.year >= 1990) = 0.9
+doi(MOVIE.mid = GENRE.mid) = 0.8
+doi(GENRE.genre = 'comedy') = 0.7
+`)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	// Base query cost: blocks(MOVIE). The GENRE path costs more. Pick a
+	// cmax between the two so only the atomic year preference survives.
+	base := est.QueryCost(q)
+	sp, err := Build(q, profile, est, Options{CostMax: base + 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.K != 1 || sp.P[0].Imp.Sel.Attr.Attr != "year" {
+		t.Errorf("pruning failed: %v", sp.P)
+	}
+}
+
+func TestMaxKCap(t *testing.T) {
+	_, profile, _ := figure1Setup(t)
+	db := testutil.MovieDB(256)
+	est := estimate.New(catalog.Build(db), 1)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	sp, err := Build(q, profile, est, Options{MaxK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.K != 1 {
+		t.Fatalf("K = %d, want 1", sp.K)
+	}
+	// The cap keeps the best preference.
+	if math.Abs(sp.P[0].Doi-0.8) > 1e-12 {
+		t.Errorf("kept doi %g, want the best (0.8)", sp.P[0].Doi)
+	}
+}
+
+func TestSkipVectors(t *testing.T) {
+	db := testutil.MovieDB(256)
+	est := estimate.New(catalog.Build(db), 1)
+	profile, _ := prefs.ParseProfile(`doi(MOVIE.year >= 1990) = 0.9`)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	sp, err := Build(q, profile, est, Options{SkipCostVector: true, SkipSizeVector: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.C != nil || sp.S != nil {
+		t.Error("vectors should be skipped")
+	}
+	if len(sp.D) != 1 {
+		t.Error("D always built")
+	}
+	if err := sp.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	_, _, sp := figure1Setup(t)
+	if len(sp.Dois()) != sp.K || len(sp.Costs()) != sp.K || len(sp.Shrinks()) != sp.K {
+		t.Error("accessor lengths")
+	}
+	if sp.Dois()[0] != sp.P[0].Doi {
+		t.Error("Dois content")
+	}
+	sup := sp.SupremeCost()
+	sum := sp.P[0].Cost + sp.P[1].Cost
+	if math.Abs(sup-sum) > 1e-9 {
+		t.Errorf("SupremeCost = %g, want %g", sup, sum)
+	}
+	empty := &Space{BaseCost: 7}
+	if empty.SupremeCost() != 7 {
+		t.Error("empty space supreme cost is base cost")
+	}
+}
+
+func TestIrrelevantPreferencesIgnored(t *testing.T) {
+	db := testutil.MovieDB(256)
+	est := estimate.New(catalog.Build(db), 1)
+	// Preferences anchored at DIRECTOR are unrelated to a GENRE-only query.
+	profile, _ := prefs.ParseProfile(`
+doi(DIRECTOR.name = 'W. Allen') = 0.8
+doi(GENRE.genre = 'comedy') = 0.3
+`)
+	q := sqlparse.MustParse(db.Schema(), "SELECT genre FROM GENRE")
+	sp, err := Build(q, profile, est, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.K != 1 || sp.P[0].Imp.Sel.Attr.Relation != "GENRE" {
+		t.Errorf("P = %v", sp.P)
+	}
+}
+
+func TestAcyclicTraversalTerminates(t *testing.T) {
+	db := testutil.MovieDB(256)
+	est := estimate.New(catalog.Build(db), 1)
+	// Bidirectional join preferences form a cycle in the personalization
+	// graph; acyclicity of paths must keep the traversal finite.
+	profile, _ := prefs.ParseProfile(`
+doi(MOVIE.mid = GENRE.mid) = 0.9
+doi(GENRE.mid = MOVIE.mid) = 0.9
+doi(MOVIE.year >= 1980) = 0.6
+doi(GENRE.genre = 'comedy') = 0.5
+`)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	sp, err := Build(q, profile, est, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: year (atomic), MOVIE->GENRE genre, and GENRE->MOVIE->... no:
+	// from MOVIE, paths: [M->G] + genre; [M->G, G->M] revisits MOVIE, pruned.
+	// Also the direct selection year, and via... exactly 2 + the year pref.
+	if sp.K < 2 || sp.K > 3 {
+		t.Errorf("K = %d, P = %v", sp.K, sp.P)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoiMonotoneAlongPaths(t *testing.T) {
+	_, profile, sp := figure1Setup(t)
+	// Formula 2: the composed doi of an implicit preference never exceeds
+	// the doi of its terminal atomic selection preference.
+	termDoi := make(map[string]float64)
+	for _, a := range profile.Atoms() {
+		if a.IsSelection() {
+			termDoi[a.Sel.String()] = a.Doi
+		}
+	}
+	for _, p := range sp.P {
+		want, ok := termDoi[p.Imp.Sel.String()]
+		if !ok {
+			t.Fatalf("unknown terminal selection %s", p.Imp.Sel)
+		}
+		if p.Doi > want+1e-12 {
+			t.Errorf("implicit doi %g exceeds terminal atomic doi %g for %s",
+				p.Doi, want, p.Imp)
+		}
+	}
+}
+
+func TestEmptyQueryFails(t *testing.T) {
+	db := testutil.MovieDB(256)
+	est := estimate.New(catalog.Build(db), 1)
+	profile := prefs.NewProfile()
+	if _, err := Build(&query.Query{}, profile, est, Options{}); err == nil {
+		t.Error("empty query must fail")
+	}
+}
+
+func TestValidateCatchesCorruptSpaces(t *testing.T) {
+	_, _, sp := figure1Setup(t)
+	// Corrupt K.
+	bad := *sp
+	bad.K = 5
+	if bad.Validate() == nil {
+		t.Error("K mismatch must fail")
+	}
+	// Corrupt doi range.
+	bad2 := *sp
+	bad2.P = append([]Pref(nil), sp.P...)
+	bad2.P[0].Doi = 2
+	if bad2.Validate() == nil {
+		t.Error("doi out of range must fail")
+	}
+	// Break doi sort order.
+	bad3 := *sp
+	bad3.P = []Pref{sp.P[1], sp.P[0]}
+	if bad3.Validate() == nil {
+		t.Error("unsorted P must fail")
+	}
+	// Break the C permutation.
+	bad4 := *sp
+	bad4.C = []int{0, 0}
+	if bad4.Validate() == nil {
+		t.Error("non-permutation C must fail")
+	}
+	// Break cost ordering within C.
+	if sp.P[sp.C[0]].Cost != sp.P[sp.C[1]].Cost {
+		bad5 := *sp
+		bad5.C = []int{sp.C[1], sp.C[0]}
+		if bad5.Validate() == nil {
+			t.Error("mis-ordered C must fail")
+		}
+	}
+	// Negative cost.
+	bad6 := *sp
+	bad6.P = append([]Pref(nil), sp.P...)
+	bad6.P[0].Cost = -1
+	if bad6.Validate() == nil {
+		t.Error("negative cost must fail")
+	}
+	// Shrink out of range.
+	bad7 := *sp
+	bad7.P = append([]Pref(nil), sp.P...)
+	bad7.P[0].Shrink = 1.5
+	if bad7.Validate() == nil {
+		t.Error("shrink out of range must fail")
+	}
+	// Wrong vector length.
+	bad8 := *sp
+	bad8.S = []int{0}
+	if bad8.Validate() == nil {
+		t.Error("short S must fail")
+	}
+}
+
+func TestLongerPathsViaCast(t *testing.T) {
+	// A two-hop path MOVIE -> CAST -> ACTOR exercises path extension and
+	// the MaxPathLen bound.
+	db := testutil.MovieDB(256)
+	s := db.Schema()
+	s.MustAddRelation("ACTOR", "aid",
+		schema.Column{Name: "aid", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString})
+	s.MustAddRelation("CAST", "",
+		schema.Column{Name: "mid", Type: value.KindInt},
+		schema.Column{Name: "aid", Type: value.KindInt})
+	db2 := storage.NewDB(s, 256) // fresh db over the extended schema
+	db2.MustTable("ACTOR").MustInsert(value.Int(1), value.Str("A. Actor"))
+	db2.MustTable("CAST").MustInsert(value.Int(1), value.Int(1))
+	db2.MustTable("MOVIE").MustInsert(value.Int(1), value.Str("M"), value.Int(2000), value.Int(90), value.Int(1))
+	est := estimate.New(catalog.Build(db2), 1)
+	profile, err := prefs.ParseProfile(`
+doi(MOVIE.mid = CAST.mid) = 0.9
+doi(CAST.aid = ACTOR.aid) = 0.9
+doi(ACTOR.name = 'A. Actor') = 0.8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sqlparse.MustParse(s, "SELECT title FROM MOVIE")
+	sp, err := Build(q, profile, est, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.K != 1 || len(sp.P[0].Imp.Path) != 2 {
+		t.Fatalf("two-hop preference not extracted: %+v", sp.P)
+	}
+	if math.Abs(sp.P[0].Doi-0.9*0.9*0.8) > 1e-12 {
+		t.Errorf("composed doi = %g", sp.P[0].Doi)
+	}
+	// MaxPathLen = 1 cuts the two-hop path.
+	sp2, err := Build(q, profile, est, Options{MaxPathLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.K != 0 {
+		t.Errorf("MaxPathLen=1 should prune the two-hop preference, got %v", sp2.P)
+	}
+}

@@ -1,0 +1,182 @@
+// Package sqlparse implements a lexer and recursive-descent parser for the
+// SQL subset CQP personalizes: conjunctive SELECT-FROM-WHERE queries.
+//
+// Grammar (case-insensitive keywords):
+//
+//	query      = "SELECT" ["DISTINCT"] projList "FROM" relList
+//	             ["WHERE" condList] ["ORDER" "BY" orderList] ["LIMIT" number]
+//	projList   = attr {"," attr}
+//	relList    = ident {"," ident}
+//	condList   = cond {"AND" cond}
+//	cond       = attr op literal | attr "=" attr
+//	orderList  = attr ["ASC"|"DESC"] {"," attr ["ASC"|"DESC"]}
+//	attr       = ident "." ident | ident
+//	op         = "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+//	literal    = number | string | TRUE | FALSE | NULL
+//
+// Bare column names are resolved against the FROM relations and must be
+// unambiguous.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokOp // comparison operators
+)
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a parse failure with the byte offset in the input.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sqlparse: at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lexer tokenizes the input on demand.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == '\'':
+		return l.lexString()
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected character %q", c)
+	case c == '-' || c >= '0' && c <= '9':
+		return l.lexNumber()
+	case isIdentStart(rune(c)):
+		return l.lexIdent()
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+// lexString scans a single-quoted string with ” escaping.
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+// lexNumber scans an optionally signed integer or decimal number.
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+		if l.pos >= len(l.src) || l.src[l.pos] < '0' || l.src[l.pos] > '9' {
+			return token{}, l.errf(start, "dangling minus sign")
+		}
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) &&
+			l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+// lexIdent scans an identifier or keyword.
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,79 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"cqp/internal/query"
+	"cqp/internal/testutil"
+)
+
+func TestParseOrderBy(t *testing.T) {
+	s := testutil.MovieSchema()
+	q := MustParse(s, "SELECT title, year FROM MOVIE ORDER BY year DESC, title")
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("OrderBy = %v", q.OrderBy)
+	}
+	if !q.OrderBy[0].Desc || q.OrderBy[0].Attr.Attr != "year" {
+		t.Errorf("first key = %v", q.OrderBy[0])
+	}
+	if q.OrderBy[1].Desc || q.OrderBy[1].Attr.Attr != "title" {
+		t.Errorf("second key = %v", q.OrderBy[1])
+	}
+	// Explicit ASC parses and normalizes.
+	q2 := MustParse(s, "SELECT year FROM MOVIE ORDER BY year ASC")
+	if q2.OrderBy[0].Desc {
+		t.Error("ASC must not set Desc")
+	}
+}
+
+func TestParseLimit(t *testing.T) {
+	s := testutil.MovieSchema()
+	q := MustParse(s, "SELECT title FROM MOVIE LIMIT 3")
+	if q.Limit != 3 {
+		t.Errorf("Limit = %d", q.Limit)
+	}
+	q2 := MustParse(s, "SELECT title, year FROM MOVIE WHERE year >= 1960 ORDER BY year LIMIT 2")
+	if q2.Limit != 2 || len(q2.OrderBy) != 1 || len(q2.Selections) != 1 {
+		t.Errorf("combined clause parse: %+v", q2)
+	}
+}
+
+func TestOrderLimitErrors(t *testing.T) {
+	s := testutil.MovieSchema()
+	bad := []string{
+		"SELECT title FROM MOVIE ORDER year",             // missing BY
+		"SELECT title FROM MOVIE ORDER BY",               // missing key
+		"SELECT title FROM MOVIE ORDER BY year",          // key not projected
+		"SELECT title FROM MOVIE LIMIT",                  // missing count
+		"SELECT title FROM MOVIE LIMIT x",                // non-numeric
+		"SELECT title FROM MOVIE LIMIT -1",               // negative
+		"SELECT title FROM MOVIE LIMIT 2 ORDER BY title", // wrong clause order
+	}
+	for _, src := range bad {
+		if _, err := Parse(s, src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestOrderLimitRoundTrip(t *testing.T) {
+	s := testutil.MovieSchema()
+	srcs := []string{
+		"SELECT MOVIE.title, MOVIE.year FROM MOVIE ORDER BY MOVIE.year DESC LIMIT 5",
+		"SELECT MOVIE.title FROM MOVIE ORDER BY MOVIE.title",
+	}
+	for _, src := range srcs {
+		q1 := MustParse(s, src)
+		q2 := MustParse(s, q1.SQL())
+		if q1.Fingerprint() != q2.Fingerprint() {
+			t.Errorf("round trip changed query:\n%s\n%s", q1.SQL(), q2.SQL())
+		}
+	}
+	// Fingerprint distinguishes limits and orders.
+	a := MustParse(s, "SELECT MOVIE.title FROM MOVIE LIMIT 5")
+	b := MustParse(s, "SELECT MOVIE.title FROM MOVIE LIMIT 6")
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("limit must participate in fingerprint")
+	}
+	_ = query.OrderKey{}
+}

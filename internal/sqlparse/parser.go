@@ -1,0 +1,321 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+
+	"cqp/internal/query"
+	"cqp/internal/schema"
+	"cqp/internal/value"
+)
+
+// parser consumes tokens and builds a query.Query, resolving bare column
+// names against the schema.
+type parser struct {
+	lex *lexer
+	tok token
+	sch *schema.Schema
+}
+
+// Parse parses one SELECT statement against the schema and validates the
+// resulting query.
+func Parse(sch *schema.Schema, src string) (*query.Query, error) {
+	p := &parser{lex: &lexer{src: src}, sch: sch}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.tok.text)
+	}
+	if err := q.Validate(sch); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse panicking on error, for tests and static examples.
+func MustParse(sch *schema.Schema, src string) *query.Query {
+	q, err := Parse(sch, src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return p.lex.errf(p.tok.pos, format, args...)
+}
+
+// advance moves to the next token.
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) keyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// expectKeyword consumes the keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+// parseSelect parses the whole statement.
+func (p *parser) parseSelect() (*query.Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &query.Query{}
+	if p.keyword("DISTINCT") {
+		q.Distinct = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	// Projection list: raw (possibly unqualified) attribute names; resolved
+	// after FROM is known.
+	type rawAttr struct {
+		rel, attr string
+		pos       int
+	}
+	var proj []rawAttr
+	for {
+		rel, attr, pos, err := p.parseRawAttr()
+		if err != nil {
+			return nil, err
+		}
+		proj = append(proj, rawAttr{rel, attr, pos})
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind != tokIdent {
+			return nil, p.errf("expected relation name, found %q", p.tok.text)
+		}
+		q.From = append(q.From, p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	for _, raw := range proj {
+		a, err := p.resolveAttr(q, raw.rel, raw.attr, raw.pos)
+		if err != nil {
+			return nil, err
+		}
+		q.Project = append(q.Project, a)
+	}
+	if p.keyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			if err := p.parseCondition(q); err != nil {
+				return nil, err
+			}
+			if !p.keyword("AND") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			rel, attr, pos, err := p.parseRawAttr()
+			if err != nil {
+				return nil, err
+			}
+			a, err := p.resolveAttr(q, rel, attr, pos)
+			if err != nil {
+				return nil, err
+			}
+			key := query.OrderKey{Attr: a}
+			if p.keyword("DESC") {
+				key.Desc = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			} else if p.keyword("ASC") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.keyword("LIMIT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, found %q", p.tok.text)
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", p.tok.text)
+		}
+		q.Limit = n
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// parseRawAttr parses ident[.ident] returning the (possibly empty) relation
+// qualifier and the attribute name.
+func (p *parser) parseRawAttr() (rel, attr string, pos int, err error) {
+	if p.tok.kind != tokIdent {
+		return "", "", 0, p.errf("expected attribute, found %q", p.tok.text)
+	}
+	first, firstPos := p.tok.text, p.tok.pos
+	if err := p.advance(); err != nil {
+		return "", "", 0, err
+	}
+	if p.tok.kind != tokDot {
+		return "", first, firstPos, nil
+	}
+	if err := p.advance(); err != nil {
+		return "", "", 0, err
+	}
+	if p.tok.kind != tokIdent {
+		return "", "", 0, p.errf("expected column after %q.", first)
+	}
+	attr = p.tok.text
+	if err := p.advance(); err != nil {
+		return "", "", 0, err
+	}
+	return first, attr, firstPos, nil
+}
+
+// resolveAttr resolves a possibly unqualified attribute against the query's
+// FROM list, requiring uniqueness for bare names.
+func (p *parser) resolveAttr(q *query.Query, rel, attr string, pos int) (schema.AttrRef, error) {
+	if rel != "" {
+		return schema.AttrRef{Relation: rel, Attr: attr}, nil
+	}
+	var found []string
+	for _, name := range q.From {
+		r := p.sch.Relation(name)
+		if r != nil && r.ColumnIndex(attr) >= 0 {
+			found = append(found, name)
+		}
+	}
+	switch len(found) {
+	case 1:
+		return schema.AttrRef{Relation: found[0], Attr: attr}, nil
+	case 0:
+		return schema.AttrRef{}, p.lex.errf(pos, "column %s not found in FROM relations", attr)
+	default:
+		return schema.AttrRef{}, p.lex.errf(pos, "column %s is ambiguous (%s)", attr, strings.Join(found, ", "))
+	}
+}
+
+// parseCondition parses one conjunct: join or selection.
+func (p *parser) parseCondition(q *query.Query) error {
+	rel, attr, pos, err := p.parseRawAttr()
+	if err != nil {
+		return err
+	}
+	left, err := p.resolveAttr(q, rel, attr, pos)
+	if err != nil {
+		return err
+	}
+	if p.tok.kind != tokOp {
+		return p.errf("expected comparison operator, found %q", p.tok.text)
+	}
+	op, err := query.ParseOp(p.tok.text)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	switch p.tok.kind {
+	case tokIdent:
+		// Could be a join (attr = attr), or TRUE/FALSE/NULL literal.
+		switch strings.ToUpper(p.tok.text) {
+		case "TRUE", "FALSE", "NULL":
+			v, _ := value.ParseLiteral(p.tok.text)
+			q.Selections = append(q.Selections, query.Selection{Attr: left, Op: op, Value: v})
+			return p.advance()
+		}
+		rel2, attr2, pos2, err := p.parseRawAttr()
+		if err != nil {
+			return err
+		}
+		right, err := p.resolveAttr(q, rel2, attr2, pos2)
+		if err != nil {
+			return err
+		}
+		if op != query.OpEq {
+			return p.lex.errf(pos2, "join conditions must use =, found %s", op)
+		}
+		q.Joins = append(q.Joins, query.Join{Left: left, Right: right})
+		return nil
+	case tokNumber:
+		v, perr := parseNumber(p.tok.text)
+		if perr != nil {
+			return p.errf("%v", perr)
+		}
+		q.Selections = append(q.Selections, query.Selection{Attr: left, Op: op, Value: v})
+		return p.advance()
+	case tokString:
+		q.Selections = append(q.Selections, query.Selection{Attr: left, Op: op, Value: value.Str(p.tok.text)})
+		return p.advance()
+	default:
+		return p.errf("expected literal or attribute, found %q", p.tok.text)
+	}
+}
+
+// parseNumber parses an integer or float literal.
+func parseNumber(s string) (value.Value, error) {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return value.Int(i), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return value.Float(f), nil
+}

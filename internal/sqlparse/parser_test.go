@@ -1,0 +1,209 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cqp/internal/query"
+	"cqp/internal/testutil"
+	"cqp/internal/value"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	s := testutil.MovieSchema()
+	q, err := Parse(s, "select title from MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 1 || q.From[0] != "MOVIE" {
+		t.Errorf("From = %v", q.From)
+	}
+	if len(q.Project) != 1 || q.Project[0].String() != "MOVIE.title" {
+		t.Errorf("Project = %v", q.Project)
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	s := testutil.MovieSchema()
+	// The paper's Q1 sub-query (no aliases in our subset).
+	q, err := Parse(s, `SELECT title FROM MOVIE, DIRECTOR
+		WHERE MOVIE.did = DIRECTOR.did AND DIRECTOR.name = 'W. Allen'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("Joins = %v", q.Joins)
+	}
+	if q.Joins[0].String() != "MOVIE.did = DIRECTOR.did" {
+		t.Errorf("join = %s", q.Joins[0])
+	}
+	if len(q.Selections) != 1 || q.Selections[0].Value.AsStr() != "W. Allen" {
+		t.Errorf("Selections = %v", q.Selections)
+	}
+}
+
+func TestParseLiteralKinds(t *testing.T) {
+	s := testutil.MovieSchema()
+	q := MustParse(s, "SELECT title FROM MOVIE WHERE year >= 1990 AND duration < 120")
+	if len(q.Selections) != 2 {
+		t.Fatalf("Selections = %v", q.Selections)
+	}
+	if q.Selections[0].Op != query.OpGe || q.Selections[0].Value.AsInt() != 1990 {
+		t.Errorf("first selection = %v", q.Selections[0])
+	}
+	if q.Selections[1].Op != query.OpLt {
+		t.Errorf("second selection = %v", q.Selections[1])
+	}
+}
+
+func TestParseDistinctAndMultipleProjections(t *testing.T) {
+	s := testutil.MovieSchema()
+	q := MustParse(s, "SELECT DISTINCT MOVIE.title, year FROM MOVIE")
+	if !q.Distinct || len(q.Project) != 2 {
+		t.Errorf("q = %+v", q)
+	}
+	if q.Project[1].Relation != "MOVIE" {
+		t.Error("bare year should resolve to MOVIE")
+	}
+}
+
+func TestBareColumnResolution(t *testing.T) {
+	s := testutil.MovieSchema()
+	// mid is ambiguous between MOVIE and GENRE.
+	_, err := Parse(s, "SELECT mid FROM MOVIE, GENRE WHERE MOVIE.mid = GENRE.mid")
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguity should be reported, got %v", err)
+	}
+	// genre is unique.
+	q, err := Parse(s, "SELECT genre FROM MOVIE, GENRE WHERE MOVIE.mid = GENRE.mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Project[0].Relation != "GENRE" {
+		t.Errorf("resolved to %v", q.Project[0])
+	}
+	// missing column
+	if _, err := Parse(s, "SELECT nothere FROM MOVIE"); err == nil {
+		t.Error("unknown bare column should fail")
+	}
+}
+
+func TestParseFloatAndEscapedString(t *testing.T) {
+	s := testutil.MovieSchema()
+	q := MustParse(s, "SELECT name FROM DIRECTOR WHERE name <> 'O''Brien'")
+	if q.Selections[0].Value.AsStr() != "O'Brien" {
+		t.Errorf("escaped string = %q", q.Selections[0].Value.AsStr())
+	}
+	q2 := MustParse(s, "SELECT title FROM MOVIE WHERE duration >= 90.5")
+	if q2.Selections[0].Value.Kind() != value.KindFloat {
+		t.Error("decimal literal should be FLOAT")
+	}
+	q3 := MustParse(s, "SELECT title FROM MOVIE WHERE year > -5")
+	if q3.Selections[0].Value.AsInt() != -5 {
+		t.Error("negative literal")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	s := testutil.MovieSchema()
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM MOVIE",
+		"SELECT title",
+		"SELECT title FROM",
+		"SELECT title FROM MOVIE WHERE",
+		"SELECT title FROM MOVIE WHERE year",
+		"SELECT title FROM MOVIE WHERE year ==",
+		"SELECT title FROM MOVIE WHERE year = ",
+		"SELECT title FROM MOVIE WHERE year = 'x",            // unterminated string
+		"SELECT title FROM MOVIE extra",                      // trailing input
+		"SELECT title FROM MOVIE WHERE year < title_",        // unknown column
+		"SELECT title FROM MOVIE WHERE MOVIE.did < DIRECTOR", // bad join op target
+		"SELECT title FROM MOVIE WHERE year = - ",            // dangling minus
+		"SELECT title FROM MOVIE WHERE year ! 3",             // bad char
+		"SELECT MOVIE. FROM MOVIE",                           // dot without column
+		"UPDATE MOVIE",                                       // not a select
+	}
+	for _, src := range bad {
+		if _, err := Parse(s, src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+	// Join with non-equality operator must be rejected.
+	if _, err := Parse(s, "SELECT title FROM MOVIE, GENRE WHERE MOVIE.mid < GENRE.mid"); err == nil {
+		t.Error("non-equality join should fail")
+	}
+	var serr *SyntaxError
+	_, err := Parse(s, "SELECT title FROM MOVIE ???")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if se, ok := err.(*SyntaxError); ok {
+		serr = se
+	}
+	if serr == nil || serr.Pos == 0 || !strings.Contains(serr.Error(), "offset") {
+		t.Errorf("expected positioned SyntaxError, got %#v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse(testutil.MovieSchema(), "not sql")
+}
+
+// TestRoundTrip checks Parse(q.SQL()) reproduces the same query for
+// generated well-formed queries.
+func TestRoundTrip(t *testing.T) {
+	s := testutil.MovieSchema()
+	srcs := []string{
+		"SELECT MOVIE.title FROM MOVIE",
+		"SELECT MOVIE.title FROM MOVIE, GENRE WHERE MOVIE.mid = GENRE.mid AND GENRE.genre = 'musical'",
+		"SELECT MOVIE.title, DIRECTOR.name FROM MOVIE, DIRECTOR WHERE MOVIE.did = DIRECTOR.did AND MOVIE.year >= 1980",
+		"SELECT DISTINCT GENRE.genre FROM GENRE",
+	}
+	for _, src := range srcs {
+		q1 := MustParse(s, src)
+		q2 := MustParse(s, q1.SQL())
+		if q1.Fingerprint() != q2.Fingerprint() {
+			t.Errorf("round trip changed query:\n%s\n%s", q1.SQL(), q2.SQL())
+		}
+	}
+}
+
+// TestParseNeverPanicsProperty fuzzes the parser lightly: arbitrary input
+// must produce an error or a valid query, never a panic.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	s := testutil.MovieSchema()
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		q, err := Parse(s, src)
+		if err == nil && q == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Also some targeted adversarial strings.
+	for _, src := range []string{"SELECT ' FROM", "SELECT 1.2.3 FROM MOVIE", "SELECT .. FROM", "select select from from"} {
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Errorf("panic on %q", src)
+				}
+			}()
+			Parse(s, src) //nolint:errcheck // outcome irrelevant, must not panic
+		}()
+	}
+}

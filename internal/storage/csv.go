@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cqp/internal/value"
+)
+
+// WriteCSV dumps the table as CSV with a header row of column names.
+// Values render with Value.String (unquoted strings; encoding/csv adds
+// quoting as needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.rel.Columns))
+	for i, c := range t.rel.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("storage: csv header: %v", err)
+	}
+	record := make([]string, len(header))
+	for _, row := range t.rows {
+		for i, v := range row {
+			if v.IsNull() {
+				record[i] = "" // NULL round-trips as the empty field
+				continue
+			}
+			record[i] = v.String()
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("storage: csv row: %v", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV bulk-loads CSV data into the table. The first record must be a
+// header naming a subset ordering of the relation's columns (all columns
+// required). Fields parse according to the declared column types; empty
+// fields load as NULL.
+func (t *Table) ReadCSV(r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("storage: csv header: %v", err)
+	}
+	if len(header) != len(t.rel.Columns) {
+		return 0, fmt.Errorf("storage: csv header has %d columns, relation %s has %d",
+			len(header), t.rel.Name, len(t.rel.Columns))
+	}
+	// Map CSV positions onto relation positions.
+	perm := make([]int, len(header))
+	seen := make(map[string]bool, len(header))
+	for i, name := range header {
+		idx := t.rel.ColumnIndex(name)
+		if idx < 0 {
+			return 0, fmt.Errorf("storage: csv column %q not in relation %s", name, t.rel.Name)
+		}
+		if seen[name] {
+			return 0, fmt.Errorf("storage: duplicate csv column %q", name)
+		}
+		seen[name] = true
+		perm[i] = idx
+	}
+	loaded := 0
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return loaded, nil
+		}
+		if err != nil {
+			return loaded, fmt.Errorf("storage: csv line %d: %v", line, err)
+		}
+		row := make(Row, len(t.rel.Columns))
+		for i, field := range record {
+			v, err := parseCSVField(field, t.rel.Columns[perm[i]].Type)
+			if err != nil {
+				return loaded, fmt.Errorf("storage: csv line %d, column %s: %v",
+					line, header[i], err)
+			}
+			row[perm[i]] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return loaded, fmt.Errorf("storage: csv line %d: %v", line, err)
+		}
+		loaded++
+	}
+}
+
+// parseCSVField converts one CSV field to a value of the column's kind.
+func parseCSVField(field string, kind value.Kind) (value.Value, error) {
+	if field == "" {
+		return value.Null(), nil
+	}
+	switch kind {
+	case value.KindInt:
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad INT %q", field)
+		}
+		return value.Int(n), nil
+	case value.KindFloat:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad FLOAT %q", field)
+		}
+		return value.Float(f), nil
+	case value.KindBool:
+		b, err := strconv.ParseBool(field)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad BOOLEAN %q", field)
+		}
+		return value.Bool(b), nil
+	default:
+		return value.Str(field), nil
+	}
+}

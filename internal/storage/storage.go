@@ -1,0 +1,197 @@
+// Package storage implements the in-memory relational store that substitutes
+// for the paper's Oracle 9i substrate.
+//
+// The paper's cost model (Section 7.1) charges b milliseconds per disk block
+// read, assumes full scans with no indexes, and keeps intermediate results in
+// memory. This store implements exactly that model: tables are heap files of
+// rows packed into fixed-size blocks, scans account block reads against an
+// IOCounter, and everything else is memory-resident. "Real" execution cost in
+// Figure 15 is the counter's block total multiplied by b.
+package storage
+
+import (
+	"fmt"
+
+	"cqp/internal/schema"
+	"cqp/internal/value"
+)
+
+// DefaultBlockSize is the block size in bytes used unless overridden.
+// 8 KiB matches a typical DBMS page.
+const DefaultBlockSize = 8192
+
+// rowOverhead is the per-row header charge in bytes (slot pointer + header),
+// making block counts behave like a slotted-page layout.
+const rowOverhead = 8
+
+// Row is one tuple. Positions align with the relation's columns.
+type Row []value.Value
+
+// Clone returns a copy of the row sharing value payloads (values are
+// immutable, so sharing is safe).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Width returns the row's storage footprint in bytes, including overhead.
+func (r Row) Width() int {
+	w := rowOverhead
+	for _, v := range r {
+		w += v.Width()
+	}
+	return w
+}
+
+// IOCounter accumulates simulated block reads. A single counter is threaded
+// through an execution so that the total reflects one query's I/O.
+type IOCounter struct {
+	BlockReads int64
+}
+
+// Add charges n block reads.
+func (c *IOCounter) Add(n int64) {
+	if c != nil {
+		c.BlockReads += n
+	}
+}
+
+// Table is a heap file: rows packed into blocks in insertion order.
+type Table struct {
+	rel       *schema.Relation
+	rows      []Row
+	blockSize int
+
+	// curBlockUsed tracks bytes used in the (virtual) last block so Blocks()
+	// is O(1) and insertion-order dependent, like a real heap file.
+	blocks       int64
+	curBlockUsed int
+}
+
+// NewTable creates an empty heap table for the relation.
+func NewTable(rel *schema.Relation, blockSize int) *Table {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Table{rel: rel, blockSize: blockSize}
+}
+
+// Relation returns the table's relation definition.
+func (t *Table) Relation() *schema.Relation { return t.rel }
+
+// RowCount returns the number of stored tuples.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// Blocks returns the number of blocks the heap file occupies.
+func (t *Table) Blocks() int64 { return t.blocks }
+
+// BlockSize returns the block size in bytes.
+func (t *Table) BlockSize() int { return t.blockSize }
+
+// Insert validates a tuple against the relation and appends it.
+// Values are coerced to the declared column types where possible.
+func (t *Table) Insert(r Row) error {
+	if len(r) != len(t.rel.Columns) {
+		return fmt.Errorf("storage: %s expects %d values, got %d",
+			t.rel.Name, len(t.rel.Columns), len(r))
+	}
+	row := make(Row, len(r))
+	for i, v := range r {
+		cv, err := v.CoerceTo(t.rel.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("storage: %s.%s: %v", t.rel.Name, t.rel.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	w := row.Width()
+	if w > t.blockSize {
+		return fmt.Errorf("storage: row of %d bytes exceeds block size %d", w, t.blockSize)
+	}
+	if t.blocks == 0 || t.curBlockUsed+w > t.blockSize {
+		t.blocks++
+		t.curBlockUsed = 0
+	}
+	t.curBlockUsed += w
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustInsert is Insert panicking on error; for generators and tests.
+func (t *Table) MustInsert(vals ...value.Value) {
+	if err := t.Insert(Row(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Scan performs a full table scan, charging the table's block count to the
+// counter and invoking fn for each row. fn must not retain the row slice
+// beyond the call unless it clones it. Returning false stops the scan early
+// (the full block charge still applies: the model has no indexes, a scan
+// reads the whole heap file).
+func (t *Table) Scan(io *IOCounter, fn func(Row) bool) {
+	io.Add(t.blocks)
+	for _, r := range t.rows {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Rows returns the backing row slice for read-only access without I/O
+// accounting. Used by statistics builders, which model catalog metadata
+// maintained outside query execution.
+func (t *Table) Rows() []Row { return t.rows }
+
+// DB binds a schema to its tables.
+type DB struct {
+	schema    *schema.Schema
+	tables    map[string]*Table
+	blockSize int
+}
+
+// NewDB creates an empty database over the schema with one table per
+// relation.
+func NewDB(s *schema.Schema, blockSize int) *DB {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	db := &DB{schema: s, tables: make(map[string]*Table), blockSize: blockSize}
+	for _, r := range s.Relations() {
+		db.tables[r.Name] = NewTable(r, blockSize)
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (db *DB) Schema() *schema.Schema { return db.schema }
+
+// BlockSize returns the database block size in bytes.
+func (db *DB) BlockSize() int { return db.blockSize }
+
+// Table returns the heap table for the relation, or an error.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no table %s", name)
+	}
+	return t, nil
+}
+
+// MustTable returns the table or panics; for generators and tests.
+func (db *DB) MustTable(name string) *Table {
+	t, err := db.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TotalBlocks sums block counts over all tables.
+func (db *DB) TotalBlocks() int64 {
+	var n int64
+	for _, t := range db.tables {
+		n += t.blocks
+	}
+	return n
+}

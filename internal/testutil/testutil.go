@@ -1,0 +1,73 @@
+// Package testutil provides the paper's example movie schema and a tiny,
+// fully known dataset shared across package tests.
+package testutil
+
+import (
+	"cqp/internal/schema"
+	"cqp/internal/storage"
+	"cqp/internal/value"
+)
+
+// MovieSchema builds the schema of Section 3 of the paper:
+//
+//	MOVIE(mid, title, year, duration, did)
+//	DIRECTOR(did, name), GENRE(mid, genre)
+//
+// with the personalization-graph join edges MOVIE.did = DIRECTOR.did and
+// MOVIE.mid = GENRE.mid.
+func MovieSchema() *schema.Schema {
+	s := schema.New()
+	s.MustAddRelation("MOVIE", "mid",
+		schema.Column{Name: "mid", Type: value.KindInt},
+		schema.Column{Name: "title", Type: value.KindString},
+		schema.Column{Name: "year", Type: value.KindInt},
+		schema.Column{Name: "duration", Type: value.KindInt},
+		schema.Column{Name: "did", Type: value.KindInt})
+	s.MustAddRelation("DIRECTOR", "did",
+		schema.Column{Name: "did", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString})
+	s.MustAddRelation("GENRE", "",
+		schema.Column{Name: "mid", Type: value.KindInt},
+		schema.Column{Name: "genre", Type: value.KindString})
+	s.MustAddJoin("MOVIE.did", "DIRECTOR.did")
+	s.MustAddJoin("MOVIE.mid", "GENRE.mid")
+	return s
+}
+
+// MovieDB loads a small, fully known dataset over MovieSchema:
+//
+//	DIRECTOR: (1, "W. Allen"), (2, "S. Kubrick"), (3, "A. Hitchcock")
+//	MOVIE:    (1,"Bananas",1971,82,1) (2,"Manhattan",1979,96,1)
+//	          (3,"The Shining",1980,146,2) (4,"Psycho",1960,109,3)
+//	          (5,"Vertigo",1958,128,3) (6,"Everyone Says I Love You",1996,101,1)
+//	GENRE:    (1,comedy) (2,comedy) (2,drama) (3,horror) (4,horror)
+//	          (4,thriller) (5,thriller) (6,musical) (6,comedy)
+//
+// Musical ∧ W. Allen therefore selects exactly movie 6.
+func MovieDB(blockSize int) *storage.DB {
+	db := storage.NewDB(MovieSchema(), blockSize)
+	d := db.MustTable("DIRECTOR")
+	d.MustInsert(value.Int(1), value.Str("W. Allen"))
+	d.MustInsert(value.Int(2), value.Str("S. Kubrick"))
+	d.MustInsert(value.Int(3), value.Str("A. Hitchcock"))
+
+	m := db.MustTable("MOVIE")
+	m.MustInsert(value.Int(1), value.Str("Bananas"), value.Int(1971), value.Int(82), value.Int(1))
+	m.MustInsert(value.Int(2), value.Str("Manhattan"), value.Int(1979), value.Int(96), value.Int(1))
+	m.MustInsert(value.Int(3), value.Str("The Shining"), value.Int(1980), value.Int(146), value.Int(2))
+	m.MustInsert(value.Int(4), value.Str("Psycho"), value.Int(1960), value.Int(109), value.Int(3))
+	m.MustInsert(value.Int(5), value.Str("Vertigo"), value.Int(1958), value.Int(128), value.Int(3))
+	m.MustInsert(value.Int(6), value.Str("Everyone Says I Love You"), value.Int(1996), value.Int(101), value.Int(1))
+
+	g := db.MustTable("GENRE")
+	g.MustInsert(value.Int(1), value.Str("comedy"))
+	g.MustInsert(value.Int(2), value.Str("comedy"))
+	g.MustInsert(value.Int(2), value.Str("drama"))
+	g.MustInsert(value.Int(3), value.Str("horror"))
+	g.MustInsert(value.Int(4), value.Str("horror"))
+	g.MustInsert(value.Int(4), value.Str("thriller"))
+	g.MustInsert(value.Int(5), value.Str("thriller"))
+	g.MustInsert(value.Int(6), value.Str("musical"))
+	g.MustInsert(value.Int(6), value.Str("comedy"))
+	return db
+}

@@ -1,0 +1,334 @@
+// Package value implements the typed scalar values stored in relations and
+// referenced by queries and preference conditions.
+//
+// Values are small immutable variants over int64, float64, string and bool,
+// with a Null kind for absent data. They provide total ordering within a
+// kind (and across numeric kinds), hashing for use in hash joins and
+// grouping, and SQL-literal rendering for query construction.
+package value
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a type name (as used in schema definitions) to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INT", "INTEGER", "BIGINT":
+		return KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "NUMERIC":
+		return KindFloat, nil
+	case "VARCHAR", "TEXT", "STRING", "CHAR":
+		return KindString, nil
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	default:
+		return KindNull, fmt.Errorf("value: unknown type name %q", s)
+	}
+}
+
+// Value is an immutable typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the value's dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics if the value is not an INT.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: AsInt on %s", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the value as a float64. INT values are widened.
+// It panics for non-numeric values.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("value: AsFloat on %s", v.kind))
+	}
+}
+
+// AsStr returns the string payload. It panics if the value is not a string.
+func (v Value) AsStr() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: AsStr on %s", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics if the value is not a bool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: AsBool on %s", v.kind))
+	}
+	return v.b
+}
+
+// numericKinds reports whether both values are numeric (INT or FLOAT).
+func numericKinds(a, b Value) bool {
+	return (a.kind == KindInt || a.kind == KindFloat) &&
+		(b.kind == KindInt || b.kind == KindFloat)
+}
+
+// Comparable reports whether a and b can be ordered against each other:
+// same kind, or both numeric. NULL compares only with NULL.
+func Comparable(a, b Value) bool {
+	return a.kind == b.kind || numericKinds(a, b)
+}
+
+// Compare orders v against o: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL sorts before everything. Numeric kinds compare by numeric value.
+// Comparing incomparable kinds orders by kind tag so that Compare remains a
+// total order usable for sorting heterogeneous slices.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if numericKinds(v, o) {
+		a, b := v.AsFloat(), o.AsFloat()
+		// NaN breaks <'s trichotomy; order it deterministically before every
+		// non-NaN number so Compare stays a total order.
+		an, bn := math.IsNaN(a), math.IsNaN(b)
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		case bn:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		switch {
+		case v.kind < o.kind:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether v and o are equal under Compare semantics.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Less reports whether v orders strictly before o.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// Hash returns a 64-bit hash suitable for hash joins and grouping.
+// Values that are Equal hash identically (INT and FLOAT representing the
+// same number share a hash).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.kind {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt, KindFloat:
+		buf[0] = 1
+		f := v.AsFloat()
+		bits := math.Float64bits(f)
+		if f == 0 { // normalize -0.0 and +0.0
+			bits = 0
+		}
+		if math.IsNaN(f) { // normalize NaN payloads: all NaNs are Equal
+			bits = math.Float64bits(math.NaN())
+		}
+		for j := 0; j < 8; j++ {
+			buf[1+j] = byte(bits >> (8 * j))
+		}
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 2
+		h.Write(buf[:1])
+		h.Write([]byte(v.s))
+	case KindBool:
+		buf[0] = 3
+		if v.b {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	}
+	return h.Sum64()
+}
+
+// Width returns the value's storage footprint in bytes under the storage
+// layer's block model: 8 bytes for numerics and booleans (slot-aligned),
+// string length plus a 4-byte length header for strings, 1 byte for NULL.
+func (v Value) Width() int {
+	switch v.kind {
+	case KindString:
+		return len(v.s) + 4
+	case KindNull:
+		return 1
+	default:
+		return 8
+	}
+}
+
+// String renders the value for display (unquoted strings).
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// SQL renders the value as a SQL literal (strings quoted and escaped).
+func (v Value) SQL() string {
+	if v.kind == KindString {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// ParseLiteral parses a SQL literal into a Value: quoted strings, integers,
+// floats, booleans (TRUE/FALSE), and NULL.
+func ParseLiteral(s string) (Value, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return Value{}, fmt.Errorf("value: empty literal")
+	}
+	if len(t) >= 2 && t[0] == '\'' && t[len(t)-1] == '\'' {
+		return Str(strings.ReplaceAll(t[1:len(t)-1], "''", "'")), nil
+	}
+	switch strings.ToUpper(t) {
+	case "NULL":
+		return Null(), nil
+	case "TRUE":
+		return Bool(true), nil
+	case "FALSE":
+		return Bool(false), nil
+	}
+	if i, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return Value{}, fmt.Errorf("value: non-finite literal %q", s)
+		}
+		return Float(f), nil
+	}
+	return Value{}, fmt.Errorf("value: cannot parse literal %q", s)
+}
+
+// CoerceTo converts v to the requested kind when a lossless or standard SQL
+// coercion exists (INT↔FLOAT, anything from NULL stays NULL).
+func (v Value) CoerceTo(k Kind) (Value, error) {
+	if v.kind == k || v.kind == KindNull {
+		return v, nil
+	}
+	switch {
+	case v.kind == KindInt && k == KindFloat:
+		return Float(float64(v.i)), nil
+	case v.kind == KindFloat && k == KindInt:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+			return Int(int64(v.f)), nil
+		}
+		return Value{}, fmt.Errorf("value: cannot coerce non-integral %v to INT", v.f)
+	default:
+		return Value{}, fmt.Errorf("value: cannot coerce %s to %s", v.kind, k)
+	}
+}

@@ -1,0 +1,273 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindInt:    "INT",
+		KindFloat:  "FLOAT",
+		KindString: "VARCHAR",
+		KindBool:   "BOOLEAN",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	ok := map[string]Kind{
+		"int": KindInt, "INTEGER": KindInt, "BigInt": KindInt,
+		"float": KindFloat, "DOUBLE": KindFloat, "real": KindFloat,
+		"varchar": KindString, "TEXT": KindString, " string ": KindString,
+		"bool": KindBool, "BOOLEAN": KindBool,
+	}
+	for in, want := range ok {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob) should fail")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := Int(42); v.Kind() != KindInt || v.AsInt() != 42 {
+		t.Errorf("Int: %v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("Float: %v", v)
+	}
+	if v := Str("abc"); v.Kind() != KindString || v.AsStr() != "abc" {
+		t.Errorf("Str: %v", v)
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.AsBool() {
+		t.Errorf("Bool: %v", v)
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull broken")
+	}
+	// Int widens through AsFloat.
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("AsFloat(Int) should widen")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt", func() { Str("x").AsInt() })
+	mustPanic("AsFloat", func() { Str("x").AsFloat() })
+	mustPanic("AsStr", func() { Int(1).AsStr() })
+	mustPanic("AsBool", func() { Int(1).AsBool() })
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(1), Float(1.5), -1},
+		{Float(2.0), Int(2), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+		{Null(), Null(), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Cross-kind non-numeric comparison is a total order by kind tag.
+	if Int(1).Compare(Str("a")) >= 0 || Str("a").Compare(Int(1)) <= 0 {
+		t.Error("cross-kind ordering not antisymmetric")
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		vals := []Value{Int(a), Int(b), Str(s1), Str(s2), Float(float64(a) / 3), Null(), Bool(a%2 == 0)}
+		for _, x := range vals {
+			for _, y := range vals {
+				if x.Compare(y) != -y.Compare(x) {
+					return false
+				}
+				if x.Compare(y) == 0 != x.Equal(y) {
+					return false
+				}
+				if (x.Compare(y) < 0) != x.Less(y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	f := func(i int64, s string) bool {
+		a, b := Int(i), Float(float64(i))
+		if float64(i) == math.Trunc(float64(i)) && a.Equal(b) && a.Hash() != b.Hash() {
+			return false
+		}
+		return Str(s).Hash() == Str(s).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Int(0).Hash() != Float(math.Copysign(0, -1)).Hash() {
+		t.Error("-0.0 and 0 must hash equally")
+	}
+	if Int(1).Hash() == Str("1").Hash() {
+		t.Error("kind must participate in hash")
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if Int(5).Width() != 8 || Float(1).Width() != 8 || Bool(true).Width() != 8 {
+		t.Error("fixed-width kinds must be 8 bytes")
+	}
+	if Str("abcd").Width() != 8 {
+		t.Errorf("Str width = %d, want 8", Str("abcd").Width())
+	}
+	if Null().Width() != 1 {
+		t.Error("null width")
+	}
+}
+
+func TestStringAndSQL(t *testing.T) {
+	cases := []struct {
+		v         Value
+		str, sqls string
+	}{
+		{Int(7), "7", "7"},
+		{Float(2.5), "2.5", "2.5"},
+		{Str("o'hara"), "o'hara", "'o''hara'"},
+		{Bool(true), "true", "true"},
+		{Null(), "NULL", "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String(%v) = %q, want %q", c.v, got, c.str)
+		}
+		if got := c.v.SQL(); got != c.sqls {
+			t.Errorf("SQL(%v) = %q, want %q", c.v, got, c.sqls)
+		}
+	}
+}
+
+func TestParseLiteral(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"2.5", Float(2.5)},
+		{"'musical'", Str("musical")},
+		{"'o''hara'", Str("o'hara")},
+		{"TRUE", Bool(true)},
+		{"false", Bool(false)},
+		{"NULL", Null()},
+		{" 7 ", Int(7)},
+	}
+	for _, c := range cases {
+		got, err := ParseLiteral(c.in)
+		if err != nil {
+			t.Errorf("ParseLiteral(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("ParseLiteral(%q) = %v (%v), want %v", c.in, got, got.Kind(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1.2.3"} {
+		if _, err := ParseLiteral(bad); err == nil {
+			t.Errorf("ParseLiteral(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseLiteralRoundTrip(t *testing.T) {
+	f := func(i int64, s string) bool {
+		vi, err := ParseLiteral(Int(i).SQL())
+		if err != nil || !vi.Equal(Int(i)) {
+			return false
+		}
+		vs, err := ParseLiteral(Str(s).SQL())
+		if err != nil || !vs.Equal(Str(s)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	if v, err := Int(3).CoerceTo(KindFloat); err != nil || v.AsFloat() != 3.0 {
+		t.Errorf("Int->Float: %v %v", v, err)
+	}
+	if v, err := Float(4).CoerceTo(KindInt); err != nil || v.AsInt() != 4 {
+		t.Errorf("Float->Int: %v %v", v, err)
+	}
+	if _, err := Float(4.5).CoerceTo(KindInt); err == nil {
+		t.Error("4.5 -> INT should fail")
+	}
+	if _, err := Str("x").CoerceTo(KindInt); err == nil {
+		t.Error("string -> INT should fail")
+	}
+	if v, err := Null().CoerceTo(KindInt); err != nil || !v.IsNull() {
+		t.Error("NULL coerces to anything as NULL")
+	}
+	if v, err := Int(1).CoerceTo(KindInt); err != nil || v.AsInt() != 1 {
+		t.Error("identity coercion")
+	}
+}
+
+func TestNaNHandling(t *testing.T) {
+	nan := Float(math.NaN())
+	if nan.Compare(Int(5)) != -1 || Int(5).Compare(nan) != 1 {
+		t.Error("NaN must sort before finite numbers")
+	}
+	if nan.Compare(Float(math.NaN())) != 0 {
+		t.Error("NaN must equal NaN under Compare")
+	}
+	if nan.Hash() != Float(math.NaN()).Hash() {
+		t.Error("equal NaNs must hash equally")
+	}
+	for _, bad := range []string{"nan", "NaN", "inf", "+Inf", "-inf"} {
+		if _, err := ParseLiteral(bad); err == nil {
+			t.Errorf("ParseLiteral(%q) must reject non-finite numbers", bad)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqp/internal/prefs"
+	"cqp/internal/query"
+	"cqp/internal/schema"
+	"cqp/internal/value"
+)
+
+// ProfileConfig shapes generated user profiles, mirroring the evaluation
+// setting of [12] that the paper adopts: a broad range of doi values with
+// configurable deviation.
+type ProfileConfig struct {
+	// SelectionPrefs is the number of atomic selection preferences per
+	// reachable relation family (default 60, enough to extract K = 40
+	// implicit preferences for any query).
+	SelectionPrefs int
+	// DoiMean and DoiDev shape the doi distribution: dois are drawn
+	// uniformly from [DoiMean−DoiDev, DoiMean+DoiDev] clipped to (0, 1).
+	// Defaults: mean 0.5, deviation 0.45 (the "broad range").
+	DoiMean float64
+	DoiDev  float64
+	// JoinDoiMean shapes join-preference dois (default 0.9 — join
+	// preferences express structural relevance and run high).
+	JoinDoiMean float64
+	Seed        int64
+}
+
+func (c *ProfileConfig) defaults() {
+	if c.SelectionPrefs <= 0 {
+		c.SelectionPrefs = 60
+	}
+	if c.DoiMean <= 0 {
+		c.DoiMean = 0.5
+	}
+	if c.DoiDev <= 0 {
+		c.DoiDev = 0.45
+	}
+	if c.JoinDoiMean <= 0 {
+		c.JoinDoiMean = 0.9
+	}
+}
+
+// GenerateProfile builds one synthetic profile over the workload schema:
+// join preferences covering the personalization-graph edges out of MOVIE
+// and CAST, plus selection preferences on genres, years, durations,
+// director names and actor names.
+func GenerateProfile(cfg ProfileConfig) *prefs.Profile {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := prefs.NewProfile()
+
+	doi := func(mean float64) float64 {
+		d := mean + (rng.Float64()*2-1)*cfg.DoiDev
+		if d < 0.01 {
+			d = 0.01
+		}
+		if d > 0.99 {
+			d = 0.99
+		}
+		// Three decimals: keeps profile files readable and round-trippable.
+		return float64(int(d*1000)) / 1000
+	}
+
+	// A user's range preferences are drawn from one coherent era and one
+	// duration band so that conjunctions of their own preferences are
+	// satisfiable (a profile praising year ≥ 1980 and year ≤ 1950 at once
+	// would make every all-match personalization empty).
+	eraLo := 1920 + rng.Intn(50)
+	eraHi := eraLo + 25 + rng.Intn(90-25-(eraLo-1920))
+	durLo := 60 + rng.Intn(60)
+	durHi := durLo + 30 + rng.Intn(120-30-(durLo-60))
+	must := func(err error) {
+		if err != nil {
+			panic(err) // generator bug: conditions are drawn from the schema
+		}
+	}
+
+	// Join preferences: the directed edges preferences travel along.
+	must(p.AddJoin(schema.AttrRef{Relation: "MOVIE", Attr: "did"},
+		schema.AttrRef{Relation: "DIRECTOR", Attr: "did"}, doi(cfg.JoinDoiMean)))
+	must(p.AddJoin(schema.AttrRef{Relation: "MOVIE", Attr: "mid"},
+		schema.AttrRef{Relation: "GENRE", Attr: "mid"}, doi(cfg.JoinDoiMean)))
+	must(p.AddJoin(schema.AttrRef{Relation: "MOVIE", Attr: "mid"},
+		schema.AttrRef{Relation: "CAST", Attr: "mid"}, doi(cfg.JoinDoiMean)))
+	must(p.AddJoin(schema.AttrRef{Relation: "CAST", Attr: "aid"},
+		schema.AttrRef{Relation: "ACTOR", Attr: "aid"}, doi(cfg.JoinDoiMean)))
+
+	// Selection preferences, spread across the reachable relations.
+	type sel struct {
+		attr schema.AttrRef
+		op   query.Op
+		val  value.Value
+	}
+	used := map[string]bool{}
+	fresh := func(s sel) bool {
+		key := s.attr.String() + s.op.String() + s.val.SQL()
+		if used[key] {
+			return false
+		}
+		used[key] = true
+		return true
+	}
+	for made := 0; made < cfg.SelectionPrefs; {
+		var s sel
+		switch rng.Intn(5) {
+		case 0:
+			s = sel{schema.AttrRef{Relation: "GENRE", Attr: "genre"}, query.OpEq,
+				value.Str(GenreName(rng.Intn(NumGenres)))}
+		case 1:
+			// Year bounds stay inside the profile's era.
+			if rng.Intn(2) == 0 {
+				s = sel{schema.AttrRef{Relation: "MOVIE", Attr: "year"}, query.OpGe,
+					value.Int(int64(eraLo - rng.Intn(8)))}
+			} else {
+				s = sel{schema.AttrRef{Relation: "MOVIE", Attr: "year"}, query.OpLe,
+					value.Int(int64(eraHi + rng.Intn(8)))}
+			}
+		case 2:
+			// Duration bounds stay inside the profile's band.
+			if rng.Intn(2) == 0 {
+				s = sel{schema.AttrRef{Relation: "MOVIE", Attr: "duration"}, query.OpGe,
+					value.Int(int64(durLo - rng.Intn(10)))}
+			} else {
+				s = sel{schema.AttrRef{Relation: "MOVIE", Attr: "duration"}, query.OpLe,
+					value.Int(int64(durHi + rng.Intn(10)))}
+			}
+		case 3:
+			s = sel{schema.AttrRef{Relation: "DIRECTOR", Attr: "name"}, query.OpEq,
+				value.Str(fmt.Sprintf("Director %04d", 1+rng.Intn(400)))}
+		default:
+			s = sel{schema.AttrRef{Relation: "ACTOR", Attr: "name"}, query.OpEq,
+				value.Str(fmt.Sprintf("Actor %05d", 1+rng.Intn(2000)))}
+		}
+		if !fresh(s) {
+			continue
+		}
+		must(p.AddSelection(s.attr, s.op, s.val, doi(cfg.DoiMean)))
+		made++
+	}
+	return p
+}
+
+// Profiles generates n profiles with consecutive seeds.
+func Profiles(n int, cfg ProfileConfig) []*prefs.Profile {
+	out := make([]*prefs.Profile, n)
+	for i := range out {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		out[i] = GenerateProfile(c)
+	}
+	return out
+}

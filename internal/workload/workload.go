@@ -1,0 +1,198 @@
+// Package workload generates the synthetic evaluation setting that
+// substitutes for the paper's IMDB data and the profile/query workloads of
+// [12] (Section 7): a movie database with Zipf-skewed value distributions,
+// user profiles with configurable doi ranges and deviations, and random
+// conjunctive queries. Everything is seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqp/internal/catalog"
+	"cqp/internal/estimate"
+	"cqp/internal/query"
+	"cqp/internal/schema"
+	"cqp/internal/storage"
+	"cqp/internal/value"
+)
+
+// DBConfig sizes the synthetic movie database.
+type DBConfig struct {
+	Movies    int // default 4000
+	Directors int // default 400
+	Actors    int // default 2000
+	// GenresPerMovie is the mean number of genre rows per movie (default 2).
+	GenresPerMovie int
+	// CastPerMovie is the mean number of cast rows per movie (default 4).
+	CastPerMovie int
+	BlockSize    int // default storage.DefaultBlockSize
+	Seed         int64
+}
+
+func (c *DBConfig) defaults() {
+	if c.Movies <= 0 {
+		c.Movies = 4000
+	}
+	if c.Directors <= 0 {
+		c.Directors = 400
+	}
+	if c.Actors <= 0 {
+		c.Actors = 2000
+	}
+	if c.GenresPerMovie <= 0 {
+		c.GenresPerMovie = 2
+	}
+	if c.CastPerMovie <= 0 {
+		c.CastPerMovie = 4
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = storage.DefaultBlockSize
+	}
+}
+
+// NumGenres is the size of the synthetic genre domain; profiles draw genre
+// preferences from it, so it bounds per-relation selection variety.
+const NumGenres = 60
+
+// Schema builds the extended movie schema: the paper's three relations plus
+// ACTOR and CAST for longer preference paths.
+func Schema() *schema.Schema {
+	s := schema.New()
+	s.MustAddRelation("MOVIE", "mid",
+		schema.Column{Name: "mid", Type: value.KindInt},
+		schema.Column{Name: "title", Type: value.KindString},
+		schema.Column{Name: "year", Type: value.KindInt},
+		schema.Column{Name: "duration", Type: value.KindInt},
+		schema.Column{Name: "did", Type: value.KindInt})
+	s.MustAddRelation("DIRECTOR", "did",
+		schema.Column{Name: "did", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString})
+	s.MustAddRelation("GENRE", "",
+		schema.Column{Name: "mid", Type: value.KindInt},
+		schema.Column{Name: "genre", Type: value.KindString})
+	s.MustAddRelation("ACTOR", "aid",
+		schema.Column{Name: "aid", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString})
+	s.MustAddRelation("CAST", "",
+		schema.Column{Name: "mid", Type: value.KindInt},
+		schema.Column{Name: "aid", Type: value.KindInt},
+		schema.Column{Name: "role", Type: value.KindString})
+	s.MustAddJoin("MOVIE.did", "DIRECTOR.did")
+	s.MustAddJoin("MOVIE.mid", "GENRE.mid")
+	s.MustAddJoin("MOVIE.mid", "CAST.mid")
+	s.MustAddJoin("CAST.aid", "ACTOR.aid")
+	return s
+}
+
+// GenerateDB populates a database under the config. Genre and director
+// popularity are Zipf-skewed, mirroring real catalog data.
+func GenerateDB(cfg DBConfig) *storage.DB {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := storage.NewDB(Schema(), cfg.BlockSize)
+
+	directors := db.MustTable("DIRECTOR")
+	for d := 1; d <= cfg.Directors; d++ {
+		directors.MustInsert(value.Int(int64(d)), value.Str(fmt.Sprintf("Director %04d", d)))
+	}
+	actors := db.MustTable("ACTOR")
+	for a := 1; a <= cfg.Actors; a++ {
+		actors.MustInsert(value.Int(int64(a)), value.Str(fmt.Sprintf("Actor %05d", a)))
+	}
+
+	dirZipf := rand.NewZipf(rng, 1.3, 4, uint64(cfg.Directors-1))
+	genreZipf := rand.NewZipf(rng, 1.2, 3, uint64(NumGenres-1))
+	actorZipf := rand.NewZipf(rng, 1.2, 8, uint64(cfg.Actors-1))
+
+	movies := db.MustTable("MOVIE")
+	genres := db.MustTable("GENRE")
+	casts := db.MustTable("CAST")
+	roles := []string{"lead", "support", "cameo"}
+	for m := 1; m <= cfg.Movies; m++ {
+		did := int64(dirZipf.Uint64()) + 1
+		year := int64(1920 + rng.Intn(90))
+		duration := int64(60 + rng.Intn(120))
+		movies.MustInsert(
+			value.Int(int64(m)),
+			value.Str(fmt.Sprintf("Movie %06d", m)),
+			value.Int(year),
+			value.Int(duration),
+			value.Int(did))
+		ng := 1 + rng.Intn(2*cfg.GenresPerMovie-1)
+		seen := map[uint64]bool{}
+		for g := 0; g < ng; g++ {
+			gid := genreZipf.Uint64()
+			if seen[gid] {
+				continue
+			}
+			seen[gid] = true
+			genres.MustInsert(value.Int(int64(m)), value.Str(GenreName(int(gid))))
+		}
+		nc := 1 + rng.Intn(2*cfg.CastPerMovie-1)
+		seenA := map[uint64]bool{}
+		for cI := 0; cI < nc; cI++ {
+			aid := actorZipf.Uint64() + 1
+			if seenA[aid] {
+				continue
+			}
+			seenA[aid] = true
+			casts.MustInsert(value.Int(int64(m)), value.Int(int64(aid)),
+				value.Str(roles[rng.Intn(len(roles))]))
+		}
+	}
+	return db
+}
+
+// GenreName names the synthetic genre with the given index.
+func GenreName(i int) string { return fmt.Sprintf("genre%02d", i) }
+
+// Env bundles a generated database with its statistics and estimator — the
+// substrate every experiment runs against.
+type Env struct {
+	DB  *storage.DB
+	Cat *catalog.Catalog
+	Est *estimate.Estimator
+}
+
+// NewEnv generates a database and builds its catalog and estimator.
+// bMillis ≤ 0 selects the paper's 1 ms per block.
+func NewEnv(cfg DBConfig, bMillis float64) *Env {
+	db := GenerateDB(cfg)
+	cat := catalog.Build(db)
+	return &Env{DB: db, Cat: cat, Est: estimate.New(cat, bMillis)}
+}
+
+// movieAttr is shorthand for attribute references used by generators.
+func movieAttr(attr string) schema.AttrRef {
+	return schema.AttrRef{Relation: "MOVIE", Attr: attr}
+}
+
+// Queries generates n random conjunctive queries anchored at MOVIE (every
+// profile preference is reachable from MOVIE, matching the paper's setting
+// where preferences are "syntactically related" to the query).
+func Queries(n int, seed int64) []*query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*query.Query, 0, n)
+	for i := 0; i < n; i++ {
+		q := &query.Query{From: []string{"MOVIE"}, Project: []schema.AttrRef{movieAttr("title")}}
+		// Occasionally join in DIRECTOR or GENRE directly.
+		switch rng.Intn(4) {
+		case 0:
+			q.AddJoin(query.Join{Left: movieAttr("did"), Right: schema.AttrRef{Relation: "DIRECTOR", Attr: "did"}})
+		case 1:
+			q.AddJoin(query.Join{Left: movieAttr("mid"), Right: schema.AttrRef{Relation: "GENRE", Attr: "mid"}})
+		}
+		// 0–2 base selections on year/duration.
+		if rng.Intn(2) == 0 {
+			q.AddSelection(query.Selection{Attr: movieAttr("year"), Op: query.OpGe,
+				Value: value.Int(int64(1920 + rng.Intn(80)))})
+		}
+		if rng.Intn(3) == 0 {
+			q.AddSelection(query.Selection{Attr: movieAttr("duration"), Op: query.OpLe,
+				Value: value.Int(int64(90 + rng.Intn(90)))})
+		}
+		out = append(out, q)
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package cqp
+
+import (
+	"fmt"
+	"strings"
+
+	"cqp/internal/catalog"
+	"cqp/internal/core"
+	"cqp/internal/estimate"
+	"cqp/internal/exec"
+	"cqp/internal/prefspace"
+	"cqp/internal/rewrite"
+	"cqp/internal/storage"
+)
+
+// Personalizer wires the CQP pipeline of the paper's Figure 2 over one
+// database: Preference Space extraction, Parameter Estimation, State Space
+// Search, and Personalized Query Construction.
+type Personalizer struct {
+	db  *storage.DB
+	est *estimate.Estimator
+}
+
+// NewPersonalizer builds a personalizer over the database, collecting
+// statistics immediately. Call Refresh after bulk-loading more data.
+func NewPersonalizer(db *DB) *Personalizer {
+	p := &Personalizer{db: db}
+	p.Refresh()
+	return p
+}
+
+// Refresh rebuilds catalog statistics (cardinalities, block counts, value
+// frequencies) from the current table contents.
+func (p *Personalizer) Refresh() {
+	p.est = estimate.New(catalog.Build(p.db), estimate.DefaultBlockMillis)
+}
+
+// options collects per-call settings.
+type options struct {
+	algorithm string
+	maxK      int
+	anyMatch  bool
+	merge     bool
+	budget    int
+}
+
+// Option customizes one Personalize call.
+type Option func(*options)
+
+// WithAlgorithm selects the Problem-2 search algorithm by its figure name
+// (see AlgorithmNames), "PORTFOLIO" to race all five concurrently, or
+// "EXHAUSTIVE" for ground-truth enumeration on small K. Default
+// C_MaxBounds.
+func WithAlgorithm(name string) Option { return func(o *options) { o.algorithm = name } }
+
+// WithMaxK caps the number of preferences extracted from the profile
+// (default 20, the paper's default K).
+func WithMaxK(k int) Option { return func(o *options) { o.maxK = k } }
+
+// WithAnyMatch builds the personalized query with HAVING COUNT(*) >= 1 and
+// doi-ranked results instead of the paper's all-match intersection.
+func WithAnyMatch() Option { return func(o *options) { o.anyMatch = true } }
+
+// WithMergedSubQueries combines preferences that share a functional join
+// path into one sub-query (the optimization of the paper's footnote 1),
+// reducing the personalized query's I/O without changing its all-match
+// answer. Incompatible with WithAnyMatch.
+func WithMergedSubQueries() Option { return func(o *options) { o.merge = true } }
+
+// WithStateBudget caps the states a search may visit. The default is 2^20
+// states, which keeps even the paper's deliberately slow algorithms
+// responsive; pass n ≤ 0 for an unlimited (paper-faithful) search.
+func WithStateBudget(n int) Option { return func(o *options) { o.budget = n } }
+
+// Result is the outcome of one personalization.
+type Result struct {
+	// Solution reports the chosen preference subset and its estimated
+	// doi/cost/size.
+	Solution Solution
+	// SQL is the personalized query in the paper's union form.
+	SQL string
+	// Preferences lists the chosen preferences in profile terms
+	// ("doi(<condition>) = <doi>").
+	Preferences []string
+	// PreferenceDois holds the chosen preferences' degrees of interest,
+	// aligned with Preferences.
+	PreferenceDois []float64
+	// Supreme reports the supreme cost (all K preferences) for context.
+	Supreme float64
+
+	db   *storage.DB
+	pq   *rewrite.Personalized
+	sp   *prefspace.Space
+	prob Problem
+}
+
+// Execute runs the personalized query on the database, returning ranked
+// rows.
+func (r *Result) Execute() (*exec.UnionResult, error) {
+	return r.pq.Execute(r.db)
+}
+
+// Explain renders a human-readable account of the personalization: the
+// problem solved, every candidate preference with its parameters, whether
+// it was integrated, and how much of each bound the solution consumes.
+func (r *Result) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "problem: %s\n", r.prob)
+	fmt.Fprintf(&b, "solver:  %s (%d states, %v)\n",
+		r.Solution.Stats.Algorithm, r.Solution.Stats.StatesVisited,
+		r.Solution.Stats.Duration.Round(1000))
+	chosen := make(map[int]bool, len(r.Solution.Set))
+	for _, i := range r.Solution.Set {
+		chosen[i] = true
+	}
+	fmt.Fprintf(&b, "candidates (K = %d, by doi):\n", r.sp.K)
+	for i, pref := range r.sp.P {
+		mark := " "
+		if chosen[i] {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, " %s doi %-8.4f cost %6.0fms  size ×%-7.4f %s\n",
+			mark, pref.Doi, pref.Cost, pref.Shrink, pref.Imp.Condition())
+	}
+	fmt.Fprintf(&b, "solution: %d/%d preferences, doi %.4f, cost %.0f ms, est. size %.1f rows\n",
+		len(r.Solution.Set), r.sp.K, r.Solution.Doi, r.Solution.Cost, r.Solution.Size)
+	if r.prob.CostMax > 0 {
+		fmt.Fprintf(&b, "cost bound: %.0f of %.0f ms used (%.0f%%); all %d preferences would cost %.0f ms\n",
+			r.Solution.Cost, r.prob.CostMax, 100*r.Solution.Cost/r.prob.CostMax, r.sp.K, r.Supreme)
+	}
+	if r.prob.DoiMin > 0 {
+		fmt.Fprintf(&b, "doi bound: %.4f against required %.4f\n", r.Solution.Doi, r.prob.DoiMin)
+	}
+	if r.prob.SizeMin > 0 || r.prob.SizeMax > 0 {
+		fmt.Fprintf(&b, "size window: %.1f rows within [%g, %g]\n",
+			r.Solution.Size, r.prob.SizeMin, r.prob.SizeMax)
+	}
+	if r.Solution.Stats.Truncated {
+		b.WriteString("note: search hit its state budget; the answer is best-found, not proven optimal\n")
+	}
+	return b.String()
+}
+
+// Personalize runs the CQP pipeline: extract the preferences of profile u
+// related to q, search for the optimal subset under the problem's
+// objective and constraints, and construct the personalized query.
+func (p *Personalizer) Personalize(q *Query, u *Profile, prob Problem, opts ...Option) (*Result, error) {
+	o := options{maxK: 20, budget: 1 << 20}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if err := q.Validate(p.db.Schema()); err != nil {
+		return nil, err
+	}
+	if err := u.Validate(p.db.Schema()); err != nil {
+		return nil, err
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	sp, err := prefspace.Build(q, u, p.est, prefspace.Options{
+		MaxK:    o.maxK,
+		CostMax: prob.CostMax,
+	})
+	if err != nil {
+		return nil, err
+	}
+	in := core.FromSpace(sp)
+	in.StateBudget = o.budget
+	sol, err := core.Solve(in, prob, o.algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if !sol.Feasible {
+		return nil, fmt.Errorf("cqp: no personalized query satisfies %s", prob)
+	}
+	chosen := make([]prefspace.Pref, 0, len(sol.Set))
+	prefStrs := make([]string, 0, len(sol.Set))
+	prefDois := make([]float64, 0, len(sol.Set))
+	for _, i := range sol.Set {
+		chosen = append(chosen, sp.P[i])
+		prefStrs = append(prefStrs, sp.P[i].Imp.String())
+		prefDois = append(prefDois, sp.P[i].Doi)
+	}
+	if o.merge && o.anyMatch {
+		return nil, fmt.Errorf("cqp: merged sub-queries require all-match semantics")
+	}
+	var pq *rewrite.Personalized
+	if o.merge {
+		pq = rewrite.ConstructMerged(q, chosen, p.db.Schema())
+	} else {
+		pq = rewrite.Construct(q, chosen, !o.anyMatch)
+	}
+	return &Result{
+		Solution:       sol,
+		SQL:            pq.SQL(),
+		Preferences:    prefStrs,
+		PreferenceDois: prefDois,
+		Supreme:        sp.SupremeCost(),
+		db:             p.db,
+		pq:             pq,
+		sp:             sp,
+		prob:           prob,
+	}, nil
+}
+
+// FrontPoint is one non-dominated personalized query candidate: no other
+// candidate has both higher interest and lower cost.
+type FrontPoint struct {
+	// Preferences lists the point's preferences in profile terms.
+	Preferences []string
+	Doi         float64
+	CostMS      float64
+	Size        float64
+	// Knee marks the elbow of the frontier — the default pick when the
+	// context provides no explicit bounds.
+	Knee bool
+}
+
+// PersonalizeFront enumerates the doi/cost Pareto frontier of personalized
+// queries — the paper's Section 8 future work ("more than one query
+// parameter may be optimized simultaneously") — instead of committing to a
+// single Table 1 problem. Optional constraints come from the problem-like
+// bounds; maxPoints caps the menu (0 = all).
+func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, sizeMax float64, maxPoints int, opts ...Option) ([]FrontPoint, error) {
+	o := options{maxK: 20, budget: 1 << 20}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if err := q.Validate(p.db.Schema()); err != nil {
+		return nil, err
+	}
+	if err := u.Validate(p.db.Schema()); err != nil {
+		return nil, err
+	}
+	sp, err := prefspace.Build(q, u, p.est, prefspace.Options{MaxK: o.maxK, CostMax: costMax})
+	if err != nil {
+		return nil, err
+	}
+	in := core.FromSpace(sp)
+	in.StateBudget = o.budget
+	front, _ := core.ParetoFront(in, core.ParetoOptions{
+		CostMax: costMax, SizeMin: sizeMin, SizeMax: sizeMax, MaxPoints: maxPoints,
+	})
+	knee, hasKnee := core.KneePoint(front)
+	out := make([]FrontPoint, 0, len(front))
+	for _, fp := range front {
+		names := make([]string, 0, len(fp.Set))
+		for _, i := range fp.Set {
+			names = append(names, sp.P[i].Imp.String())
+		}
+		out = append(out, FrontPoint{
+			Preferences: names,
+			Doi:         fp.Doi,
+			CostMS:      fp.Cost,
+			Size:        fp.Size,
+			Knee:        hasKnee && fp.Cost == knee.Cost && fp.Doi == knee.Doi,
+		})
+	}
+	return out, nil
+}
+
+// PersonalizeTopK returns the k highest-interest answers for the user: an
+// any-match personalization whose results are ranked by the conjunction of
+// the preferences each row satisfies, truncated to k rows. This is the
+// top-k reading of personalization the paper contrasts CQP with (Section
+// 2): a bound on how many answers come back rather than on the query's
+// parameters.
+func (p *Personalizer) PersonalizeTopK(q *Query, u *Profile, costMax float64, k int, opts ...Option) ([]RankedAnswer, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cqp: top-k needs k > 0")
+	}
+	opts = append(opts, WithAnyMatch())
+	res, err := p.Personalize(q, u, Problem2(costMax), opts...)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := res.Execute()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RankedAnswer, 0, k)
+	for i, r := range rows.Rows {
+		if i >= k {
+			break
+		}
+		out = append(out, RankedAnswer{Row: r.Key, Doi: r.Doi, Matched: len(r.Matched)})
+	}
+	return out, nil
+}
+
+// RankedAnswer is one row of a top-k personalized answer.
+type RankedAnswer struct {
+	Row Row
+	// Doi scores the row by the preferences it satisfies (Formula 10).
+	Doi float64
+	// Matched counts the satisfied preferences.
+	Matched int
+}
+
+// EstimateQuery reports the estimator's (cost ms, size rows) for a plain
+// conjunctive query — useful for choosing problem bounds.
+func (p *Personalizer) EstimateQuery(q *Query) (costMS, size float64, err error) {
+	if err := q.Validate(p.db.Schema()); err != nil {
+		return 0, 0, err
+	}
+	return p.est.QueryCost(q), p.est.QuerySize(q), nil
+}
+
+// Evaluate executes a plain conjunctive query on the database.
+func (p *Personalizer) Evaluate(q *Query) (*exec.Result, error) {
+	return exec.Eval(p.db, q)
+}
