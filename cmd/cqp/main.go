@@ -10,12 +10,15 @@
 //
 // Shell commands: plain SQL executes personalized; "\plain <sql>" skips
 // personalization; "\explain <sql>" shows the decision; "\front <sql>"
-// prints the doi/cost Pareto frontier; "\profile" prints the active
-// profile; "\quit" exits.
+// prints the doi/cost Pareto frontier; "\trace <sql>" personalizes and
+// executes under a span trace and prints the phase tree; "\stats" dumps
+// the session's metrics and estimator accuracy; "\profile" prints the
+// active profile; "\quit" exits.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +58,8 @@ func main() {
 		db = cqp.SyntheticMovieDB(*movies, *seed)
 	}
 	p := cqp.NewPersonalizer(db)
+	metrics := cqp.NewMetrics()
+	p.Observe(metrics)
 	profile := loadProfile(*profPath, *seed)
 	if err := profile.Validate(db.Schema()); err != nil {
 		fatal(err)
@@ -70,15 +75,22 @@ func main() {
 		case line == "\\quit" || line == "\\q":
 			return
 		case line == "\\help":
-			fmt.Println("SQL executes personalized; \\plain <sql>; \\explain <sql>; \\front <sql>; \\profile; \\quit")
+			fmt.Println("SQL executes personalized; \\plain <sql>; \\explain <sql>; \\front <sql>; \\trace <sql>; \\stats; \\profile; \\quit")
 		case line == "\\profile":
 			fmt.Print(profile.String())
+		case line == "\\stats":
+			fmt.Print(metrics.Render())
+			fmt.Println(p.EstimatorAccuracy())
+		case strings.HasPrefix(line, "\\trace "):
+			runTrace(p, db, profile, prob, strings.TrimPrefix(line, "\\trace "), *k)
 		case strings.HasPrefix(line, "\\plain "):
 			runPlain(p, db, strings.TrimPrefix(line, "\\plain "))
 		case strings.HasPrefix(line, "\\explain "):
 			runExplain(p, db, profile, prob, strings.TrimPrefix(line, "\\explain "), *k)
 		case strings.HasPrefix(line, "\\front "):
 			runFront(p, db, profile, strings.TrimPrefix(line, "\\front "), *k)
+		case strings.HasPrefix(line, "\\"):
+			fmt.Printf("unknown command %q; \\help lists commands\n", line)
 		default:
 			runPersonalized(p, db, profile, prob, line, *k, *anyMatch)
 		}
@@ -204,6 +216,32 @@ func runExplain(p *cqp.Personalizer, db *cqp.DB, profile *cqp.Profile, prob cqp.
 		return
 	}
 	fmt.Print(res.Explain())
+}
+
+// runTrace personalizes and executes the query under a span trace and
+// prints the Figure-2 phase tree with per-phase durations.
+func runTrace(p *cqp.Personalizer, db *cqp.DB, profile *cqp.Profile, prob cqp.Problem, sql string, k int) {
+	q, err := cqp.ParseQuery(db.Schema(), sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ctx, tr := cqp.StartTrace(context.Background(), "request")
+	res, err := p.PersonalizeContext(ctx, q, profile, prob, cqp.WithMaxK(k))
+	if err != nil {
+		tr.End()
+		fmt.Print(tr.Tree())
+		fmt.Println("error:", err)
+		return
+	}
+	rows, err := res.ExecuteContext(ctx)
+	tr.End()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(tr.Tree())
+	fmt.Printf("%d rows, %d block reads\n", len(rows.Rows), rows.BlockReads)
 }
 
 // runFront prints the doi/cost Pareto frontier for the query.

@@ -8,17 +8,24 @@
 //	cqpbench -exp fig12a             # one experiment
 //	cqpbench -profiles 20 -queries 10 -budget 0   # the paper's full scale
 //	cqpbench -csv out/               # also write CSV series
+//	cqpbench -json summary.json      # machine-readable per-experiment rollup
+//	cqpbench -metrics                # dump the run's metrics at the end
+//	cqpbench -http :8080             # serve /metrics, /debug/vars, /debug/pprof
 package main
 
 import (
+	_ "expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
 	"cqp/internal/bench"
+	"cqp/internal/obs"
 	"cqp/internal/workload"
 )
 
@@ -34,6 +41,9 @@ func main() {
 		movies   = flag.Int("movies", 4000, "movies in the synthetic database")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		csvDir   = flag.String("csv", "", "directory to also write CSV series into")
+		jsonPath = flag.String("json", "", "file to write a machine-readable per-experiment summary into")
+		metrics  = flag.Bool("metrics", false, "dump the run's metrics registry after the experiments")
+		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 
@@ -53,6 +63,11 @@ func main() {
 	}
 	if *budget == 0 {
 		cfg.StateBudget = -1 // explicit "unlimited" (Config treats 0 as default)
+	}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	if *httpAddr != "" {
+		serveHTTP(*httpAddr, reg)
 	}
 	r := bench.NewRunner(cfg)
 	fmt.Printf("workload: %d movies, %d profiles × %d queries = %d runs/point, state budget %s\n\n",
@@ -84,6 +99,48 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = r.Summary(tables).WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *metrics {
+		fmt.Println("== metrics ==")
+		fmt.Print(reg.Render())
+	}
+	if *httpAddr != "" {
+		fmt.Printf("experiments done; still serving on %s (ctrl-C to exit)\n", *httpAddr)
+		select {}
+	}
+}
+
+// serveHTTP exposes the registry and the stdlib debug handlers: /metrics in
+// the Prometheus text format, plus /debug/vars and /debug/pprof, which the
+// expvar and net/http/pprof imports register on the default mux themselves
+// (the registry joins /debug/vars under "cqp").
+func serveHTTP(addr string, reg *obs.Registry) {
+	reg.PublishExpvar("cqp")
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "cqpbench: http:", err)
+		}
+	}()
+	fmt.Printf("serving /metrics, /debug/vars, /debug/pprof on %s\n", addr)
 }
 
 func parseInts(s string) ([]int, error) {

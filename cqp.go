@@ -21,9 +21,12 @@
 package cqp
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"cqp/internal/core"
+	"cqp/internal/obs"
 	"cqp/internal/prefs"
 	"cqp/internal/query"
 	"cqp/internal/schema"
@@ -67,6 +70,36 @@ type Problem = core.Problem
 // Solution reports the preference subset a solver chose and its estimated
 // parameters.
 type Solution = core.Solution
+
+// Metrics is the engine's concurrency-safe metrics registry. Attach one to
+// a Personalizer with Observe; read it back via Snapshot, Render,
+// WritePrometheus or Expvar. A nil *Metrics disables all recording.
+type Metrics = obs.Registry
+
+// Trace is one timed span of a pipeline trace tree (see StartTrace).
+type Trace = obs.Span
+
+// MetricSnapshot is the frozen state of one metric in a Metrics snapshot.
+type MetricSnapshot = obs.MetricSnapshot
+
+// AccuracySummary aggregates estimator accuracy (q-errors of estimated
+// versus actual cost and size) over executed personalized queries.
+type AccuracySummary = obs.AccuracySummary
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// FormatDuration renders a duration at the microsecond precision the
+// pipeline reports everywhere.
+func FormatDuration(d time.Duration) string { return obs.FormatDuration(d) }
+
+// StartTrace starts a pipeline trace and returns a context carrying it.
+// Pass the context to PersonalizeContext / ExecuteContext, then render the
+// tree with Trace.Tree after the spans complete.
+func StartTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	tr := obs.NewTrace(name)
+	return obs.ContextWith(ctx, tr), tr
+}
 
 // NewSchema returns an empty schema.
 func NewSchema() *Schema { return schema.New() }

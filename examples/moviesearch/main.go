@@ -64,8 +64,8 @@ func main() {
 			log.Fatal(err)
 		}
 		st := res.Solution.Stats
-		fmt.Printf("  %-15s doi %.6f  %8v  %7d states  %6.1f KB\n",
-			name, res.Solution.Doi, st.Duration.Round(1000),
+		fmt.Printf("  %-15s doi %.6f  %8s  %7d states  %6.1f KB\n",
+			name, res.Solution.Doi, cqp.FormatDuration(st.Duration),
 			st.StatesVisited, float64(st.PeakMemBytes)/1024)
 	}
 }

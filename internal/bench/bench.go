@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cqp/internal/core"
+	"cqp/internal/obs"
 	"cqp/internal/prefs"
 	"cqp/internal/prefspace"
 	"cqp/internal/query"
@@ -38,6 +39,11 @@ type Config struct {
 	StateBudget int
 	// Seed drives all generators.
 	Seed int64
+	// Obs, when set, receives live metrics from the whole harness run:
+	// storage scans and executor unions record through the shared DB, and
+	// every solver invocation records search series per algorithm. Used by
+	// cqpbench's -metrics / -http surfaces.
+	Obs *obs.Registry
 }
 
 // Defaults fills zero fields with the standard configuration.
@@ -77,6 +83,10 @@ type Runner struct {
 	// instances caches (pair, K) → instance so sweeps reuse extraction.
 	instances map[instKey]*core.Instance
 	spaces    map[instKey]*prefspace.Space
+	// current is the experiment id running under All/ByID; rollups
+	// aggregates its solver runs for the -json summary.
+	current string
+	rollups map[string]*point
 }
 
 type instKey struct {
@@ -87,14 +97,36 @@ type instKey struct {
 // NewRunner generates the database, profiles and queries.
 func NewRunner(cfg Config) *Runner {
 	cfg.Defaults()
-	return &Runner{
+	r := &Runner{
 		Cfg:       cfg,
 		Env:       workload.NewEnv(cfg.DB, 1),
 		profiles:  workload.Profiles(cfg.Profiles, workload.ProfileConfig{Seed: cfg.Seed + 3}),
 		queries:   workload.Queries(cfg.Queries, cfg.Seed+2),
 		instances: make(map[instKey]*core.Instance),
 		spaces:    make(map[instKey]*prefspace.Space),
+		rollups:   make(map[string]*point),
 	}
+	r.Env.DB.SetMetrics(cfg.Obs)
+	return r
+}
+
+// recordSol feeds one solver run into the configured registry.
+func (r *Runner) recordSol(sol core.Solution) {
+	reg := r.Cfg.Obs
+	if reg == nil {
+		return
+	}
+	algo := sol.Stats.Algorithm
+	reg.Counter("search_solves_total", "algorithm", algo).Inc()
+	reg.Counter("search_states_visited_total", "algorithm", algo).Add(int64(sol.Stats.StatesVisited))
+	reg.Counter("search_memo_hits_total", "algorithm", algo).Add(int64(sol.Stats.MemoHits))
+	reg.Gauge("search_queue_high_water", "algorithm", algo).SetMax(int64(sol.Stats.QueueHighWater))
+	reg.Gauge("search_peak_mem_bytes", "algorithm", algo).SetMax(sol.Stats.PeakMemBytes)
+	if sol.Stats.Truncated {
+		reg.Counter("search_truncated_total", "algorithm", algo).Inc()
+	}
+	reg.Histogram("search_ms", obs.DurationBucketsMS, "algorithm", algo).
+		Observe(float64(sol.Stats.Duration) / float64(time.Millisecond))
 }
 
 // Pairs returns the number of (profile, query) pairs per data point.

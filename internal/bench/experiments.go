@@ -38,8 +38,11 @@ func (r *Runner) runPoint(name string, k int, cmaxMS float64, pctOfSupreme int) 
 		if pctOfSupreme > 0 {
 			cmax = in.SupremeCost() * float64(pctOfSupreme) / 100
 		}
-		p.add(solver(in, cmax))
+		sol := solver(in, cmax)
+		r.recordSol(sol)
+		p.add(sol)
 	}
+	r.noteRuns(p)
 	return p, nil
 }
 
@@ -487,6 +490,8 @@ func (r *Runner) Memo() (*Table, error) {
 			noMemo.DisableMemo = true
 			without.add(core.CBoundaries(&noMemo, cmax))
 		}
+		r.noteRuns(&with)
+		r.noteRuns(&without)
 		n := int64(r.Pairs())
 		t.AddRow(fmt.Sprintf("%d", k),
 			fmtDur(with.meanDur()), fmt.Sprintf("%d", with.totalStates/n),
@@ -594,7 +599,9 @@ func (r *Runner) All() ([]*Table, error) {
 	}
 	var out []*Table
 	for _, g := range gens {
+		r.current = g.name
 		t, err := g.f()
+		r.current = ""
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %v", g.name, err)
 		}
@@ -605,6 +612,8 @@ func (r *Runner) All() ([]*Table, error) {
 
 // ByID runs one experiment by id.
 func (r *Runner) ByID(id string) (*Table, error) {
+	r.current = id
+	defer func() { r.current = "" }()
 	switch id {
 	case "table1":
 		return r.Table1()

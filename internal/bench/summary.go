@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// ExperimentSummary is the machine-readable rollup of one experiment:
+// every Problem-2 solver invocation the experiment made, aggregated. It is
+// the -json counterpart of the human-readable Table, meant for regression
+// tracking across commits (the tables format durations for reading, which
+// makes them useless to diff numerically).
+type ExperimentSummary struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Runs counts the solver invocations rolled up below; 0 for
+	// experiments that measure something other than Problem-2 solves
+	// (e.g. preference-selection time or query execution).
+	Runs          int      `json:"runs"`
+	MeanTimeMS    float64  `json:"mean_time_ms"`
+	MeanStates    float64  `json:"mean_states"`
+	MeanMemKB     float64  `json:"mean_mem_kb"`
+	TruncatedRuns int      `json:"truncated_runs"`
+	Notes         []string `json:"notes,omitempty"`
+}
+
+// Summary bundles one cqpbench invocation for -json output.
+type Summary struct {
+	Movies      int                 `json:"movies"`
+	Profiles    int                 `json:"profiles"`
+	Queries     int                 `json:"queries"`
+	StateBudget int                 `json:"state_budget"`
+	Seed        int64               `json:"seed"`
+	Experiments []ExperimentSummary `json:"experiments"`
+}
+
+// noteRuns folds one aggregated point into the rollup of the experiment
+// currently running under All or ByID. Experiments invoked directly (as
+// the tests do) have no current id and roll up nothing.
+func (r *Runner) noteRuns(p *point) {
+	if r.current == "" {
+		return
+	}
+	agg, ok := r.rollups[r.current]
+	if !ok {
+		agg = &point{}
+		r.rollups[r.current] = agg
+	}
+	agg.totalDur += p.totalDur
+	agg.totalMem += p.totalMem
+	agg.totalStates += p.totalStates
+	agg.totalDoi += p.totalDoi
+	agg.truncated += p.truncated
+	agg.runs += p.runs
+}
+
+// Summary assembles the machine-readable rollup for the given tables (in
+// the order they ran).
+func (r *Runner) Summary(tables []*Table) *Summary {
+	s := &Summary{
+		Movies:      r.Cfg.DB.Movies,
+		Profiles:    r.Cfg.Profiles,
+		Queries:     r.Cfg.Queries,
+		StateBudget: r.Cfg.StateBudget,
+		Seed:        r.Cfg.Seed,
+	}
+	for _, t := range tables {
+		es := ExperimentSummary{ID: t.ID, Title: t.Title, Notes: t.Notes}
+		if p := r.rollups[t.ID]; p != nil && p.runs > 0 {
+			es.Runs = p.runs
+			es.MeanTimeMS = float64(p.totalDur) / float64(p.runs) / float64(time.Millisecond)
+			es.MeanStates = float64(p.totalStates) / float64(p.runs)
+			es.MeanMemKB = float64(p.totalMem) / float64(p.runs) / 1024
+			es.TruncatedRuns = p.truncated
+		}
+		s.Experiments = append(s.Experiments, es)
+	}
+	return s
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

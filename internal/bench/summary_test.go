@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cqp/internal/obs"
+)
+
+func TestSummaryRollupAndJSON(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	table, err := r.ByID("fig12a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summary([]*Table{table})
+	if len(s.Experiments) != 1 {
+		t.Fatalf("experiments = %d", len(s.Experiments))
+	}
+	es := s.Experiments[0]
+	if es.ID != "fig12a" {
+		t.Errorf("id = %q", es.ID)
+	}
+	// fig12a runs 5 algorithms × 2 Ks × 4 pairs.
+	if want := 5 * 2 * 4; es.Runs != want {
+		t.Errorf("runs = %d, want %d", es.Runs, want)
+	}
+	if es.MeanStates <= 0 || es.MeanTimeMS < 0 || es.MeanMemKB <= 0 {
+		t.Errorf("degenerate rollup: %+v", es)
+	}
+	if s.Movies != 300 || s.Profiles != 2 || s.Queries != 2 {
+		t.Errorf("config echo wrong: %+v", s)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, buf.String())
+	}
+	if back.Experiments[0].Runs != es.Runs || back.Experiments[0].MeanStates != es.MeanStates {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back.Experiments[0], es)
+	}
+}
+
+// TestSummaryWithoutRollup covers experiments that do no Problem-2 solves:
+// the summary still lists them, with zero runs.
+func TestSummaryWithoutRollup(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	table, err := r.ByID("fig12b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summary([]*Table{table})
+	if s.Experiments[0].Runs != 0 {
+		t.Errorf("fig12b rolled up %d solver runs, expected none", s.Experiments[0].Runs)
+	}
+}
+
+// TestRunnerObsWiring checks that a configured registry receives search and
+// storage series from a harness run.
+func TestRunnerObsWiring(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Obs = obs.NewRegistry()
+	r := NewRunner(cfg)
+	if _, err := r.ByID("fig12a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ByID("fig15"); err != nil { // executes queries → storage/exec series
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, m := range cfg.Obs.Snapshot() {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"search_solves_total", "search_ms", "storage_scans_total", "exec_unions_total"} {
+		if !names[want] {
+			t.Errorf("registry missing %q after harness run", want)
+		}
+	}
+}

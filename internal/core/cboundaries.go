@@ -50,8 +50,8 @@ func findBoundary(in *Instance, sp *space, pr primary, st *Stats, mem *memTracke
 	if sp.K == 0 {
 		return boundaries
 	}
-	visited := newVisitedSetFor(in, mem)
-	rq := newNodeDeque(mem)
+	visited := newVisitedSetFor(in, st, mem)
+	rq := newNodeDeque(st, mem)
 	seed := node{0}
 	visited.seen(seed)
 	rq.pushTail(seed)

@@ -28,7 +28,7 @@ func cMaxBoundsOn(in *Instance, sp *space, cmax float64, name string) Solution {
 
 	var maxBounds []node
 	byLen := make(map[int][]node)
-	visited := newVisitedSetFor(in, &mem)
+	visited := newVisitedSetFor(in, &st, &mem)
 	lastSize := 0
 	pr := costPrimary(in, sp, cmax)
 	for k := 0; k+lastSize < sp.K && !st.Truncated; k++ {
@@ -60,7 +60,7 @@ func findMaxBound(in *Instance, sp *space, k int, pr primary,
 	if visited.seen(seed) {
 		return 0
 	}
-	rq := newNodeDeque(mem)
+	rq := newNodeDeque(st, mem)
 	rq.pushTail(seed)
 
 	// prune is visited-only: every Vertical neighbor of a maximal boundary

@@ -34,8 +34,10 @@ func DHeurDoi(in *Instance, cmax float64) Solution {
 		}
 		// Heuristic descent (Figure 11, step 2.5): drop the state's suffix
 		// element by element and regrow each truncation, hoping a cheaper
-		// tail frees budget for more interesting preferences.
-		for cut := len(r) - 1; cut >= 1; cut-- {
+		// tail frees budget for more interesting preferences. The growth
+		// probes burn states too, so the budget is re-checked per cut —
+		// otherwise a tiny budget would finish the round unflagged.
+		for cut := len(r) - 1; cut >= 1 && !in.overBudget(&st); cut-- {
 			trunc := cloneNode(r[:cut])
 			grown := greedyGrowExcluding(sp, trunc, r[cut], pr, &st)
 			if d := sp.doiOf(in, grown); d > maxDoi {

@@ -40,8 +40,8 @@ func findOptimal(in *Instance, sp *space, pr primary, st *Stats, mem *memTracker
 	if sp.K == 0 {
 		return solutions
 	}
-	visited := newVisitedSetFor(in, mem)
-	rq := newNodeDeque(mem)
+	visited := newVisitedSetFor(in, st, mem)
+	rq := newNodeDeque(st, mem)
 	seed := node{0}
 	visited.seen(seed)
 	rq.pushTail(seed)

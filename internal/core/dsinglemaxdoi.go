@@ -24,7 +24,7 @@ func DSingleMaxDoi(in *Instance, cmax float64) Solution {
 	maxDoi := -1.0
 	var best []int
 	suffix := suffixConj(in)
-	visited := newVisitedSetFor(in, &mem)
+	visited := newVisitedSetFor(in, &st, &mem)
 	pr := costPrimary(in, sp, cmax)
 
 	for k := 0; k < sp.K && maxDoi <= suffix[k] && !st.Truncated; k++ {
@@ -32,7 +32,7 @@ func DSingleMaxDoi(in *Instance, cmax float64) Solution {
 		if visited.seen(seed) {
 			continue
 		}
-		rq := newNodeDeque(&mem)
+		rq := newNodeDeque(&st, &mem)
 		rq.pushTail(seed)
 		for rq.len() > 0 {
 			if in.overBudget(&st) {

@@ -165,18 +165,28 @@ func ParetoFront(in *Instance, opt ParetoOptions) ([]ParetoPoint, Stats) {
 // improvement over the cheapest point — a reasonable single answer when
 // the context gives no explicit bounds.
 func KneePoint(front []ParetoPoint) (ParetoPoint, bool) {
-	if len(front) == 0 {
+	i, ok := KneeIndex(front)
+	if !ok {
 		return ParetoPoint{}, false
 	}
+	return front[i], true
+}
+
+// KneeIndex returns the index of the front's knee, so callers can mark the
+// knee by position instead of comparing float parameters for equality.
+func KneeIndex(front []ParetoPoint) (int, bool) {
+	if len(front) == 0 {
+		return 0, false
+	}
 	if len(front) == 1 {
-		return front[0], true
+		return 0, true
 	}
 	base := front[0]
 	last := front[len(front)-1]
 	costSpan := last.Cost - base.Cost
 	doiSpan := last.Doi - base.Doi
 	if costSpan <= 0 || doiSpan <= 0 {
-		return last, true
+		return len(front) - 1, true
 	}
 	bestIdx, bestScore := 0, -1.0
 	for i, p := range front {
@@ -187,5 +197,5 @@ func KneePoint(front []ParetoPoint) (ParetoPoint, bool) {
 			bestIdx, bestScore = i, score
 		}
 	}
-	return front[bestIdx], true
+	return bestIdx, true
 }

@@ -26,11 +26,15 @@ func Portfolio(in *Instance, cmax float64) (Solution, []Stats) {
 
 	best := sols[0]
 	stats := make([]Stats, len(sols))
-	var states int
+	var states, memoHits, highWater int
 	var peak int64
 	for i, s := range sols {
 		stats[i] = s.Stats
 		states += s.Stats.StatesVisited
+		memoHits += s.Stats.MemoHits
+		if s.Stats.QueueHighWater > highWater {
+			highWater = s.Stats.QueueHighWater
+		}
 		if s.Stats.PeakMemBytes > peak {
 			peak = s.Stats.PeakMemBytes
 		}
@@ -43,11 +47,14 @@ func Portfolio(in *Instance, cmax float64) (Solution, []Stats) {
 		}
 	}
 	best.Stats = Stats{
-		Algorithm:     "PORTFOLIO(" + best.Stats.Algorithm + ")",
-		Duration:      time.Since(start),
-		StatesVisited: states,
-		PeakMemBytes:  peak,
-		Truncated:     best.Stats.Truncated,
+		Algorithm:      "PORTFOLIO(" + best.Stats.Algorithm + ")",
+		Duration:       time.Since(start),
+		StatesVisited:  states,
+		PeakMemBytes:   peak,
+		Truncated:      best.Stats.Truncated,
+		MemoHits:       memoHits,
+		QueueHighWater: highWater,
 	}
+	best.Portfolio = stats
 	return best, stats
 }

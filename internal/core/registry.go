@@ -96,6 +96,10 @@ func windowedWithFallback(in *Instance, prob Problem, sol Solution) Solution {
 	fb.Stats.Algorithm = sol.Stats.Algorithm + "+BB-FALLBACK"
 	fb.Stats.StatesVisited += sol.Stats.StatesVisited
 	fb.Stats.Duration += sol.Stats.Duration
+	fb.Stats.MemoHits += sol.Stats.MemoHits
+	if sol.Stats.QueueHighWater > fb.Stats.QueueHighWater {
+		fb.Stats.QueueHighWater = sol.Stats.QueueHighWater
+	}
 	if sol.Stats.PeakMemBytes > fb.Stats.PeakMemBytes {
 		fb.Stats.PeakMemBytes = sol.Stats.PeakMemBytes
 	}

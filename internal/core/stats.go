@@ -19,6 +19,13 @@ type Stats struct {
 	// Truncated reports that the run hit the instance's StateBudget and
 	// returned the best solution found up to that point.
 	Truncated bool
+	// MemoHits counts states the visited-set memo recognized and pruned —
+	// the work the paper-faithful (memo-less) search would redo.
+	MemoHits int
+	// QueueHighWater is the deepest the search queue (the paper's RQ) grew
+	// at any point of the run — the live-frontier companion to
+	// PeakMemBytes.
+	QueueHighWater int
 }
 
 // memTracker accumulates live bytes and records the peak.
@@ -41,28 +48,31 @@ func (m *memTracker) sub(b int64) { m.cur -= b }
 // A disabled set (paper-faithful mode) reports nothing as seen.
 type visitedSet struct {
 	m        map[uint64]struct{}
+	st       *Stats
 	mem      *memTracker
 	disabled bool
 }
 
-func newVisitedSet(mem *memTracker) *visitedSet {
-	return &visitedSet{m: make(map[uint64]struct{}), mem: mem}
+func newVisitedSet(st *Stats, mem *memTracker) *visitedSet {
+	return &visitedSet{m: make(map[uint64]struct{}), st: st, mem: mem}
 }
 
 // newVisitedSetFor builds a visited set honoring the instance's memo mode.
-func newVisitedSetFor(in *Instance, mem *memTracker) *visitedSet {
-	v := newVisitedSet(mem)
+func newVisitedSetFor(in *Instance, st *Stats, mem *memTracker) *visitedSet {
+	v := newVisitedSet(st, mem)
 	v.disabled = in.DisableMemo
 	return v
 }
 
 // seen reports whether the node was recorded before, recording it if not.
+// Re-encounters count as memo hits in the run's Stats.
 func (v *visitedSet) seen(n node) bool {
 	if v.disabled {
 		return false
 	}
 	h := n.hash()
 	if _, ok := v.m[h]; ok {
+		v.st.MemoHits++
 		return true
 	}
 	v.m[h] = struct{}{}
@@ -79,21 +89,31 @@ type nodeDeque struct {
 	front  []node // next head element is front[len(front)-1]
 	back   []node // back[backAt:] are tail-side elements in FIFO order
 	backAt int
+	st     *Stats
 	mem    *memTracker
 }
 
-func newNodeDeque(mem *memTracker) *nodeDeque { return &nodeDeque{mem: mem} }
+func newNodeDeque(st *Stats, mem *memTracker) *nodeDeque { return &nodeDeque{st: st, mem: mem} }
 
 func (d *nodeDeque) len() int { return len(d.front) + len(d.back) - d.backAt }
+
+// noteDepth records the queue's high-water mark after a push.
+func (d *nodeDeque) noteDepth() {
+	if n := d.len(); n > d.st.QueueHighWater {
+		d.st.QueueHighWater = n
+	}
+}
 
 func (d *nodeDeque) pushTail(n node) {
 	d.back = append(d.back, n)
 	d.mem.add(n.memBytes())
+	d.noteDepth()
 }
 
 func (d *nodeDeque) pushHead(n node) {
 	d.front = append(d.front, n)
 	d.mem.add(n.memBytes())
+	d.noteDepth()
 }
 
 func (d *nodeDeque) popHead() node {

@@ -213,7 +213,8 @@ func TestNodeOps(t *testing.T) {
 
 func TestDequeOrdering(t *testing.T) {
 	var mem memTracker
-	d := newNodeDeque(&mem)
+	var st Stats
+	d := newNodeDeque(&st, &mem)
 	d.pushTail(node{1})
 	d.pushTail(node{2})
 	d.pushHead(node{0})

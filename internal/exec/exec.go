@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"cqp/internal/obs"
 	"cqp/internal/prefs"
 	"cqp/internal/query"
 	"cqp/internal/schema"
@@ -322,6 +323,18 @@ type RankedRow struct {
 	Doi float64
 }
 
+// SubQueryStat instruments one sub-query of a personalized union: the
+// paper's Formula 6 charges the union as the sum over sub-queries, and
+// this is where each summand's actual time and I/O becomes visible.
+type SubQueryStat struct {
+	// Rows is the sub-query's (deduplicated) result cardinality.
+	Rows int
+	// BlockReads is the sub-query's simulated I/O.
+	BlockReads int64
+	// Elapsed is the sub-query's in-memory evaluation time.
+	Elapsed time.Duration
+}
+
 // UnionResult is the outcome of a personalized (union) query evaluation.
 type UnionResult struct {
 	Columns []schema.AttrRef
@@ -329,6 +342,9 @@ type UnionResult struct {
 	Rows       []RankedRow
 	BlockReads int64
 	Elapsed    time.Duration
+	// Subs holds per-sub-query timings aligned with the union's
+	// sub-queries, for tracing and metrics.
+	Subs []SubQueryStat
 }
 
 // EvalUnion evaluates the personalized query "UNION ALL of sub-queries,
@@ -375,12 +391,14 @@ func EvalUnion(db *storage.DB, subs []*query.Query, dois []float64, minMatches i
 		key     storage.Row
 		matched []int
 	}
+	subs2 := make([]SubQueryStat, len(results))
 	groups := make(map[string]*group)
 	for i, res := range results {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("exec: sub-query %d: %v", i, errs[i])
 		}
 		io += res.BlockReads
+		subs2[i] = SubQueryStat{Rows: len(res.Rows), BlockReads: res.BlockReads, Elapsed: res.Elapsed}
 		for _, r := range res.Rows {
 			k := rowKey(r)
 			g, ok := groups[k]
@@ -391,7 +409,7 @@ func EvalUnion(db *storage.DB, subs []*query.Query, dois []float64, minMatches i
 			g.matched = append(g.matched, i)
 		}
 	}
-	out := &UnionResult{Columns: subs[0].Project, BlockReads: io}
+	out := &UnionResult{Columns: subs[0].Project, BlockReads: io, Subs: subs2}
 	for _, g := range groups {
 		if len(g.matched) < minMatches {
 			continue
@@ -413,6 +431,18 @@ func EvalUnion(db *storage.DB, subs []*query.Query, dois []float64, minMatches i
 		return rowKey(out.Rows[i].Key) < rowKey(out.Rows[j].Key)
 	})
 	out.Elapsed = time.Since(start)
+	if reg := db.Metrics(); reg != nil {
+		reg.Counter("exec_unions_total").Inc()
+		reg.Counter("exec_subqueries_total").Add(int64(len(subs)))
+		reg.Counter("exec_block_reads_total").Add(io)
+		reg.Counter("exec_rows_returned_total").Add(int64(len(out.Rows)))
+		reg.Histogram("exec_union_ms", obs.DurationBucketsMS).
+			Observe(float64(out.Elapsed) / float64(time.Millisecond))
+		hsub := reg.Histogram("exec_subquery_ms", obs.DurationBucketsMS)
+		for _, s := range subs2 {
+			hsub.Observe(float64(s.Elapsed) / float64(time.Millisecond))
+		}
+	}
 	return out, nil
 }
 

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Accuracy tracks estimator accuracy: for every executed personalized
+// query it records the estimated versus actual cost (milliseconds) and
+// result size (rows) and maintains q-error histograms in the registry.
+//
+// The q-error of an estimate e against an actual a is max(e/a, a/e) ≥ 1 —
+// the standard symmetric multiplicative error of the cardinality-
+// estimation literature. It is the feedback signal the paper's Figure 15
+// reads off its est/real bar pairs, and the series every later estimator
+// improvement will be judged against.
+type Accuracy struct {
+	costQ *Histogram
+	sizeQ *Histogram
+
+	mu sync.Mutex
+	n  int64
+	// Running sums and maxima of the two q-error series.
+	costSum, costMax float64
+	sizeSum, sizeMax float64
+	last             AccuracyRecord
+}
+
+// AccuracyRecord is one estimated-versus-actual observation.
+type AccuracyRecord struct {
+	EstCostMS float64
+	ActCostMS float64
+	EstRows   float64
+	ActRows   float64
+	CostQErr  float64
+	SizeQErr  float64
+}
+
+// NewAccuracy builds a tracker recording into the registry's
+// estimator_qerror_cost and estimator_qerror_size histograms. A nil
+// registry yields a nil tracker (all methods no-op).
+func NewAccuracy(reg *Registry) *Accuracy {
+	if reg == nil {
+		return nil
+	}
+	return &Accuracy{
+		costQ: reg.Histogram("estimator_qerror_cost", QErrorBuckets),
+		sizeQ: reg.Histogram("estimator_qerror_size", QErrorBuckets),
+	}
+}
+
+// QError returns max(est/act, act/est), clamped to ≥ 1. Zero-vs-zero is a
+// perfect estimate (1); zero-vs-nonzero saturates to +Inf.
+func QError(est, act float64) float64 {
+	est, act = math.Abs(est), math.Abs(act)
+	if est == act {
+		return 1
+	}
+	if est == 0 || act == 0 {
+		return math.Inf(1)
+	}
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
+// Record logs one executed personalized query. Nil-safe.
+func (a *Accuracy) Record(estCostMS, actCostMS, estRows, actRows float64) AccuracyRecord {
+	rec := AccuracyRecord{
+		EstCostMS: estCostMS, ActCostMS: actCostMS,
+		EstRows: estRows, ActRows: actRows,
+		CostQErr: QError(estCostMS, actCostMS),
+		SizeQErr: QError(estRows, actRows),
+	}
+	if a == nil {
+		return rec
+	}
+	a.costQ.Observe(rec.CostQErr)
+	a.sizeQ.Observe(rec.SizeQErr)
+	a.mu.Lock()
+	a.n++
+	a.costSum += rec.CostQErr
+	a.sizeSum += rec.SizeQErr
+	if rec.CostQErr > a.costMax {
+		a.costMax = rec.CostQErr
+	}
+	if rec.SizeQErr > a.sizeMax {
+		a.sizeMax = rec.SizeQErr
+	}
+	a.last = rec
+	a.mu.Unlock()
+	return rec
+}
+
+// AccuracySummary aggregates the tracker's observations.
+type AccuracySummary struct {
+	Queries      int64
+	MeanCostQErr float64
+	MaxCostQErr  float64
+	MeanSizeQErr float64
+	MaxSizeQErr  float64
+	Last         AccuracyRecord
+}
+
+// Summary returns the aggregate view (zero value on nil or empty).
+func (a *Accuracy) Summary() AccuracySummary {
+	if a == nil {
+		return AccuracySummary{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := AccuracySummary{Queries: a.n, MaxCostQErr: a.costMax, MaxSizeQErr: a.sizeMax, Last: a.last}
+	if a.n > 0 {
+		s.MeanCostQErr = a.costSum / float64(a.n)
+		s.MeanSizeQErr = a.sizeSum / float64(a.n)
+	}
+	return s
+}
+
+// String renders the summary for the shell's \stats command.
+func (s AccuracySummary) String() string {
+	if s.Queries == 0 {
+		return "estimator accuracy: no personalized queries executed yet"
+	}
+	return fmt.Sprintf(
+		"estimator accuracy over %d executed queries:\n"+
+			"  cost q-error: mean %.2f  max %.2f (last est %.0f ms vs actual %.0f ms)\n"+
+			"  size q-error: mean %.2f  max %.2f (last est %.3g rows vs actual %.0f rows)",
+		s.Queries,
+		s.MeanCostQErr, s.MaxCostQErr, s.Last.EstCostMS, s.Last.ActCostMS,
+		s.MeanSizeQErr, s.MaxSizeQErr, s.Last.EstRows, s.Last.ActRows)
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, act, want float64
+	}{
+		{100, 100, 1},
+		{50, 100, 2},
+		{100, 50, 2},
+		{0, 0, 1},
+		{0, 10, math.Inf(1)},
+		{10, 0, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.act); got != c.want {
+			t.Fatalf("QError(%g, %g) = %g, want %g", c.est, c.act, got, c.want)
+		}
+	}
+}
+
+func TestAccuracyTracker(t *testing.T) {
+	reg := NewRegistry()
+	acc := NewAccuracy(reg)
+
+	rec := acc.Record(100, 200, 10, 10)
+	if rec.CostQErr != 2 || rec.SizeQErr != 1 {
+		t.Fatalf("record q-errors = %g/%g, want 2/1", rec.CostQErr, rec.SizeQErr)
+	}
+	acc.Record(300, 100, 40, 10)
+
+	s := acc.Summary()
+	if s.Queries != 2 {
+		t.Fatalf("queries = %d, want 2", s.Queries)
+	}
+	if math.Abs(s.MeanCostQErr-2.5) > 1e-12 || s.MaxCostQErr != 3 {
+		t.Fatalf("cost q-error mean/max = %g/%g, want 2.5/3", s.MeanCostQErr, s.MaxCostQErr)
+	}
+	if math.Abs(s.MeanSizeQErr-2.5) > 1e-12 || s.MaxSizeQErr != 4 {
+		t.Fatalf("size q-error mean/max = %g/%g, want 2.5/4", s.MeanSizeQErr, s.MaxSizeQErr)
+	}
+	if s.Last.ActCostMS != 100 {
+		t.Fatalf("last record actual cost = %g, want 100", s.Last.ActCostMS)
+	}
+	if !strings.Contains(s.String(), "2 executed queries") {
+		t.Fatalf("summary string = %q", s.String())
+	}
+
+	// The q-error series must land in the registry histograms.
+	if got := reg.Histogram("estimator_qerror_cost", nil).Count(); got != 2 {
+		t.Fatalf("cost q-error histogram count = %d, want 2", got)
+	}
+	if got := reg.Histogram("estimator_qerror_size", nil).Count(); got != 2 {
+		t.Fatalf("size q-error histogram count = %d, want 2", got)
+	}
+	if NewAccuracy(nil) != nil {
+		t.Fatal("NewAccuracy(nil) must be nil")
+	}
+	if empty := (AccuracySummary{}); !strings.Contains(empty.String(), "no personalized queries") {
+		t.Fatalf("empty summary = %q", empty.String())
+	}
+}

@@ -1,0 +1,29 @@
+// Package obs is the zero-dependency observability layer of the CQP
+// engine: a concurrency-safe metrics registry (counters, gauges,
+// fixed-bucket histograms), lightweight span tracing propagated through
+// context.Context, and an estimator-accuracy tracker.
+//
+// The paper's entire evaluation (Section 7) measures the personalization
+// pipeline — search time (Figure 12), peak memory (Figure 13), estimated
+// versus actual cost (Figure 15) — and this package makes those same
+// quantities observable on every live run rather than only inside the
+// bench harness.
+//
+// Everything is nil-safe by design: a nil *Registry hands out nil
+// instruments whose methods are no-ops, and tracing only activates when
+// the caller installed a span in the context. Disabled observability
+// therefore compiles down to a nil check on the hot path, which keeps the
+// instrumented search loop and executor at seed performance.
+package obs
+
+import "time"
+
+// RoundDuration rounds a duration to the microsecond — the precision the
+// pipeline reports everywhere (sub-microsecond noise is meaningless for
+// millisecond-scale cost models).
+func RoundDuration(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// FormatDuration renders a duration at microsecond precision, the shared
+// formatting previously duplicated (as a magic Round(1000)) across the
+// personalizer and examples.
+func FormatDuration(d time.Duration) string { return RoundDuration(d).String() }

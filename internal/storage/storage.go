@@ -12,6 +12,7 @@ package storage
 import (
 	"fmt"
 
+	"cqp/internal/obs"
 	"cqp/internal/schema"
 	"cqp/internal/value"
 )
@@ -67,6 +68,12 @@ type Table struct {
 	// is O(1) and insertion-order dependent, like a real heap file.
 	blocks       int64
 	curBlockUsed int
+
+	// Per-table scan instruments, cached once by DB.SetMetrics so the scan
+	// loop records with a single atomic add (nil — a no-op — until then).
+	mBlockReads  *obs.Counter
+	mRowsScanned *obs.Counter
+	mScans       *obs.Counter
 }
 
 // NewTable creates an empty heap table for the relation.
@@ -131,11 +138,16 @@ func (t *Table) MustInsert(vals ...value.Value) {
 // reads the whole heap file).
 func (t *Table) Scan(io *IOCounter, fn func(Row) bool) {
 	io.Add(t.blocks)
+	t.mScans.Inc()
+	t.mBlockReads.Add(t.blocks)
+	scanned := 0
 	for _, r := range t.rows {
+		scanned++
 		if !fn(r) {
-			return
+			break
 		}
 	}
+	t.mRowsScanned.Add(int64(scanned))
 }
 
 // Rows returns the backing row slice for read-only access without I/O
@@ -148,7 +160,27 @@ type DB struct {
 	schema    *schema.Schema
 	tables    map[string]*Table
 	blockSize int
+	metrics   *obs.Registry
 }
+
+// SetMetrics attaches a metrics registry to the store: every table scan
+// then records storage_scans_total, storage_block_reads_total and
+// storage_rows_scanned_total, labeled per table. Passing nil detaches.
+func (db *DB) SetMetrics(reg *obs.Registry) {
+	db.metrics = reg
+	for name, t := range db.tables {
+		if reg == nil {
+			t.mScans, t.mBlockReads, t.mRowsScanned = nil, nil, nil
+			continue
+		}
+		t.mScans = reg.Counter("storage_scans_total", "table", name)
+		t.mBlockReads = reg.Counter("storage_block_reads_total", "table", name)
+		t.mRowsScanned = reg.Counter("storage_rows_scanned_total", "table", name)
+	}
+}
+
+// Metrics returns the attached registry (nil when observability is off).
+func (db *DB) Metrics() *obs.Registry { return db.metrics }
 
 // NewDB creates an empty database over the schema with one table per
 // relation.

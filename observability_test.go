@@ -1,0 +1,187 @@
+package cqp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cqp/internal/obs"
+)
+
+// TestTracedPipeline drives one personalization and execution under a trace
+// and checks that every Figure-2 phase appears in the span tree with a
+// duration.
+func TestTracedPipeline(t *testing.T) {
+	db := paperDB(t)
+	p := NewPersonalizer(db)
+	profile, err := ParseProfile(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(db.Schema(), "select title from MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, tr := StartTrace(context.Background(), "personalize-request")
+	res, err := p.PersonalizeContext(ctx, q, profile, Problem2(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.ExecuteContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tr.End()
+
+	for _, phase := range []string{"personalize", "prefspace", "estimate", "search", "construct", "execute"} {
+		sp := tr.Find(phase)
+		if sp == nil {
+			t.Fatalf("span tree missing phase %q:\n%s", phase, tr.Tree())
+		}
+		if sp.Duration() < 0 {
+			t.Errorf("phase %q has negative duration", phase)
+		}
+	}
+	// Execution spawns one child span per sub-query.
+	exe := tr.Find("execute")
+	if got := len(exe.Children()); got != 2 {
+		t.Errorf("execute span has %d sub-query children, want 2:\n%s", got, tr.Tree())
+	}
+	tree := tr.Tree()
+	for _, want := range []string{"personalize-request", "  personalize", "subquery[0]", "subquery[1]"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestTracedPortfolio checks that a PORTFOLIO solve attaches one child span
+// per raced algorithm under the search span.
+func TestTracedPortfolio(t *testing.T) {
+	db := paperDB(t)
+	p := NewPersonalizer(db)
+	profile, _ := ParseProfile(figure1)
+	q, _ := ParseQuery(db.Schema(), "select title from MOVIE")
+
+	ctx, tr := StartTrace(context.Background(), "req")
+	if _, err := p.PersonalizeContext(ctx, q, profile, Problem2(10000),
+		WithAlgorithm("PORTFOLIO")); err != nil {
+		t.Fatal(err)
+	}
+	tr.End()
+	search := tr.Find("search")
+	if search == nil {
+		t.Fatalf("no search span:\n%s", tr.Tree())
+	}
+	if got := len(search.Children()); got != 5 {
+		t.Errorf("search span has %d algorithm children, want 5:\n%s", got, tr.Tree())
+	}
+}
+
+// TestObservedPipelineMetrics attaches a registry and checks that every
+// layer — search, storage, executor, estimator accuracy — records into it.
+func TestObservedPipelineMetrics(t *testing.T) {
+	db := paperDB(t)
+	p := NewPersonalizer(db)
+	reg := NewMetrics()
+	p.Observe(reg)
+	profile, _ := ParseProfile(figure1)
+	q, _ := ParseQuery(db.Schema(), "select title from MOVIE")
+
+	res, err := p.Personalize(q, profile, Problem2(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Execute(); err != nil {
+		t.Fatal(err)
+	}
+
+	names := make(map[string]bool)
+	for _, m := range reg.Snapshot() {
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"personalize_total", "personalize_ms",
+		"search_solves_total", "search_states_visited_total", "search_ms",
+		"storage_scans_total", "storage_block_reads_total", "storage_rows_scanned_total",
+		"exec_unions_total", "exec_subquery_ms", "exec_block_reads_total",
+		"estimator_qerror_cost", "estimator_qerror_size",
+	} {
+		if !names[want] {
+			t.Errorf("registry missing series %q (have %v)", want, names)
+		}
+	}
+	if v := reg.Counter("personalize_total").Value(); v != 1 {
+		t.Errorf("personalize_total = %d, want 1", v)
+	}
+	acc := p.EstimatorAccuracy()
+	if acc.Queries != 1 {
+		t.Fatalf("accuracy queries = %d, want 1", acc.Queries)
+	}
+	if acc.MeanCostQErr < 1 || acc.MeanSizeQErr < 1 {
+		t.Errorf("q-errors below 1: %+v", acc)
+	}
+	// The all-match answer is 1 row against an independence estimate — the
+	// recorded actuals must match the execution.
+	if acc.Last.ActRows != 1 {
+		t.Errorf("actual rows = %v, want 1", acc.Last.ActRows)
+	}
+
+	// Detaching stops recording.
+	p.Observe(nil)
+	if _, err := p.Personalize(q, profile, Problem2(10000)); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("personalize_total").Value(); v != 1 {
+		t.Errorf("detached personalizer still recorded: personalize_total = %d", v)
+	}
+}
+
+// TestDisabledObservabilityIsInert verifies the default path stays free of
+// observability artifacts: no registry, no trace, nil accuracy.
+func TestDisabledObservabilityIsInert(t *testing.T) {
+	db := paperDB(t)
+	p := NewPersonalizer(db)
+	if p.Metrics() != nil {
+		t.Error("fresh personalizer has a registry")
+	}
+	profile, _ := ParseProfile(figure1)
+	q, _ := ParseQuery(db.Schema(), "select title from MOVIE")
+	res, err := p.Personalize(q, profile, Problem2(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.EstimatorAccuracy(); s.Queries != 0 {
+		t.Errorf("accuracy recorded without a registry: %+v", s)
+	}
+	if got := obs.FromContext(context.Background()); got != nil {
+		t.Errorf("background context carries a span: %v", got)
+	}
+}
+
+// TestRefreshKeepsObservability checks that rebuilding statistics does not
+// silently drop estimator timing or the registry wiring.
+func TestRefreshKeepsObservability(t *testing.T) {
+	db := paperDB(t)
+	p := NewPersonalizer(db)
+	reg := NewMetrics()
+	p.Observe(reg)
+	p.Refresh()
+	profile, _ := ParseProfile(figure1)
+	q, _ := ParseQuery(db.Schema(), "select title from MOVIE")
+
+	ctx, tr := StartTrace(context.Background(), "req")
+	if _, err := p.PersonalizeContext(ctx, q, profile, Problem2(10000)); err != nil {
+		t.Fatal(err)
+	}
+	tr.End()
+	if tr.Find("estimate") == nil {
+		t.Errorf("estimate span lost after Refresh:\n%s", tr.Tree())
+	}
+	if p.Metrics() != reg {
+		t.Error("registry lost after Refresh")
+	}
+}

@@ -1,13 +1,16 @@
 package cqp
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"cqp/internal/catalog"
 	"cqp/internal/core"
 	"cqp/internal/estimate"
 	"cqp/internal/exec"
+	"cqp/internal/obs"
 	"cqp/internal/prefspace"
 	"cqp/internal/rewrite"
 	"cqp/internal/storage"
@@ -17,8 +20,10 @@ import (
 // database: Preference Space extraction, Parameter Estimation, State Space
 // Search, and Personalized Query Construction.
 type Personalizer struct {
-	db  *storage.DB
-	est *estimate.Estimator
+	db      *storage.DB
+	est     *estimate.Estimator
+	metrics *obs.Registry
+	acc     *obs.Accuracy
 }
 
 // NewPersonalizer builds a personalizer over the database, collecting
@@ -33,7 +38,29 @@ func NewPersonalizer(db *DB) *Personalizer {
 // frequencies) from the current table contents.
 func (p *Personalizer) Refresh() {
 	p.est = estimate.New(catalog.Build(p.db), estimate.DefaultBlockMillis)
+	if p.metrics != nil {
+		p.est.EnableTiming()
+	}
 }
+
+// Observe attaches a metrics registry to the whole pipeline: storage scans,
+// executor unions, search runs and estimator accuracy all record into reg
+// from here on. Passing nil detaches (instrumentation reverts to no-ops).
+func (p *Personalizer) Observe(reg *obs.Registry) {
+	p.metrics = reg
+	p.db.SetMetrics(reg)
+	p.acc = obs.NewAccuracy(reg)
+	if reg != nil {
+		p.est.EnableTiming()
+	}
+}
+
+// Metrics returns the attached registry (nil when observability is off).
+func (p *Personalizer) Metrics() *obs.Registry { return p.metrics }
+
+// EstimatorAccuracy summarizes estimated-versus-actual cost and size over
+// the personalized queries executed since Observe.
+func (p *Personalizer) EstimatorAccuracy() obs.AccuracySummary { return p.acc.Summary() }
 
 // options collects per-call settings.
 type options struct {
@@ -88,16 +115,43 @@ type Result struct {
 	// Supreme reports the supreme cost (all K preferences) for context.
 	Supreme float64
 
-	db   *storage.DB
-	pq   *rewrite.Personalized
-	sp   *prefspace.Space
-	prob Problem
+	db          *storage.DB
+	pq          *rewrite.Personalized
+	sp          *prefspace.Space
+	prob        Problem
+	acc         *obs.Accuracy
+	blockMillis float64
 }
 
 // Execute runs the personalized query on the database, returning ranked
 // rows.
 func (r *Result) Execute() (*exec.UnionResult, error) {
-	return r.pq.Execute(r.db)
+	return r.ExecuteContext(context.Background())
+}
+
+// ExecuteContext is Execute with tracing: when ctx carries a trace it opens
+// an "execute" span with one child per sub-query. Every execution also
+// feeds the estimator-accuracy tracker (when the personalizer observes a
+// registry) with estimated versus actual cost and size — the live
+// counterpart of the paper's Figure 15 comparison.
+func (r *Result) ExecuteContext(ctx context.Context) (*exec.UnionResult, error) {
+	_, span := obs.StartSpan(ctx, "execute")
+	res, err := r.pq.Execute(r.db)
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttr("rows", len(res.Rows))
+	span.SetAttr("blocks", res.BlockReads)
+	for i, s := range res.Subs {
+		span.AddChild(fmt.Sprintf("subquery[%d]", i), s.Elapsed,
+			obs.Attr{Key: "rows", Value: fmt.Sprint(s.Rows)},
+			obs.Attr{Key: "blocks", Value: fmt.Sprint(s.BlockReads)})
+	}
+	b := time.Duration(r.blockMillis * float64(time.Millisecond))
+	actMS := float64(exec.RealCost(res.BlockReads, res.Elapsed, b)) / float64(time.Millisecond)
+	r.acc.Record(r.Solution.Cost, actMS, r.Solution.Size, float64(len(res.Rows)))
+	return res, nil
 }
 
 // Explain renders a human-readable account of the personalization: the
@@ -106,9 +160,9 @@ func (r *Result) Execute() (*exec.UnionResult, error) {
 func (r *Result) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "problem: %s\n", r.prob)
-	fmt.Fprintf(&b, "solver:  %s (%d states, %v)\n",
+	fmt.Fprintf(&b, "solver:  %s (%d states, %s)\n",
 		r.Solution.Stats.Algorithm, r.Solution.Stats.StatesVisited,
-		r.Solution.Stats.Duration.Round(1000))
+		obs.FormatDuration(r.Solution.Stats.Duration))
 	chosen := make(map[int]bool, len(r.Solution.Set))
 	for _, i := range r.Solution.Set {
 		chosen[i] = true
@@ -145,6 +199,16 @@ func (r *Result) Explain() string {
 // related to q, search for the optimal subset under the problem's
 // objective and constraints, and construct the personalized query.
 func (p *Personalizer) Personalize(q *Query, u *Profile, prob Problem, opts ...Option) (*Result, error) {
+	return p.PersonalizeContext(context.Background(), q, u, prob, opts...)
+}
+
+// PersonalizeContext is Personalize with tracing: when ctx carries a trace
+// (see StartTrace), the pipeline records one span per Figure-2 phase —
+// prefspace (with the estimator's accumulated share as an "estimate"
+// child), search (with one child per raced portfolio algorithm), and
+// construct; ExecuteContext adds the execute phase. Without a trace in ctx
+// the call behaves exactly like Personalize.
+func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Profile, prob Problem, opts ...Option) (*Result, error) {
 	o := options{maxK: 20, budget: 1 << 20}
 	for _, fn := range opts {
 		fn(&o)
@@ -158,22 +222,54 @@ func (p *Personalizer) Personalize(q *Query, u *Profile, prob Problem, opts ...O
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "personalize")
+	defer span.End()
+	if span != nil {
+		// Estimation happens inside prefspace.Build; per-call accounting is
+		// what lets the trace carve out the estimate phase.
+		p.est.EnableTiming()
+	}
+
+	_, psSpan := obs.StartSpan(ctx, "prefspace")
+	calls0, spent0 := p.est.TimingTotals()
 	sp, err := prefspace.Build(q, u, p.est, prefspace.Options{
 		MaxK:    o.maxK,
 		CostMax: prob.CostMax,
 	})
+	psSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	psSpan.SetAttr("k", sp.K)
+	if calls1, spent1 := p.est.TimingTotals(); calls1 > calls0 {
+		psSpan.AddChild("estimate", spent1-spent0,
+			obs.Attr{Key: "calls", Value: fmt.Sprint(calls1 - calls0)})
+	}
+
 	in := core.FromSpace(sp)
 	in.StateBudget = o.budget
+	_, searchSpan := obs.StartSpan(ctx, "search")
 	sol, err := core.Solve(in, prob, o.algorithm)
+	searchSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	searchSpan.SetAttr("algorithm", sol.Stats.Algorithm)
+	searchSpan.SetAttr("states", sol.Stats.StatesVisited)
+	if sol.Stats.Truncated {
+		searchSpan.SetAttr("truncated", true)
+	}
+	for _, st := range sol.Portfolio {
+		searchSpan.AddChild(st.Algorithm, st.Duration,
+			obs.Attr{Key: "states", Value: fmt.Sprint(st.StatesVisited)},
+			obs.Attr{Key: "peak_mem", Value: fmt.Sprint(st.PeakMemBytes)})
+	}
+	p.recordSearch(sol)
 	if !sol.Feasible {
 		return nil, fmt.Errorf("cqp: no personalized query satisfies %s", prob)
 	}
+
 	chosen := make([]prefspace.Pref, 0, len(sol.Set))
 	prefStrs := make([]string, 0, len(sol.Set))
 	prefDois := make([]float64, 0, len(sol.Set))
@@ -185,11 +281,20 @@ func (p *Personalizer) Personalize(q *Query, u *Profile, prob Problem, opts ...O
 	if o.merge && o.anyMatch {
 		return nil, fmt.Errorf("cqp: merged sub-queries require all-match semantics")
 	}
+	_, conSpan := obs.StartSpan(ctx, "construct")
 	var pq *rewrite.Personalized
 	if o.merge {
 		pq = rewrite.ConstructMerged(q, chosen, p.db.Schema())
 	} else {
 		pq = rewrite.Construct(q, chosen, !o.anyMatch)
+	}
+	conSpan.End()
+	conSpan.SetAttr("subqueries", len(pq.Subs))
+
+	if reg := p.metrics; reg != nil {
+		reg.Counter("personalize_total").Inc()
+		reg.Histogram("personalize_ms", obs.DurationBucketsMS).
+			Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	}
 	return &Result{
 		Solution:       sol,
@@ -201,7 +306,33 @@ func (p *Personalizer) Personalize(q *Query, u *Profile, prob Problem, opts ...O
 		pq:             pq,
 		sp:             sp,
 		prob:           prob,
+		acc:            p.acc,
+		blockMillis:    p.est.BlockMillis,
 	}, nil
+}
+
+// recordSearch feeds one solve's Stats into the registry, per algorithm —
+// the live counterparts of the paper's Figures 12 and 13. Portfolio runs
+// record each raced algorithm under its own label as well as the
+// aggregate.
+func (p *Personalizer) recordSearch(sol Solution) {
+	reg := p.metrics
+	if reg == nil {
+		return
+	}
+	for _, st := range append([]core.Stats{sol.Stats}, sol.Portfolio...) {
+		algo := st.Algorithm
+		reg.Counter("search_solves_total", "algorithm", algo).Inc()
+		reg.Counter("search_states_visited_total", "algorithm", algo).Add(int64(st.StatesVisited))
+		reg.Counter("search_memo_hits_total", "algorithm", algo).Add(int64(st.MemoHits))
+		reg.Gauge("search_queue_high_water", "algorithm", algo).SetMax(int64(st.QueueHighWater))
+		reg.Gauge("search_peak_mem_bytes", "algorithm", algo).SetMax(st.PeakMemBytes)
+		if st.Truncated {
+			reg.Counter("search_truncated_total", "algorithm", algo).Inc()
+		}
+		reg.Histogram("search_ms", obs.DurationBucketsMS, "algorithm", algo).
+			Observe(float64(st.Duration) / float64(time.Millisecond))
+	}
 }
 
 // FrontPoint is one non-dominated personalized query candidate: no other
@@ -242,9 +373,9 @@ func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, 
 	front, _ := core.ParetoFront(in, core.ParetoOptions{
 		CostMax: costMax, SizeMin: sizeMin, SizeMax: sizeMax, MaxPoints: maxPoints,
 	})
-	knee, hasKnee := core.KneePoint(front)
+	kneeIdx, hasKnee := core.KneeIndex(front)
 	out := make([]FrontPoint, 0, len(front))
-	for _, fp := range front {
+	for fi, fp := range front {
 		names := make([]string, 0, len(fp.Set))
 		for _, i := range fp.Set {
 			names = append(names, sp.P[i].Imp.String())
@@ -254,7 +385,9 @@ func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, 
 			Doi:         fp.Doi,
 			CostMS:      fp.Cost,
 			Size:        fp.Size,
-			Knee:        hasKnee && fp.Cost == knee.Cost && fp.Doi == knee.Doi,
+			// Marked by frontier index: float equality against the knee's
+			// parameters would miss it whenever two points tie.
+			Knee: hasKnee && fi == kneeIdx,
 		})
 	}
 	return out, nil
