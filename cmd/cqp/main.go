@@ -43,7 +43,7 @@ func main() {
 	)
 	flag.Parse()
 
-	prob, err := buildProblem(*problem, *cmaxMS, *smin, *smax, *dmin)
+	prob, err := cqp.BuildProblem(*problem, *cmaxMS, *smin, *smax, *dmin)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,25 +95,6 @@ func main() {
 			runPersonalized(p, db, profile, prob, line, *k, *anyMatch)
 		}
 		fmt.Print("cqp> ")
-	}
-}
-
-func buildProblem(n int, cmax, smin, smax, dmin float64) (cqp.Problem, error) {
-	switch n {
-	case 1:
-		return cqp.Problem1(smin, smax), nil
-	case 2:
-		return cqp.Problem2(cmax), nil
-	case 3:
-		return cqp.Problem3(cmax, smin, smax), nil
-	case 4:
-		return cqp.Problem4(dmin), nil
-	case 5:
-		return cqp.Problem5(dmin, smin, smax), nil
-	case 6:
-		return cqp.Problem6(smin, smax), nil
-	default:
-		return cqp.Problem{}, fmt.Errorf("problem must be 1-6, got %d", n)
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 
 func TestBuildProblem(t *testing.T) {
 	for n := 1; n <= 6; n++ {
-		p, err := buildProblem(n, 100, 1, 50, 0.8)
+		p, err := cqp.BuildProblem(n, 100, 1, 50, 0.8)
 		if err != nil {
 			t.Errorf("problem %d: %v", n, err)
 		}
@@ -20,7 +20,7 @@ func TestBuildProblem(t *testing.T) {
 			t.Errorf("problem %d invalid: %v", n, err)
 		}
 	}
-	if _, err := buildProblem(7, 100, 1, 50, 0.8); err == nil {
+	if _, err := cqp.BuildProblem(7, 100, 1, 50, 0.8); err == nil {
 		t.Error("problem 7 must fail")
 	}
 }
@@ -102,7 +102,7 @@ func TestRunPlain(t *testing.T) {
 
 func TestRunPersonalized(t *testing.T) {
 	p, db, profile := shellFixture(t)
-	prob, _ := buildProblem(2, 400, 1, 50, 0.9)
+	prob, _ := cqp.BuildProblem(2, 400, 1, 50, 0.9)
 	out := capture(t, func() {
 		runPersonalized(p, db, profile, prob, "SELECT title FROM MOVIE", 10, false)
 	})
@@ -121,7 +121,7 @@ func TestRunPersonalized(t *testing.T) {
 
 func TestRunExplainAndFront(t *testing.T) {
 	p, db, profile := shellFixture(t)
-	prob, _ := buildProblem(2, 400, 1, 50, 0.9)
+	prob, _ := cqp.BuildProblem(2, 400, 1, 50, 0.9)
 	out := capture(t, func() {
 		runExplain(p, db, profile, prob, "SELECT title FROM MOVIE", 10)
 	})

@@ -14,15 +14,19 @@
 package main
 
 import (
+	"context"
 	_ "expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"cqp/internal/bench"
 	"cqp/internal/obs"
@@ -66,8 +70,9 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	cfg.Obs = reg
+	var srv *http.Server
 	if *httpAddr != "" {
-		serveHTTP(*httpAddr, reg)
+		srv = serveHTTP(*httpAddr, reg)
 	}
 	r := bench.NewRunner(cfg)
 	fmt.Printf("workload: %d movies, %d profiles × %d queries = %d runs/point, state budget %s\n\n",
@@ -117,17 +122,27 @@ func main() {
 		fmt.Println("== metrics ==")
 		fmt.Print(reg.Render())
 	}
-	if *httpAddr != "" {
+	if srv != nil {
 		fmt.Printf("experiments done; still serving on %s (ctrl-C to exit)\n", *httpAddr)
-		select {}
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		<-sigc
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
 	}
 }
 
 // serveHTTP exposes the registry and the stdlib debug handlers: /metrics in
 // the Prometheus text format, plus /debug/vars and /debug/pprof, which the
 // expvar and net/http/pprof imports register on the default mux themselves
-// (the registry joins /debug/vars under "cqp").
-func serveHTTP(addr string, reg *obs.Registry) {
+// (the registry joins /debug/vars under "cqp"). The returned server carries
+// a header-read timeout and supports context-based Shutdown — a bare
+// ListenAndServe would let a silent client pin a connection forever and
+// gives no drain path.
+func serveHTTP(addr string, reg *obs.Registry) *http.Server {
 	reg.PublishExpvar("cqp")
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -135,12 +150,19 @@ func serveHTTP(addr string, reg *obs.Registry) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           http.DefaultServeMux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "cqpbench: http:", err)
 		}
 	}()
 	fmt.Printf("serving /metrics, /debug/vars, /debug/pprof on %s\n", addr)
+	return srv
 }
 
 func parseInts(s string) ([]int, error) {

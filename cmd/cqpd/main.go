@@ -1,0 +1,128 @@
+// Command cqpd is the CQP serving daemon: a long-lived HTTP/JSON process
+// that holds user profiles, admits personalization requests through a
+// bounded worker pool with per-request deadlines, caches results, and
+// drains gracefully on SIGTERM.
+//
+// Usage:
+//
+//	cqpd                              # :8344 over a 4000-movie synthetic DB
+//	cqpd -addr :9000 -movies 20000
+//	cqpd -data out/                   # load datagen CSVs instead
+//	cqpd -workers 8 -queue 128 -cache 4096 -timeout 10s
+//	cqpd -preload 60                  # store a synthetic profile as "default"
+//
+// Endpoints: POST /personalize, /execute, /front, /topk; PUT/GET/DELETE
+// /profiles/{id}, GET /profiles; POST /refresh; GET /healthz, /metrics,
+// /debug/vars, /debug/pprof.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cqp"
+	"cqp/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8344", "listen address")
+		movies  = flag.Int("movies", 4000, "synthetic database size")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		dataDir = flag.String("data", "", "directory of relation CSVs (from datagen) to load instead of generating")
+		workers = flag.Int("workers", 0, "concurrent pipeline workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "admission queue depth before shedding with 429")
+		cache   = flag.Int("cache", 1024, "LRU result-cache entries")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxRows = flag.Int("maxrows", 100, "default row cap for /execute responses")
+		preload = flag.Int("preload", 0, "store a synthetic profile with this many selection preferences as \"default\"")
+		grace   = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+
+	db, err := buildDB(*dataDir, *movies, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(db, server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		MaxRows:        *maxRows,
+	})
+	if *preload > 0 {
+		sp, err := preloadProfile(srv, *preload, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cqpd: preloaded profile %q (%d preferences, version %d)\n",
+			sp.ID, sp.Profile.Len(), sp.Version)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cqpd: serving on %s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		fmt.Printf("cqpd: %s, draining (up to %s)\n", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("cqpd: drained, bye")
+	}
+}
+
+// buildDB loads datagen CSVs from dir, or generates the synthetic movie
+// database when dir is empty.
+func buildDB(dir string, movies int, seed int64) (*cqp.DB, error) {
+	if dir == "" {
+		return cqp.SyntheticMovieDB(movies, seed), nil
+	}
+	db := cqp.NewDB(cqp.MovieSchema(), 0)
+	for _, rel := range db.Schema().RelationNames() {
+		path := dir + "/" + strings.ToLower(rel) + ".csv"
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		_, err = cqp.LoadCSV(db, rel, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+	}
+	return db, nil
+}
+
+// preloadProfile stores a synthetic profile under the ID "default" so a
+// fresh daemon answers personalize requests without a prior PUT.
+func preloadProfile(srv *server.Server, selections int, seed int64) (*server.StoredProfile, error) {
+	return srv.Profiles().Put("default", cqp.SyntheticProfile(selections, seed+1).String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cqpd:", err)
+	os.Exit(1)
+}

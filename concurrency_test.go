@@ -1,0 +1,146 @@
+package cqp_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cqp"
+	"cqp/internal/obs"
+)
+
+// TestPersonalizerConcurrentStress hammers one Personalizer from many
+// goroutines across every algorithm while Refresh and Observe swap the
+// estimator, metrics registry and accuracy tracker mid-flight. Run with
+// -race: before the Personalizer grew its RWMutex, the est/metrics/acc
+// swap in Refresh raced with every in-flight pipeline read.
+func TestPersonalizerConcurrentStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	db := cqp.SyntheticMovieDB(300, 1)
+	p := cqp.NewPersonalizer(db)
+	u := cqp.SyntheticProfile(30, 2)
+	q, err := cqp.ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := cqp.Problem2(10000)
+	algos := cqp.AlgorithmNames()
+	if len(algos) != 5 {
+		t.Fatalf("expected 5 algorithms, got %v", algos)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var runs, refreshes atomic.Int64
+
+	// One goroutine per algorithm, personalizing in a loop.
+	for _, name := range algos {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := p.PersonalizeContext(context.Background(), q, u, prob,
+					cqp.WithAlgorithm(name), cqp.WithStateBudget(1<<16))
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					return
+				}
+				if res.SQL == "" {
+					t.Errorf("%s: empty personalized SQL", name)
+					return
+				}
+				runs.Add(1)
+			}
+		}(name)
+	}
+	// Frontier and top-K readers exercise the other entry points.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := p.PersonalizeFront(q, u, 10000, 0, 0, 4, cqp.WithStateBudget(1<<14)); err != nil {
+				t.Errorf("front: %v", err)
+				return
+			}
+			if _, _, err := p.EstimateQuery(q); err != nil {
+				t.Errorf("estimate: %v", err)
+				return
+			}
+		}
+	}()
+	// Refresh and Observe keep replacing the pipeline underneath them.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Refresh()
+			refreshes.Add(1)
+			p.Observe(obs.NewRegistry())
+			p.EstimatorAccuracy()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if runs.Load() == 0 {
+		t.Fatal("no personalize calls completed")
+	}
+	if refreshes.Load() == 0 {
+		t.Fatal("no refreshes completed")
+	}
+	if gen := p.Generation(); gen < uint64(refreshes.Load()) {
+		t.Fatalf("generation %d < refreshes %d", gen, refreshes.Load())
+	}
+}
+
+// TestPersonalizeContextDeadline checks that an already-expired context
+// aborts the pipeline with context.DeadlineExceeded before any work runs.
+func TestPersonalizeContextDeadline(t *testing.T) {
+	db := cqp.SyntheticMovieDB(200, 1)
+	p := cqp.NewPersonalizer(db)
+	u := cqp.SyntheticProfile(20, 2)
+	q, err := cqp.ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := p.PersonalizeContext(ctx, q, u, cqp.Problem2(10000)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// A live context still works, and its result refuses execution once
+	// the context dies.
+	res, err := p.PersonalizeContext(context.Background(), q, u, cqp.Problem2(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := res.ExecuteContext(dead); !errors.Is(err, context.Canceled) {
+		t.Fatalf("execute with cancelled context: %v, want context.Canceled", err)
+	}
+}

@@ -18,10 +18,15 @@
 //	res, _ := p.Personalize(q, profile, cqp.Problem2(400)) // cost ≤ 400 ms
 //	fmt.Println(res.SQL)                                    // rewritten query
 //	rows, _ := res.Execute()                                // ranked answers
+//
+// A Personalizer is safe for concurrent use; cmd/cqpd wraps one in an
+// HTTP/JSON serving daemon with a versioned profile store, admission
+// control and result caching (see internal/server).
 package cqp
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"time"
 
@@ -165,6 +170,29 @@ var (
 	// Problem6 minimizes cost subject to smin ≤ size ≤ smax.
 	Problem6 = core.Problem6
 )
+
+// BuildProblem instantiates problem n of Table 1 from the full bound set,
+// ignoring the bounds the problem does not use — the shared entry point for
+// surfaces that take the problem number and bounds as user input (the cqp
+// shell's flags, cqpd's JSON requests).
+func BuildProblem(n int, cmax, smin, smax, dmin float64) (Problem, error) {
+	switch n {
+	case 1:
+		return Problem1(smin, smax), nil
+	case 2:
+		return Problem2(cmax), nil
+	case 3:
+		return Problem3(cmax, smin, smax), nil
+	case 4:
+		return Problem4(dmin), nil
+	case 5:
+		return Problem5(dmin, smin, smax), nil
+	case 6:
+		return Problem6(smin, smax), nil
+	default:
+		return Problem{}, fmt.Errorf("cqp: problem must be 1-6, got %d", n)
+	}
+}
 
 // AlgorithmNames lists the paper's five Problem-2 search algorithms in
 // figure order, for use with WithAlgorithm.

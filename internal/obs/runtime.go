@@ -1,0 +1,21 @@
+package obs
+
+import "runtime"
+
+// CollectRuntime samples Go runtime health into the registry's gauges —
+// goroutine count, heap occupancy, GC cycles — so a daemon's /metrics
+// scrape carries process vitals next to the pipeline series. Cheap enough
+// to call on every scrape; no-op on a nil registry.
+func (r *Registry) CollectRuntime() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("go_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("go_heap_objects").Set(int64(ms.HeapObjects))
+	r.Gauge("go_total_alloc_bytes").Set(int64(ms.TotalAlloc))
+	r.Gauge("go_next_gc_bytes").Set(int64(ms.NextGC))
+	r.Gauge("go_gc_cycles_total").Set(int64(ms.NumGC))
+}

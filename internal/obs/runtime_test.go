@@ -1,0 +1,24 @@
+package obs
+
+import "testing"
+
+func TestCollectRuntime(t *testing.T) {
+	r := NewRegistry()
+	r.CollectRuntime()
+	if g := r.Gauge("go_goroutines").Value(); g <= 0 {
+		t.Errorf("go_goroutines = %d, want > 0", g)
+	}
+	if g := r.Gauge("go_heap_alloc_bytes").Value(); g <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %d, want > 0", g)
+	}
+	// Repeated collection refreshes in place rather than duplicating.
+	r.CollectRuntime()
+	if g := r.Gauge("go_goroutines").Value(); g <= 0 {
+		t.Errorf("go_goroutines after refresh = %d", g)
+	}
+}
+
+func TestCollectRuntimeNilRegistry(t *testing.T) {
+	var r *Registry
+	r.CollectRuntime() // must not panic
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"cqp/internal/obs"
+)
+
+// ErrSaturated reports that the admission queue is full: the daemon sheds
+// the request instead of queueing unbounded work (HTTP 429).
+var ErrSaturated = errors.New("server: admission queue full")
+
+// ErrShuttingDown reports that the pool no longer accepts work (HTTP 503).
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// Pool is the admission-control layer: a fixed set of workers draining a
+// bounded queue. Work beyond the queue's capacity is shed immediately, and
+// a caller whose context expires while its task is queued gets the context
+// error without the task ever running.
+type Pool struct {
+	mu     sync.RWMutex // guards closed against concurrent enqueue/Close
+	closed bool
+	queue  chan *task
+	wg     sync.WaitGroup
+
+	depth *obs.Gauge
+	busy  *obs.Gauge
+	shed  *obs.Counter
+	waits *obs.Histogram
+}
+
+type task struct {
+	ctx  context.Context
+	fn   func(context.Context)
+	enq  time.Time
+	done chan struct{}
+}
+
+// NewPool starts workers goroutines over a queue of queueDepth waiting
+// slots, recording queue depth, busy workers, shed requests and queue-wait
+// time into reg (nil disables recording).
+func NewPool(workers, queueDepth int, reg *obs.Registry) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &Pool{
+		queue: make(chan *task, queueDepth),
+		depth: reg.Gauge("server_queue_depth"),
+		busy:  reg.Gauge("server_workers_busy"),
+		shed:  reg.Counter("server_shed_total"),
+		waits: reg.Histogram("server_queue_wait_ms", obs.DurationBucketsMS),
+	}
+	reg.Gauge("server_workers").Set(int64(workers))
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Do runs fn on a pool worker, passing ctx through, and returns when fn
+// finished or ctx was done first. ErrSaturated means the queue was full and
+// fn never ran; ErrShuttingDown means the pool is closed. When Do returns a
+// context error the task may still be queued — the worker will observe the
+// dead context and skip it.
+func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
+	t := &task{ctx: ctx, fn: fn, enq: time.Now(), done: make(chan struct{})}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrShuttingDown
+	}
+	select {
+	case p.queue <- t:
+		p.mu.RUnlock()
+		p.depth.Set(int64(len(p.queue)))
+	default:
+		p.mu.RUnlock()
+		p.shed.Inc()
+		return ErrSaturated
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		p.depth.Set(int64(len(p.queue)))
+		p.waits.Observe(float64(time.Since(t.enq)) / float64(time.Millisecond))
+		if t.ctx.Err() == nil {
+			p.busy.Add(1)
+			t.fn(t.ctx)
+			p.busy.Add(-1)
+		}
+		close(t.done)
+	}
+}
+
+// Close stops accepting work and blocks until queued tasks drain and all
+// workers exit. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

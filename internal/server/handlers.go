@@ -1,0 +1,712 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cqp"
+	"cqp/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies (queries and profiles are small).
+const maxBodyBytes = 1 << 20
+
+// problemSpec is the JSON form of a Table-1 problem: the number plus the
+// full bound set; bounds the problem does not use are ignored. The zero
+// value means the paper's default context, Problem 2 with cmax = 400 ms.
+type problemSpec struct {
+	Number int     `json:"number"`
+	CmaxMS float64 `json:"cmax_ms"`
+	Smin   float64 `json:"smin"`
+	Smax   float64 `json:"smax"`
+	Dmin   float64 `json:"dmin"`
+}
+
+func (ps problemSpec) build() (cqp.Problem, error) {
+	if ps.Number == 0 {
+		return cqp.Problem2(400), nil
+	}
+	return cqp.BuildProblem(ps.Number, ps.CmaxMS, ps.Smin, ps.Smax, ps.Dmin)
+}
+
+// personalizeRequest is the body of POST /personalize and POST /execute.
+// Exactly one of ProfileID (a stored profile — cacheable) and Profile
+// (inline text — never cached) must be set.
+type personalizeRequest struct {
+	SQL       string      `json:"sql"`
+	ProfileID string      `json:"profile_id"`
+	Profile   string      `json:"profile"`
+	Problem   problemSpec `json:"problem"`
+	Algorithm string      `json:"algorithm"`
+	K         int         `json:"k"`
+	AnyMatch  bool        `json:"any_match"`
+	Merge     bool        `json:"merge"`
+	Budget    int         `json:"budget"`
+	Limit     int         `json:"limit"` // /execute row cap
+	TimeoutMS int         `json:"timeout_ms"`
+	NoCache   bool        `json:"no_cache"`
+	Trace     bool        `json:"trace"`
+}
+
+// solutionJSON serializes the chosen solution and its search stats.
+type solutionJSON struct {
+	Doi           float64 `json:"doi"`
+	CostMS        float64 `json:"cost_ms"`
+	SizeRows      float64 `json:"size_rows"`
+	Algorithm     string  `json:"algorithm"`
+	StatesVisited int     `json:"states_visited"`
+	Truncated     bool    `json:"truncated,omitempty"`
+	DurationUS    int64   `json:"duration_us"`
+}
+
+// personalizeResponse is the body of a /personalize answer; /execute embeds
+// it. Cached and Trace are per-request and set after any cache copy.
+type personalizeResponse struct {
+	SQL            string       `json:"sql"`
+	Preferences    []string     `json:"preferences"`
+	PreferenceDois []float64    `json:"preference_dois"`
+	Solution       solutionJSON `json:"solution"`
+	SupremeCostMS  float64      `json:"supreme_cost_ms"`
+	ProfileID      string       `json:"profile_id,omitempty"`
+	ProfileVersion uint64       `json:"profile_version,omitempty"`
+	Cached         bool         `json:"cached"`
+	Trace          string       `json:"trace,omitempty"`
+}
+
+// rowJSON is one ranked answer row.
+type rowJSON struct {
+	Values  []string `json:"values"`
+	Doi     float64  `json:"doi"`
+	Matched int      `json:"matched"`
+}
+
+// executeResponse is the body of a /execute answer.
+type executeResponse struct {
+	personalizeResponse
+	Rows       []rowJSON `json:"rows"`
+	RowCount   int       `json:"row_count"`  // rows returned (≤ limit)
+	TotalRows  int       `json:"total_rows"` // rows the query produced
+	BlockReads int64     `json:"block_reads"`
+	ExecMS     float64   `json:"exec_ms"`
+}
+
+// frontRequest is the body of POST /front.
+type frontRequest struct {
+	SQL       string  `json:"sql"`
+	ProfileID string  `json:"profile_id"`
+	Profile   string  `json:"profile"`
+	CmaxMS    float64 `json:"cmax_ms"`
+	Smin      float64 `json:"smin"`
+	Smax      float64 `json:"smax"`
+	MaxPoints int     `json:"max_points"`
+	K         int     `json:"k"`
+	TimeoutMS int     `json:"timeout_ms"`
+	NoCache   bool    `json:"no_cache"`
+}
+
+type frontPointJSON struct {
+	Preferences []string `json:"preferences"`
+	Doi         float64  `json:"doi"`
+	CostMS      float64  `json:"cost_ms"`
+	SizeRows    float64  `json:"size_rows"`
+	Knee        bool     `json:"knee,omitempty"`
+}
+
+type frontResponse struct {
+	Points []frontPointJSON `json:"points"`
+	Cached bool             `json:"cached"`
+}
+
+// topkRequest is the body of POST /topk.
+type topkRequest struct {
+	SQL       string  `json:"sql"`
+	ProfileID string  `json:"profile_id"`
+	Profile   string  `json:"profile"`
+	CmaxMS    float64 `json:"cmax_ms"`
+	K         int     `json:"k"`     // answers wanted (default 10)
+	MaxK      int     `json:"max_k"` // preferences considered
+	TimeoutMS int     `json:"timeout_ms"`
+	NoCache   bool    `json:"no_cache"`
+}
+
+type topkResponse struct {
+	Answers []rowJSON `json:"answers"`
+	Cached  bool      `json:"cached"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statusWriter captures the response code for per-endpoint metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram and
+// request counter.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.reg.Counter("server_requests_total",
+			"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
+		s.reg.Histogram("server_request_ms", obs.DurationBucketsMS, "endpoint", endpoint).
+			Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// decodeJSON parses the bounded request body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// pipelineStatus maps a pipeline error onto an HTTP status: expired
+// deadlines are 504, infeasible problems 422, everything else a caller
+// error.
+func pipelineStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "no personalized query satisfies"):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// admit maps an admission error onto its response: 429 when the queue shed
+// the request, 503 during shutdown, 504 when the deadline expired while
+// queued or running.
+func (s *Server) admit(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		s.fail(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("server: deadline expired: %w", err))
+	default:
+		// Client went away; the response writer is dead anyway.
+		s.fail(w, http.StatusServiceUnavailable, err)
+	}
+}
+
+// resolveProfile returns the request's profile: a stored one by ID (with
+// its version, cacheable) or an inline parsed one (never cached).
+func (s *Server) resolveProfile(id, inline string) (prof *cqp.Profile, version uint64, cacheable bool, code int, err error) {
+	switch {
+	case id != "" && inline != "":
+		return nil, 0, false, http.StatusBadRequest, fmt.Errorf("server: profile_id and profile are mutually exclusive")
+	case id != "":
+		sp, ok := s.store.Get(id)
+		if !ok {
+			return nil, 0, false, http.StatusNotFound, fmt.Errorf("server: no profile %q", id)
+		}
+		return sp.Profile, sp.Version, true, 0, nil
+	case inline != "":
+		p, err := cqp.ParseProfile(inline)
+		if err != nil {
+			return nil, 0, false, http.StatusBadRequest, err
+		}
+		if err := p.Validate(s.db.Schema()); err != nil {
+			return nil, 0, false, http.StatusBadRequest, err
+		}
+		return p, 0, false, 0, nil
+	default:
+		return nil, 0, false, http.StatusBadRequest, fmt.Errorf("server: request needs profile_id or profile")
+	}
+}
+
+// requestContext derives the per-request deadline (request value, capped by
+// the server max; the server default when absent) and, when asked, a trace.
+func (s *Server) requestContext(r *http.Request, timeoutMS int, trace bool, name string) (context.Context, context.CancelFunc, *cqp.Trace) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	var tr *cqp.Trace
+	if trace {
+		ctx, tr = cqp.StartTrace(ctx, name)
+	}
+	return ctx, cancel, tr
+}
+
+// buildOpts translates request knobs into Personalize options. A state
+// budget request ≤ 0 keeps the server default — a serving daemon never
+// grants the unlimited paper-faithful search.
+func buildOpts(alg string, k, budget int, anyMatch, merge bool) []cqp.Option {
+	var opts []cqp.Option
+	if alg != "" {
+		opts = append(opts, cqp.WithAlgorithm(alg))
+	}
+	if k > 0 {
+		opts = append(opts, cqp.WithMaxK(k))
+	}
+	if budget > 0 {
+		opts = append(opts, cqp.WithStateBudget(budget))
+	}
+	if anyMatch {
+		opts = append(opts, cqp.WithAnyMatch())
+	}
+	if merge {
+		opts = append(opts, cqp.WithMergedSubQueries())
+	}
+	return opts
+}
+
+// cacheKey builds the result-cache key: endpoint, the query's canonical
+// fingerprint, profile identity at its exact version, the statistics
+// generation (so Refresh invalidates), and the solver parameters.
+func (s *Server) cacheKey(endpoint string, q *cqp.Query, profileID string, version uint64, extra string) string {
+	return fmt.Sprintf("%s|%s|%s@%d|g%d|%s",
+		endpoint, q.Fingerprint(), profileID, version, s.p.Generation(), extra)
+}
+
+// cacheHitTrace renders the trace of a warm request: a lone cache_hit span,
+// no pipeline phases.
+func cacheHitTrace(name string) string {
+	tr := obs.NewTrace(name)
+	tr.AddChild("cache_hit", 0)
+	tr.End()
+	return tr.Tree()
+}
+
+func solutionFrom(res *cqp.Result) solutionJSON {
+	return solutionJSON{
+		Doi:           res.Solution.Doi,
+		CostMS:        res.Solution.Cost,
+		SizeRows:      res.Solution.Size,
+		Algorithm:     res.Solution.Stats.Algorithm,
+		StatesVisited: res.Solution.Stats.StatesVisited,
+		Truncated:     res.Solution.Stats.Truncated,
+		DurationUS:    res.Solution.Stats.Duration.Microseconds(),
+	}
+}
+
+func personalizeResponseFrom(res *cqp.Result, profileID string, version uint64) *personalizeResponse {
+	return &personalizeResponse{
+		SQL:            res.SQL,
+		Preferences:    res.Preferences,
+		PreferenceDois: res.PreferenceDois,
+		Solution:       solutionFrom(res),
+		SupremeCostMS:  res.Supreme,
+		ProfileID:      profileID,
+		ProfileVersion: version,
+	}
+}
+
+// handlePersonalize serves POST /personalize: the full pipeline minus
+// execution, under admission control, with a warm path that answers from
+// the result cache without entering the pipeline at all.
+func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
+	var req personalizeRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := cqp.ParseQuery(s.db.Schema(), req.SQL)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	prob, err := req.Problem.build()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	prof, version, cacheable, code, err := s.resolveProfile(req.ProfileID, req.Profile)
+	if err != nil {
+		s.fail(w, code, err)
+		return
+	}
+	key := ""
+	if cacheable && !req.NoCache {
+		key = s.cacheKey("personalize", q, req.ProfileID, version,
+			fmt.Sprintf("%s|a=%s k=%d b=%d any=%v merge=%v",
+				prob, req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge))
+		if v, ok := s.cache.Get(key); ok {
+			resp := *v.(*personalizeResponse)
+			resp.Cached = true
+			if req.Trace {
+				resp.Trace = cacheHitTrace("personalize")
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, req.Trace, "personalize")
+	defer cancel()
+	var out *personalizeResponse
+	var perr error
+	if err := s.pool.Do(ctx, func(ctx context.Context) {
+		res, err := s.p.PersonalizeContext(ctx, q, prof, prob, buildOpts(req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge)...)
+		if err != nil {
+			perr = err
+			return
+		}
+		out = personalizeResponseFrom(res, req.ProfileID, version)
+	}); err != nil {
+		s.admit(w, err)
+		return
+	}
+	if perr != nil {
+		s.fail(w, pipelineStatus(perr), perr)
+		return
+	}
+	if key != "" {
+		s.cache.Put(key, req.ProfileID, out)
+	}
+	resp := *out
+	if tr != nil {
+		tr.End()
+		resp.Trace = tr.Tree()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExecute serves POST /execute: personalize and run the personalized
+// query, returning ranked rows. Results are cached like /personalize, with
+// the row limit part of the key.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req personalizeRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := cqp.ParseQuery(s.db.Schema(), req.SQL)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	prob, err := req.Problem.build()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	prof, version, cacheable, code, err := s.resolveProfile(req.ProfileID, req.Profile)
+	if err != nil {
+		s.fail(w, code, err)
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = s.cfg.MaxRows
+	}
+	key := ""
+	if cacheable && !req.NoCache {
+		key = s.cacheKey("execute", q, req.ProfileID, version,
+			fmt.Sprintf("%s|a=%s k=%d b=%d any=%v merge=%v lim=%d",
+				prob, req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge, limit))
+		if v, ok := s.cache.Get(key); ok {
+			resp := *v.(*executeResponse)
+			resp.Cached = true
+			if req.Trace {
+				resp.Trace = cacheHitTrace("execute")
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, req.Trace, "execute")
+	defer cancel()
+	var out *executeResponse
+	var perr error
+	if err := s.pool.Do(ctx, func(ctx context.Context) {
+		res, err := s.p.PersonalizeContext(ctx, q, prof, prob, buildOpts(req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge)...)
+		if err != nil {
+			perr = err
+			return
+		}
+		rows, err := res.ExecuteContext(ctx)
+		if err != nil {
+			perr = err
+			return
+		}
+		er := &executeResponse{
+			personalizeResponse: *personalizeResponseFrom(res, req.ProfileID, version),
+			TotalRows:           len(rows.Rows),
+			BlockReads:          rows.BlockReads,
+			ExecMS:              float64(rows.Elapsed) / float64(time.Millisecond),
+		}
+		for i, rr := range rows.Rows {
+			if i >= limit {
+				break
+			}
+			vals := make([]string, len(rr.Key))
+			for j, v := range rr.Key {
+				vals[j] = v.String()
+			}
+			er.Rows = append(er.Rows, rowJSON{Values: vals, Doi: rr.Doi, Matched: len(rr.Matched)})
+		}
+		er.RowCount = len(er.Rows)
+		out = er
+	}); err != nil {
+		s.admit(w, err)
+		return
+	}
+	if perr != nil {
+		s.fail(w, pipelineStatus(perr), perr)
+		return
+	}
+	if key != "" {
+		s.cache.Put(key, req.ProfileID, out)
+	}
+	resp := *out
+	if tr != nil {
+		tr.End()
+		resp.Trace = tr.Tree()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFront serves POST /front: the doi/cost Pareto frontier menu.
+func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
+	var req frontRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := cqp.ParseQuery(s.db.Schema(), req.SQL)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	prof, version, cacheable, code, err := s.resolveProfile(req.ProfileID, req.Profile)
+	if err != nil {
+		s.fail(w, code, err)
+		return
+	}
+	key := ""
+	if cacheable && !req.NoCache {
+		key = s.cacheKey("front", q, req.ProfileID, version,
+			fmt.Sprintf("c=%g s=[%g,%g] n=%d k=%d", req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, req.K))
+		if v, ok := s.cache.Get(key); ok {
+			resp := *v.(*frontResponse)
+			resp.Cached = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	ctx, cancel, _ := s.requestContext(r, req.TimeoutMS, false, "front")
+	defer cancel()
+	var out *frontResponse
+	var perr error
+	if err := s.pool.Do(ctx, func(context.Context) {
+		front, err := s.p.PersonalizeFront(q, prof, req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, buildOpts("", req.K, 0, false, false)...)
+		if err != nil {
+			perr = err
+			return
+		}
+		fr := &frontResponse{Points: make([]frontPointJSON, 0, len(front))}
+		for _, fp := range front {
+			fr.Points = append(fr.Points, frontPointJSON{
+				Preferences: fp.Preferences,
+				Doi:         fp.Doi,
+				CostMS:      fp.CostMS,
+				SizeRows:    fp.Size,
+				Knee:        fp.Knee,
+			})
+		}
+		out = fr
+	}); err != nil {
+		s.admit(w, err)
+		return
+	}
+	if perr != nil {
+		s.fail(w, pipelineStatus(perr), perr)
+		return
+	}
+	if key != "" {
+		s.cache.Put(key, req.ProfileID, out)
+	}
+	writeJSON(w, http.StatusOK, *out)
+}
+
+// handleTopK serves POST /topk: the k highest-interest answers.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := cqp.ParseQuery(s.db.Schema(), req.SQL)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	prof, version, cacheable, code, err := s.resolveProfile(req.ProfileID, req.Profile)
+	if err != nil {
+		s.fail(w, code, err)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.CmaxMS <= 0 {
+		req.CmaxMS = 400
+	}
+	key := ""
+	if cacheable && !req.NoCache {
+		key = s.cacheKey("topk", q, req.ProfileID, version,
+			fmt.Sprintf("c=%g k=%d maxk=%d", req.CmaxMS, req.K, req.MaxK))
+		if v, ok := s.cache.Get(key); ok {
+			resp := *v.(*topkResponse)
+			resp.Cached = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	ctx, cancel, _ := s.requestContext(r, req.TimeoutMS, false, "topk")
+	defer cancel()
+	var out *topkResponse
+	var perr error
+	if err := s.pool.Do(ctx, func(context.Context) {
+		answers, err := s.p.PersonalizeTopK(q, prof, req.CmaxMS, req.K, buildOpts("", req.MaxK, 0, false, false)...)
+		if err != nil {
+			perr = err
+			return
+		}
+		tr := &topkResponse{Answers: make([]rowJSON, 0, len(answers))}
+		for _, a := range answers {
+			vals := make([]string, len(a.Row))
+			for j, v := range a.Row {
+				vals[j] = v.String()
+			}
+			tr.Answers = append(tr.Answers, rowJSON{Values: vals, Doi: a.Doi, Matched: a.Matched})
+		}
+		out = tr
+	}); err != nil {
+		s.admit(w, err)
+		return
+	}
+	if perr != nil {
+		s.fail(w, pipelineStatus(perr), perr)
+		return
+	}
+	if key != "" {
+		s.cache.Put(key, req.ProfileID, out)
+	}
+	writeJSON(w, http.StatusOK, *out)
+}
+
+// profileJSON is the single-profile response shape.
+type profileJSON struct {
+	ID          string    `json:"id"`
+	Version     uint64    `json:"version"`
+	Preferences int       `json:"preferences"`
+	Text        string    `json:"text,omitempty"`
+	UpdatedAt   time.Time `json:"updated_at"`
+}
+
+// / handleProfilePut serves PUT /profiles/{id}: the body is the profile in
+// the text format (one "doi(<condition>) = <number>" per line). A
+// replacement bumps the version and eagerly invalidates dependent cache
+// entries.
+func (s *Server) handleProfilePut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	sp, err := s.store.Put(id, string(body))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cache.InvalidateProfile(id)
+	writeJSON(w, http.StatusOK, profileJSON{
+		ID: sp.ID, Version: sp.Version, Preferences: sp.Profile.Len(), UpdatedAt: sp.UpdatedAt,
+	})
+}
+
+func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sp, ok := s.store.Get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("server: no profile %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, profileJSON{
+		ID: sp.ID, Version: sp.Version, Preferences: sp.Profile.Len(),
+		Text: sp.Text, UpdatedAt: sp.UpdatedAt,
+	})
+}
+
+func (s *Server) handleProfileDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.Delete(id) {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("server: no profile %q", id))
+		return
+	}
+	s.cache.InvalidateProfile(id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleProfileList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"profiles": s.store.List()})
+}
+
+// handleRefresh serves POST /refresh: rebuild catalog statistics after a
+// bulk load and purge every cached result (the statistics generation in
+// the cache key makes stale entries unreachable; the purge reclaims them).
+func (s *Server) handleRefresh(w http.ResponseWriter, _ *http.Request) {
+	s.p.Refresh()
+	s.cache.Purge()
+	writeJSON(w, http.StatusOK, map[string]any{"generation": s.p.Generation()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptime_ms":     time.Since(s.start).Milliseconds(),
+		"profiles":      s.store.Len(),
+		"generation":    s.p.Generation(),
+		"queue_depth":   s.reg.Gauge("server_queue_depth").Value(),
+		"cache_entries": s.cache.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.reg.CollectRuntime()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,156 @@
+// Package server implements cqpd, the CQP serving daemon: an HTTP/JSON
+// layer over one Personalizer that holds user profiles across queries (the
+// paper's per-user Preference Space, Figure 2), admits requests through a
+// bounded worker pool with per-request deadlines, and caches personalization
+// results keyed by (query, profile version, problem, options).
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqp"
+)
+
+// profileShards is the number of locks the store spreads profile IDs over.
+// Mutations are rare next to reads, but the daemon serves many users; 16
+// shards keep unrelated users' CRUD from contending.
+const profileShards = 16
+
+// StoredProfile is one versioned profile held by the daemon.
+type StoredProfile struct {
+	ID string
+	// Version increases on every mutation of any profile (a store-global
+	// counter), so a deleted-then-recreated ID never reuses a version and
+	// cache keys built from ID@Version can never alias stale entries.
+	Version uint64
+	// Profile is the parsed, schema-validated profile.
+	Profile *cqp.Profile
+	// Text is the profile source in the doi(...) = x format, as stored.
+	Text      string
+	UpdatedAt time.Time
+}
+
+// ProfileInfo is the listing view of a stored profile.
+type ProfileInfo struct {
+	ID          string    `json:"id"`
+	Version     uint64    `json:"version"`
+	Preferences int       `json:"preferences"`
+	UpdatedAt   time.Time `json:"updated_at"`
+}
+
+// ProfileStore is a sharded, versioned in-memory profile store. All methods
+// are safe for concurrent use.
+type ProfileStore struct {
+	schema *cqp.Schema
+	clock  atomic.Uint64 // store-global version source
+	shards [profileShards]profileShard
+}
+
+type profileShard struct {
+	mu sync.RWMutex
+	m  map[string]*StoredProfile
+}
+
+// NewProfileStore builds an empty store validating profiles against the
+// schema.
+func NewProfileStore(s *cqp.Schema) *ProfileStore {
+	ps := &ProfileStore{schema: s}
+	for i := range ps.shards {
+		ps.shards[i].m = make(map[string]*StoredProfile)
+	}
+	return ps
+}
+
+func (ps *ProfileStore) shard(id string) *profileShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &ps.shards[h.Sum32()%profileShards]
+}
+
+// Put parses, validates and stores the profile text under id, creating or
+// replacing, and returns the stored record with its new version.
+func (ps *ProfileStore) Put(id, text string) (*StoredProfile, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: empty profile id")
+	}
+	prof, err := cqp.ParseProfile(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(ps.schema); err != nil {
+		return nil, err
+	}
+	sp := &StoredProfile{
+		ID:        id,
+		Version:   ps.clock.Add(1),
+		Profile:   prof,
+		Text:      text,
+		UpdatedAt: time.Now(),
+	}
+	sh := ps.shard(id)
+	sh.mu.Lock()
+	sh.m[id] = sp
+	sh.mu.Unlock()
+	return sp, nil
+}
+
+// Get returns the stored profile, or false. The returned record is
+// immutable: a later Put replaces the pointer rather than mutating it.
+func (ps *ProfileStore) Get(id string) (*StoredProfile, bool) {
+	sh := ps.shard(id)
+	sh.mu.RLock()
+	sp, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return sp, ok
+}
+
+// Delete removes the profile, reporting whether it existed. The version
+// clock still advances so caches keyed on it can never resurrect the ID.
+func (ps *ProfileStore) Delete(id string) bool {
+	sh := ps.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	if ok {
+		ps.clock.Add(1)
+	}
+	return ok
+}
+
+// Len returns the number of stored profiles.
+func (ps *ProfileStore) Len() int {
+	n := 0
+	for i := range ps.shards {
+		sh := &ps.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// List returns every profile's listing view, sorted by ID.
+func (ps *ProfileStore) List() []ProfileInfo {
+	var out []ProfileInfo
+	for i := range ps.shards {
+		sh := &ps.shards[i]
+		sh.mu.RLock()
+		for _, sp := range sh.m {
+			out = append(out, ProfileInfo{
+				ID:          sp.ID,
+				Version:     sp.Version,
+				Preferences: sp.Profile.Len(),
+				UpdatedAt:   sp.UpdatedAt,
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

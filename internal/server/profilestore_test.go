@@ -1,0 +1,109 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cqp"
+)
+
+const profText = `doi(GENRE.genre = 'musical') = 0.5
+doi(MOVIE.mid = GENRE.mid) = 0.9
+`
+
+func newStore() *ProfileStore { return NewProfileStore(cqp.MovieSchema()) }
+
+func TestProfileStoreCRUD(t *testing.T) {
+	ps := newStore()
+	if _, ok := ps.Get("u1"); ok {
+		t.Fatal("empty store returned a profile")
+	}
+	sp, err := ps.Put("u1", profText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Version != 1 || sp.Profile.Len() != 2 {
+		t.Fatalf("stored version %d, %d prefs; want 1, 2", sp.Version, sp.Profile.Len())
+	}
+	got, ok := ps.Get("u1")
+	if !ok || got.Text != profText {
+		t.Fatalf("Get returned %+v, %v", got, ok)
+	}
+	if n := ps.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	list := ps.List()
+	if len(list) != 1 || list[0].ID != "u1" || list[0].Preferences != 2 {
+		t.Fatalf("List = %+v", list)
+	}
+	if !ps.Delete("u1") {
+		t.Fatal("Delete reported missing")
+	}
+	if ps.Delete("u1") {
+		t.Fatal("second Delete reported present")
+	}
+	if _, ok := ps.Get("u1"); ok {
+		t.Fatal("deleted profile still present")
+	}
+}
+
+func TestProfileStoreRejectsBadInput(t *testing.T) {
+	ps := newStore()
+	if _, err := ps.Put("", profText); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := ps.Put("u1", "doi(GENRE.genre = 'musical') = 7"); err == nil {
+		t.Error("out-of-range doi accepted")
+	}
+	if _, err := ps.Put("u1", "doi(NOPE.x = 1) = 0.5"); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+// TestProfileStoreVersionsNeverRepeat checks the store-global clock: a
+// replaced or deleted-then-recreated ID always gets a fresh version, so
+// cache keys built from ID@version can never alias an old entry.
+func TestProfileStoreVersionsNeverRepeat(t *testing.T) {
+	ps := newStore()
+	seen := map[uint64]bool{}
+	for i := 0; i < 3; i++ {
+		sp, err := ps.Put("u1", profText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[sp.Version] {
+			t.Fatalf("version %d issued twice", sp.Version)
+		}
+		seen[sp.Version] = true
+		ps.Delete("u1")
+	}
+	sp, _ := ps.Put("u2", profText)
+	if seen[sp.Version] {
+		t.Fatalf("version %d reused across IDs", sp.Version)
+	}
+}
+
+func TestProfileStoreConcurrent(t *testing.T) {
+	ps := newStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("user-%d", g%4)
+			for i := 0; i < 50; i++ {
+				if _, err := ps.Put(id, profText); err != nil {
+					t.Error(err)
+					return
+				}
+				ps.Get(id)
+				ps.List()
+				if i%10 == 9 {
+					ps.Delete(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"cqp"
+	"cqp/internal/obs"
+)
+
+// Config sizes the daemon's admission control and cache. The zero value
+// selects defaults suited to one laptop-scale database.
+type Config struct {
+	// Workers is the number of concurrent pipeline executions (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker before
+	// the daemon sheds load with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 1024).
+	CacheEntries int
+	// DefaultTimeout is the per-request deadline when the request names
+	// none (default 30s); RequestTimeout caps what a request may ask for
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxRows caps rows returned by /execute when the request names no
+	// limit (default 100).
+	MaxRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 100
+	}
+	return c
+}
+
+// Server is the cqpd daemon: one Personalizer behind a profile store, an
+// admission pool, a result cache, and the HTTP/JSON surface.
+type Server struct {
+	cfg   Config
+	db    *cqp.DB
+	p     *cqp.Personalizer
+	reg   *obs.Registry
+	store *ProfileStore
+	cache *Cache
+	pool  *Pool
+	mux   *http.ServeMux
+	start time.Time
+
+	mu   sync.Mutex
+	http *http.Server
+}
+
+// New wires a daemon over the database: it builds the Personalizer,
+// attaches a fresh metrics registry to the whole pipeline, and mounts every
+// endpoint. The caller owns serving (Serve/ListenAndServe) and teardown
+// (Shutdown).
+func New(db *cqp.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cqp.NewMetrics()
+	p := cqp.NewPersonalizer(db)
+	p.Observe(reg)
+	s := &Server{
+		cfg:   cfg,
+		db:    db,
+		p:     p,
+		reg:   reg,
+		store: NewProfileStore(db.Schema()),
+		cache: NewCache(cfg.CacheEntries, reg),
+		pool:  NewPool(cfg.Workers, cfg.QueueDepth, reg),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.routes()
+	return s
+}
+
+// Personalizer returns the daemon's pipeline (test and embedding hook).
+func (s *Server) Personalizer() *cqp.Personalizer { return s.p }
+
+// Registry returns the daemon's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Profiles returns the daemon's profile store.
+func (s *Server) Profiles() *ProfileStore { return s.store }
+
+// ResultCache returns the daemon's LRU result cache.
+func (s *Server) ResultCache() *Cache { return s.cache }
+
+// routes mounts every endpoint on the daemon's mux.
+func (s *Server) routes() {
+	// Pipeline endpoints run through admission control.
+	s.mux.HandleFunc("POST /personalize", s.instrument("personalize", s.handlePersonalize))
+	s.mux.HandleFunc("POST /execute", s.instrument("execute", s.handleExecute))
+	s.mux.HandleFunc("POST /front", s.instrument("front", s.handleFront))
+	s.mux.HandleFunc("POST /topk", s.instrument("topk", s.handleTopK))
+
+	// Profile CRUD and admin bypass the pool: they are O(profile) work.
+	s.mux.HandleFunc("PUT /profiles/{id}", s.instrument("profile_put", s.handleProfilePut))
+	s.mux.HandleFunc("GET /profiles/{id}", s.instrument("profile_get", s.handleProfileGet))
+	s.mux.HandleFunc("DELETE /profiles/{id}", s.instrument("profile_delete", s.handleProfileDelete))
+	s.mux.HandleFunc("GET /profiles", s.instrument("profile_list", s.handleProfileList))
+	s.mux.HandleFunc("POST /refresh", s.instrument("refresh", s.handleRefresh))
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.reg.PublishExpvar("cqp")
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the daemon's HTTP handler (httptest hook).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// newHTTPServer builds the hardened http.Server every serving path uses:
+// header-read and idle timeouts so a slow or silent client cannot pin a
+// connection open forever.
+func (s *Server) newHTTPServer() *http.Server {
+	return &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// Serve serves on the listener until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.http != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already serving")
+	}
+	srv := s.newHTTPServer()
+	s.http = srv
+	s.mu.Unlock()
+	err := srv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains gracefully: stop accepting connections, wait for in-
+// flight handlers up to ctx's deadline, then stop the admission pool once
+// no handler can enqueue more work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.http
+	s.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	s.pool.Close()
+	return err
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cqp/internal/catalog"
@@ -19,11 +21,20 @@ import (
 // Personalizer wires the CQP pipeline of the paper's Figure 2 over one
 // database: Preference Space extraction, Parameter Estimation, State Space
 // Search, and Personalized Query Construction.
+//
+// A Personalizer is safe for concurrent use: many goroutines may call the
+// Personalize* family while another calls Refresh or Observe. A running
+// personalization keeps the estimator it started with; calls that begin
+// after a Refresh see the rebuilt statistics.
 type Personalizer struct {
-	db      *storage.DB
+	db *storage.DB
+
+	mu      sync.RWMutex // guards est, metrics, acc replacement
 	est     *estimate.Estimator
 	metrics *obs.Registry
 	acc     *obs.Accuracy
+
+	gen atomic.Uint64 // statistics generation, bumped by Refresh
 }
 
 // NewPersonalizer builds a personalizer over the database, collecting
@@ -35,32 +46,63 @@ func NewPersonalizer(db *DB) *Personalizer {
 }
 
 // Refresh rebuilds catalog statistics (cardinalities, block counts, value
-// frequencies) from the current table contents.
+// frequencies) from the current table contents and advances Generation.
+// Safe to call during live traffic: in-flight personalizations finish on
+// the statistics they started with.
 func (p *Personalizer) Refresh() {
-	p.est = estimate.New(catalog.Build(p.db), estimate.DefaultBlockMillis)
+	est := estimate.New(catalog.Build(p.db), estimate.DefaultBlockMillis)
+	p.mu.Lock()
+	p.est = est
 	if p.metrics != nil {
 		p.est.EnableTiming()
 	}
+	p.mu.Unlock()
+	p.gen.Add(1)
 }
+
+// Generation returns the statistics generation: 1 after construction,
+// incremented by every Refresh. Caches keyed on personalization output
+// include it so a Refresh invalidates them.
+func (p *Personalizer) Generation() uint64 { return p.gen.Load() }
 
 // Observe attaches a metrics registry to the whole pipeline: storage scans,
 // executor unions, search runs and estimator accuracy all record into reg
 // from here on. Passing nil detaches (instrumentation reverts to no-ops).
 func (p *Personalizer) Observe(reg *obs.Registry) {
+	p.mu.Lock()
 	p.metrics = reg
 	p.db.SetMetrics(reg)
 	p.acc = obs.NewAccuracy(reg)
 	if reg != nil {
 		p.est.EnableTiming()
 	}
+	p.mu.Unlock()
+}
+
+// pipeline snapshots the replaceable pipeline state under the read lock so
+// one call runs against a coherent (estimator, registry, accuracy) triple
+// even when Refresh or Observe swaps them mid-flight.
+func (p *Personalizer) pipeline() (*estimate.Estimator, *obs.Registry, *obs.Accuracy) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.est, p.metrics, p.acc
 }
 
 // Metrics returns the attached registry (nil when observability is off).
-func (p *Personalizer) Metrics() *obs.Registry { return p.metrics }
+func (p *Personalizer) Metrics() *obs.Registry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.metrics
+}
 
 // EstimatorAccuracy summarizes estimated-versus-actual cost and size over
 // the personalized queries executed since Observe.
-func (p *Personalizer) EstimatorAccuracy() obs.AccuracySummary { return p.acc.Summary() }
+func (p *Personalizer) EstimatorAccuracy() obs.AccuracySummary {
+	p.mu.RLock()
+	acc := p.acc
+	p.mu.RUnlock()
+	return acc.Summary()
+}
 
 // options collects per-call settings.
 type options struct {
@@ -135,6 +177,9 @@ func (r *Result) Execute() (*exec.UnionResult, error) {
 // registry) with estimated versus actual cost and size — the live
 // counterpart of the paper's Figure 15 comparison.
 func (r *Result) ExecuteContext(ctx context.Context) (*exec.UnionResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cqp: execute: %w", err)
+	}
 	_, span := obs.StartSpan(ctx, "execute")
 	res, err := r.pq.Execute(r.db)
 	span.End()
@@ -222,18 +267,25 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
+	est, metrics, acc := p.pipeline()
 	start := time.Now()
 	ctx, span := obs.StartSpan(ctx, "personalize")
 	defer span.End()
 	if span != nil {
 		// Estimation happens inside prefspace.Build; per-call accounting is
 		// what lets the trace carve out the estimate phase.
-		p.est.EnableTiming()
+		est.EnableTiming()
+	}
+	// Deadline checks sit at the Figure-2 phase boundaries: a canceled or
+	// expired context aborts before the next phase starts (the daemon's
+	// per-request deadlines ride on this).
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cqp: personalize: %w", err)
 	}
 
 	_, psSpan := obs.StartSpan(ctx, "prefspace")
-	calls0, spent0 := p.est.TimingTotals()
-	sp, err := prefspace.Build(q, u, p.est, prefspace.Options{
+	calls0, spent0 := est.TimingTotals()
+	sp, err := prefspace.Build(q, u, est, prefspace.Options{
 		MaxK:    o.maxK,
 		CostMax: prob.CostMax,
 	})
@@ -242,9 +294,12 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 		return nil, err
 	}
 	psSpan.SetAttr("k", sp.K)
-	if calls1, spent1 := p.est.TimingTotals(); calls1 > calls0 {
+	if calls1, spent1 := est.TimingTotals(); calls1 > calls0 {
 		psSpan.AddChild("estimate", spent1-spent0,
 			obs.Attr{Key: "calls", Value: fmt.Sprint(calls1 - calls0)})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cqp: personalize: %w", err)
 	}
 
 	in := core.FromSpace(sp)
@@ -265,9 +320,12 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 			obs.Attr{Key: "states", Value: fmt.Sprint(st.StatesVisited)},
 			obs.Attr{Key: "peak_mem", Value: fmt.Sprint(st.PeakMemBytes)})
 	}
-	p.recordSearch(sol)
+	recordSearch(metrics, sol)
 	if !sol.Feasible {
 		return nil, fmt.Errorf("cqp: no personalized query satisfies %s", prob)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cqp: personalize: %w", err)
 	}
 
 	chosen := make([]prefspace.Pref, 0, len(sol.Set))
@@ -291,7 +349,7 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 	conSpan.End()
 	conSpan.SetAttr("subqueries", len(pq.Subs))
 
-	if reg := p.metrics; reg != nil {
+	if reg := metrics; reg != nil {
 		reg.Counter("personalize_total").Inc()
 		reg.Histogram("personalize_ms", obs.DurationBucketsMS).
 			Observe(float64(time.Since(start)) / float64(time.Millisecond))
@@ -306,8 +364,8 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 		pq:             pq,
 		sp:             sp,
 		prob:           prob,
-		acc:            p.acc,
-		blockMillis:    p.est.BlockMillis,
+		acc:            acc,
+		blockMillis:    est.BlockMillis,
 	}, nil
 }
 
@@ -315,8 +373,7 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 // the live counterparts of the paper's Figures 12 and 13. Portfolio runs
 // record each raced algorithm under its own label as well as the
 // aggregate.
-func (p *Personalizer) recordSearch(sol Solution) {
-	reg := p.metrics
+func recordSearch(reg *obs.Registry, sol Solution) {
 	if reg == nil {
 		return
 	}
@@ -364,7 +421,8 @@ func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, 
 	if err := u.Validate(p.db.Schema()); err != nil {
 		return nil, err
 	}
-	sp, err := prefspace.Build(q, u, p.est, prefspace.Options{MaxK: o.maxK, CostMax: costMax})
+	est, _, _ := p.pipeline()
+	sp, err := prefspace.Build(q, u, est, prefspace.Options{MaxK: o.maxK, CostMax: costMax})
 	if err != nil {
 		return nil, err
 	}
@@ -437,7 +495,8 @@ func (p *Personalizer) EstimateQuery(q *Query) (costMS, size float64, err error)
 	if err := q.Validate(p.db.Schema()); err != nil {
 		return 0, 0, err
 	}
-	return p.est.QueryCost(q), p.est.QuerySize(q), nil
+	est, _, _ := p.pipeline()
+	return est.QueryCost(q), est.QuerySize(q), nil
 }
 
 // Evaluate executes a plain conjunctive query on the database.
