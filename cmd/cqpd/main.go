@@ -8,7 +8,7 @@
 //	cqpd                              # :8344 over a 4000-movie synthetic DB
 //	cqpd -addr :9000 -movies 20000
 //	cqpd -data out/                   # load datagen CSVs instead
-//	cqpd -workers 8 -queue 128 -cache 4096 -timeout 10s
+//	cqpd -workers 8 -queue 128 -cache 4096 -timeout 10s -maxtimeout 1m
 //	cqpd -preload 60                  # store a synthetic profile as "default"
 //
 // Endpoints: POST /personalize, /execute, /front, /topk; PUT/GET/DELETE
@@ -41,6 +41,7 @@ func main() {
 		queue   = flag.Int("queue", 64, "admission queue depth before shedding with 429")
 		cache   = flag.Int("cache", 1024, "LRU result-cache entries")
 		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTO   = flag.Duration("maxtimeout", 2*time.Minute, "cap on per-request deadlines (timeout_ms)")
 		maxRows = flag.Int("maxrows", 100, "default row cap for /execute responses")
 		preload = flag.Int("preload", 0, "store a synthetic profile with this many selection preferences as \"default\"")
 		grace   = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
@@ -56,6 +57,7 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
 		MaxRows:        *maxRows,
 	})
 	if *preload > 0 {

@@ -144,3 +144,32 @@ func TestPersonalizeContextDeadline(t *testing.T) {
 		t.Fatalf("execute with cancelled context: %v, want context.Canceled", err)
 	}
 }
+
+// TestFrontAndTopKContextDeadline checks that the frontier and top-k
+// entry points honor their context like PersonalizeContext does: an
+// already-expired context aborts before any pipeline work runs.
+func TestFrontAndTopKContextDeadline(t *testing.T) {
+	db := cqp.SyntheticMovieDB(200, 1)
+	p := cqp.NewPersonalizer(db)
+	u := cqp.SyntheticProfile(20, 2)
+	q, err := cqp.ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := p.PersonalizeFrontContext(ctx, q, u, 10000, 0, 0, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("front: err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := p.PersonalizeTopKContext(ctx, q, u, 10000, 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("topk: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Live contexts behave exactly like the context-free entry points.
+	if _, err := p.PersonalizeFrontContext(context.Background(), q, u, 10000, 0, 0, 0); err != nil {
+		t.Fatalf("front with live context: %v", err)
+	}
+	if _, err := p.PersonalizeTopKContext(context.Background(), q, u, 10000, 5); err != nil {
+		t.Fatalf("topk with live context: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package cqp
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -101,9 +102,9 @@ func TestTightBudgetDropsPreferences(t *testing.T) {
 	if len(res.Solution.Set) != 0 || res.SQL != q.SQL() {
 		t.Errorf("expected bare query, got %s", res.SQL)
 	}
-	// Budget below even the base query: error.
-	if _, err := p.Personalize(q, profile, Problem2(est/10)); err == nil {
-		t.Error("infeasible problem must error")
+	// Budget below even the base query: the sentinel infeasibility error.
+	if _, err := p.Personalize(q, profile, Problem2(est/10)); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("infeasible problem: err = %v, want ErrInfeasible", err)
 	}
 }
 

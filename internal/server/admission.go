@@ -37,6 +37,7 @@ type task struct {
 	fn   func(context.Context)
 	enq  time.Time
 	done chan struct{}
+	ran  bool // written by the worker before close(done)
 }
 
 // NewPool starts workers goroutines over a queue of queueDepth waiting
@@ -64,11 +65,12 @@ func NewPool(workers, queueDepth int, reg *obs.Registry) *Pool {
 	return p
 }
 
-// Do runs fn on a pool worker, passing ctx through, and returns when fn
-// finished or ctx was done first. ErrSaturated means the queue was full and
-// fn never ran; ErrShuttingDown means the pool is closed. When Do returns a
-// context error the task may still be queued — the worker will observe the
-// dead context and skip it.
+// Do runs fn on a pool worker, passing ctx through, and returns nil only
+// when fn actually ran to completion. ErrSaturated means the queue was full
+// and fn never ran; ErrShuttingDown means the pool is closed; a context
+// error means either the caller stopped waiting (the task may still be
+// queued — the worker will observe the dead context and skip it) or the
+// worker skipped the task because its deadline expired while it was queued.
 func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
 	t := &task{ctx: ctx, fn: fn, enq: time.Now(), done: make(chan struct{})}
 	p.mu.RLock()
@@ -87,6 +89,16 @@ func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
 	}
 	select {
 	case <-t.done:
+		// close(t.done) happens after the worker's write of t.ran, so the
+		// read is safe. When the worker skipped fn (deadline expired while
+		// queued) both t.done and ctx.Done() can be ready at once; returning
+		// nil here would let callers mistake the skip for success.
+		if !t.ran {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return context.Canceled
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -102,6 +114,7 @@ func (p *Pool) worker() {
 			p.busy.Add(1)
 			t.fn(t.ctx)
 			p.busy.Add(-1)
+			t.ran = true
 		}
 		close(t.done)
 	}

@@ -96,6 +96,34 @@ func TestPoolSkipsDeadTasks(t *testing.T) {
 	}
 }
 
+// TestPoolSkippedTaskNeverReportsSuccess hammers the race where a queued
+// task's context dies just before the worker drains it: the worker skips fn
+// and closes done while ctx.Done() is simultaneously ready, so Do's select
+// may take either arm — and must not return nil for work that never ran
+// (handlers would cache and dereference a nil response).
+func TestPoolSkippedTaskNeverReportsSuccess(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		reg := obs.NewRegistry()
+		p := NewPool(1, 1, reg)
+		release := blockPool(t, p, 1)
+
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Bool
+		errc := make(chan error, 1)
+		go func() { errc <- p.Do(ctx, func(context.Context) { ran.Store(true) }) }()
+		waitFor(t, func() bool { return reg.Gauge("server_queue_depth").Value() == 1 })
+		cancel()  // the queued task's context dies...
+		release() // ...exactly as the worker gets to it
+		if err := <-errc; err == nil {
+			t.Fatalf("iteration %d: Do returned nil for a skipped task", i)
+		}
+		p.Close()
+		if ran.Load() {
+			t.Fatalf("iteration %d: task with dead context ran anyway", i)
+		}
+	}
+}
+
 func TestPoolCloseIdempotentAndRejects(t *testing.T) {
 	p := NewPool(1, 1, obs.NewRegistry())
 	p.Close()

@@ -8,7 +8,6 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"cqp"
@@ -145,6 +144,12 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// errDeadlineSkipped is the belt-and-braces answer when the pool reports
+// success yet the task produced neither a response nor an error: the worker
+// skipped a queued task whose deadline had expired. Handlers must never
+// cache or dereference the nil response that state leaves behind.
+var errDeadlineSkipped = fmt.Errorf("server: deadline expired before the pipeline ran: %w", context.DeadlineExceeded)
+
 // statusWriter captures the response code for per-endpoint metrics.
 type statusWriter struct {
 	http.ResponseWriter
@@ -198,7 +203,7 @@ func pipelineStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
-	case strings.Contains(err.Error(), "no personalized query satisfies"):
+	case errors.Is(err, cqp.ErrInfeasible):
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusBadRequest
@@ -389,6 +394,10 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, pipelineStatus(perr), perr)
 		return
 	}
+	if out == nil {
+		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
+		return
+	}
 	if key != "" {
 		s.cache.Put(key, req.ProfileID, out)
 	}
@@ -484,6 +493,10 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, pipelineStatus(perr), perr)
 		return
 	}
+	if out == nil {
+		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
+		return
+	}
 	if key != "" {
 		s.cache.Put(key, req.ProfileID, out)
 	}
@@ -527,8 +540,8 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var out *frontResponse
 	var perr error
-	if err := s.pool.Do(ctx, func(context.Context) {
-		front, err := s.p.PersonalizeFront(q, prof, req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, buildOpts("", req.K, 0, false, false)...)
+	if err := s.pool.Do(ctx, func(ctx context.Context) {
+		front, err := s.p.PersonalizeFrontContext(ctx, q, prof, req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, buildOpts("", req.K, 0, false, false)...)
 		if err != nil {
 			perr = err
 			return
@@ -550,6 +563,10 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	}
 	if perr != nil {
 		s.fail(w, pipelineStatus(perr), perr)
+		return
+	}
+	if out == nil {
+		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
 	if key != "" {
@@ -596,8 +613,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var out *topkResponse
 	var perr error
-	if err := s.pool.Do(ctx, func(context.Context) {
-		answers, err := s.p.PersonalizeTopK(q, prof, req.CmaxMS, req.K, buildOpts("", req.MaxK, 0, false, false)...)
+	if err := s.pool.Do(ctx, func(ctx context.Context) {
+		answers, err := s.p.PersonalizeTopKContext(ctx, q, prof, req.CmaxMS, req.K, buildOpts("", req.MaxK, 0, false, false)...)
 		if err != nil {
 			perr = err
 			return
@@ -617,6 +634,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	if perr != nil {
 		s.fail(w, pipelineStatus(perr), perr)
+		return
+	}
+	if out == nil {
+		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
 	if key != "" {

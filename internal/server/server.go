@@ -27,7 +27,7 @@ type Config struct {
 	// CacheEntries bounds the LRU result cache (default 1024).
 	CacheEntries int
 	// DefaultTimeout is the per-request deadline when the request names
-	// none (default 30s); RequestTimeout caps what a request may ask for
+	// none (default 30s); MaxTimeout caps what a request may ask for
 	// (default 2m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration

@@ -2,6 +2,7 @@ package cqp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -17,6 +18,12 @@ import (
 	"cqp/internal/rewrite"
 	"cqp/internal/storage"
 )
+
+// ErrInfeasible reports that no preference subset satisfies the problem's
+// constraints (Definition 2 has an empty feasible region for this query and
+// profile). The Personalize family wraps it with the concrete problem; test
+// with errors.Is.
+var ErrInfeasible = errors.New("cqp: no personalized query satisfies the problem")
 
 // Personalizer wires the CQP pipeline of the paper's Figure 2 over one
 // database: Preference Space extraction, Parameter Estimation, State Space
@@ -322,7 +329,7 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 	}
 	recordSearch(metrics, sol)
 	if !sol.Feasible {
-		return nil, fmt.Errorf("cqp: no personalized query satisfies %s", prob)
+		return nil, fmt.Errorf("%w (%s)", ErrInfeasible, prob)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("cqp: personalize: %w", err)
@@ -411,6 +418,14 @@ type FrontPoint struct {
 // single Table 1 problem. Optional constraints come from the problem-like
 // bounds; maxPoints caps the menu (0 = all).
 func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, sizeMax float64, maxPoints int, opts ...Option) ([]FrontPoint, error) {
+	return p.PersonalizeFrontContext(context.Background(), q, u, costMax, sizeMin, sizeMax, maxPoints, opts...)
+}
+
+// PersonalizeFrontContext is PersonalizeFront under a context: a canceled
+// or expired ctx aborts the enumeration at the same phase boundaries
+// PersonalizeContext checks (before extraction, before the frontier search,
+// before construction of the menu).
+func (p *Personalizer) PersonalizeFrontContext(ctx context.Context, q *Query, u *Profile, costMax, sizeMin, sizeMax float64, maxPoints int, opts ...Option) ([]FrontPoint, error) {
 	o := options{maxK: 20, budget: 1 << 20}
 	for _, fn := range opts {
 		fn(&o)
@@ -422,15 +437,24 @@ func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, 
 		return nil, err
 	}
 	est, _, _ := p.pipeline()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cqp: front: %w", err)
+	}
 	sp, err := prefspace.Build(q, u, est, prefspace.Options{MaxK: o.maxK, CostMax: costMax})
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cqp: front: %w", err)
 	}
 	in := core.FromSpace(sp)
 	in.StateBudget = o.budget
 	front, _ := core.ParetoFront(in, core.ParetoOptions{
 		CostMax: costMax, SizeMin: sizeMin, SizeMax: sizeMax, MaxPoints: maxPoints,
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cqp: front: %w", err)
+	}
 	kneeIdx, hasKnee := core.KneeIndex(front)
 	out := make([]FrontPoint, 0, len(front))
 	for fi, fp := range front {
@@ -458,15 +482,22 @@ func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, 
 // 2): a bound on how many answers come back rather than on the query's
 // parameters.
 func (p *Personalizer) PersonalizeTopK(q *Query, u *Profile, costMax float64, k int, opts ...Option) ([]RankedAnswer, error) {
+	return p.PersonalizeTopKContext(context.Background(), q, u, costMax, k, opts...)
+}
+
+// PersonalizeTopKContext is PersonalizeTopK under a context: the
+// personalization honors ctx at every Figure-2 phase boundary and the
+// execution aborts when ctx dies before it starts.
+func (p *Personalizer) PersonalizeTopKContext(ctx context.Context, q *Query, u *Profile, costMax float64, k int, opts ...Option) ([]RankedAnswer, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("cqp: top-k needs k > 0")
 	}
 	opts = append(opts, WithAnyMatch())
-	res, err := p.Personalize(q, u, Problem2(costMax), opts...)
+	res, err := p.PersonalizeContext(ctx, q, u, Problem2(costMax), opts...)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := res.Execute()
+	rows, err := res.ExecuteContext(ctx)
 	if err != nil {
 		return nil, err
 	}
