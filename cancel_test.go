@@ -1,0 +1,111 @@
+package cqp_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cqp"
+)
+
+// countdownCtx is a context whose Err() reports healthy for the first fuse
+// calls and context.Canceled from then on. It turns the pipeline's own
+// deadline checkpoints into an enumerable set: fuse = n dies exactly at the
+// n-th checkpoint, wherever in the Figure-2 pipeline that is, so one table
+// covers cancellation at every phase boundary without sleeping or racing a
+// real timer. Err() calls are counted atomically — the executor's union
+// goroutines poll concurrently.
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	fuse  int64
+}
+
+func newCountdownCtx(fuse int64) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), fuse: fuse}
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.fuse {
+		return context.Canceled
+	}
+	return nil
+}
+
+// runPipeline is the unit under test: personalize, then execute, under ctx.
+func runPipeline(ctx context.Context, p *cqp.Personalizer, q *cqp.Query, u *cqp.Profile) error {
+	res, err := p.PersonalizeContext(ctx, q, u, cqp.Problem2(10000))
+	if err != nil {
+		return err
+	}
+	_, err = res.ExecuteContext(ctx)
+	return err
+}
+
+// TestExecuteContextAlreadyCancelled checks the contract directly: a context
+// cancelled before ExecuteContext is called returns promptly with ctx.Err()
+// and runs no sub-query.
+func TestExecuteContextAlreadyCancelled(t *testing.T) {
+	db := cqp.SyntheticMovieDB(200, 3)
+	p := cqp.NewPersonalizer(db)
+	u := cqp.SyntheticProfile(10, 4)
+	q, err := cqp.ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Personalize(q, u, cqp.Problem2(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = res.ExecuteContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("ExecuteContext took %v on a dead context, want prompt return", d)
+	}
+}
+
+// TestPipelineCancelledAtEveryPhase walks the countdown fuse across every
+// deadline checkpoint the personalize+execute pipeline has — entry,
+// post-prefspace, post-search, execute entry, and the executor's
+// per-relation checks — asserting each one aborts with ctx.Err() promptly
+// rather than finishing the phase (or worse, the request) on a dead context.
+func TestPipelineCancelledAtEveryPhase(t *testing.T) {
+	db := cqp.SyntheticMovieDB(200, 3)
+	p := cqp.NewPersonalizer(db)
+	u := cqp.SyntheticProfile(10, 4)
+	q, err := cqp.ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Probe run: count the pipeline's checkpoints with a fuse that never
+	// blows. The count is structural (phase boundaries + one per scanned
+	// relation), so it is stable across runs of the same query.
+	probe := newCountdownCtx(1 << 30)
+	if err := runPipeline(probe, p, q, u); err != nil {
+		t.Fatalf("probe run failed: %v", err)
+	}
+	checkpoints := probe.calls.Load()
+	if checkpoints < 4 {
+		t.Fatalf("pipeline has %d deadline checkpoints, expected at least the four phase boundaries", checkpoints)
+	}
+
+	for n := int64(0); n < checkpoints; n++ {
+		ctx := newCountdownCtx(n)
+		start := time.Now()
+		err := runPipeline(ctx, p, q, u)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("checkpoint %d/%d: err = %v, want context.Canceled", n, checkpoints, err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Errorf("checkpoint %d/%d: took %v to honor cancellation", n, checkpoints, d)
+		}
+	}
+}

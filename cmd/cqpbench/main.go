@@ -11,6 +11,7 @@
 //	cqpbench -json summary.json      # machine-readable per-experiment rollup
 //	cqpbench -metrics                # dump the run's metrics at the end
 //	cqpbench -http :8080             # serve /metrics, /debug/vars, /debug/pprof
+//	cqpbench -faults 'exec.union:lat:0.1:20ms'   # run the figures under injected faults
 package main
 
 import (
@@ -29,27 +30,40 @@ import (
 	"time"
 
 	"cqp/internal/bench"
+	"cqp/internal/fault"
 	"cqp/internal/obs"
 	"cqp/internal/workload"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(bench.ExperimentIDs(), ", ")+" or all)")
-		profiles = flag.Int("profiles", 4, "profiles per data point (paper: 20)")
-		queries  = flag.Int("queries", 5, "queries per data point (paper: 10)")
-		ks       = flag.String("ks", "10,20,30,40", "comma-separated K sweep")
-		cmaxMS   = flag.Float64("cmax", 400, "default cmax in ms (paper: 400)")
-		defK     = flag.Int("k", 20, "default K (paper: 20)")
-		budget   = flag.Int("budget", 1<<20, "per-run state budget; 0 = unlimited (paper-faithful, slow)")
-		movies   = flag.Int("movies", 4000, "movies in the synthetic database")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		csvDir   = flag.String("csv", "", "directory to also write CSV series into")
-		jsonPath = flag.String("json", "", "file to write a machine-readable per-experiment summary into")
-		metrics  = flag.Bool("metrics", false, "dump the run's metrics registry after the experiments")
-		httpAddr = flag.String("http", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address while running")
+		exp       = flag.String("exp", "all", "experiment id ("+strings.Join(bench.ExperimentIDs(), ", ")+" or all)")
+		profiles  = flag.Int("profiles", 4, "profiles per data point (paper: 20)")
+		queries   = flag.Int("queries", 5, "queries per data point (paper: 10)")
+		ks        = flag.String("ks", "10,20,30,40", "comma-separated K sweep")
+		cmaxMS    = flag.Float64("cmax", 400, "default cmax in ms (paper: 400)")
+		defK      = flag.Int("k", 20, "default K (paper: 20)")
+		budget    = flag.Int("budget", 1<<20, "per-run state budget; 0 = unlimited (paper-faithful, slow)")
+		movies    = flag.Int("movies", 4000, "movies in the synthetic database")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		csvDir    = flag.String("csv", "", "directory to also write CSV series into")
+		jsonPath  = flag.String("json", "", "file to write a machine-readable per-experiment summary into")
+		metrics   = flag.Bool("metrics", false, "dump the run's metrics registry after the experiments")
+		httpAddr  = flag.String("http", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address while running")
+		faults    = flag.String("faults", os.Getenv("FAULTS"), "fault-injection plan, e.g. 'storage.scan:err:0.05' (also via FAULTS env)")
+		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's injection decisions")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		plan, err := fault.Parse(*faults, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fault.Arm(plan)
+		defer func() { fmt.Printf("\nfault report:\n%s", plan.Report()) }()
+		fmt.Printf("fault plan armed: %s (seed %d)\n", plan, *faultSeed)
+	}
 
 	ksList, err := parseInts(*ks)
 	if err != nil {

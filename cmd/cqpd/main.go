@@ -10,6 +10,7 @@
 //	cqpd -data out/                   # load datagen CSVs instead
 //	cqpd -workers 8 -queue 128 -cache 4096 -timeout 10s -maxtimeout 1m
 //	cqpd -preload 60                  # store a synthetic profile as "default"
+//	cqpd -faults 'storage.scan:err:0.05' -faultseed 42   # chaos run
 //
 // Endpoints: POST /personalize, /execute, /front, /topk; PUT/GET/DELETE
 // /profiles/{id}, GET /profiles; POST /refresh; GET /healthz, /metrics,
@@ -28,25 +29,38 @@ import (
 	"time"
 
 	"cqp"
+	"cqp/internal/fault"
 	"cqp/internal/server"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8344", "listen address")
-		movies  = flag.Int("movies", 4000, "synthetic database size")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		dataDir = flag.String("data", "", "directory of relation CSVs (from datagen) to load instead of generating")
-		workers = flag.Int("workers", 0, "concurrent pipeline workers (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "admission queue depth before shedding with 429")
-		cache   = flag.Int("cache", 1024, "LRU result-cache entries")
-		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxTO   = flag.Duration("maxtimeout", 2*time.Minute, "cap on per-request deadlines (timeout_ms)")
-		maxRows = flag.Int("maxrows", 100, "default row cap for /execute responses")
-		preload = flag.Int("preload", 0, "store a synthetic profile with this many selection preferences as \"default\"")
-		grace   = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
+		addr      = flag.String("addr", ":8344", "listen address")
+		movies    = flag.Int("movies", 4000, "synthetic database size")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		dataDir   = flag.String("data", "", "directory of relation CSVs (from datagen) to load instead of generating")
+		workers   = flag.Int("workers", 0, "concurrent pipeline workers (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth before shedding with 429")
+		cache     = flag.Int("cache", 1024, "LRU result-cache entries")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTO     = flag.Duration("maxtimeout", 2*time.Minute, "cap on per-request deadlines (timeout_ms)")
+		maxRows   = flag.Int("maxrows", 100, "default row cap for /execute responses")
+		maxBody   = flag.Int64("maxbody", 1<<20, "request-body size cap in bytes (oversize gets 413)")
+		preload   = flag.Int("preload", 0, "store a synthetic profile with this many selection preferences as \"default\"")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
+		faults    = flag.String("faults", os.Getenv("FAULTS"), "fault-injection plan, e.g. 'storage.scan:err:0.05' (also via FAULTS env)")
+		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's injection decisions")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		plan, err := fault.Parse(*faults, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fault.Arm(plan)
+		fmt.Printf("cqpd: fault plan armed: %s (seed %d)\n", plan, *faultSeed)
+	}
 
 	db, err := buildDB(*dataDir, *movies, *seed)
 	if err != nil {
@@ -59,6 +73,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTO,
 		MaxRows:        *maxRows,
+		MaxBodyBytes:   *maxBody,
 	})
 	if *preload > 0 {
 		sp, err := preloadProfile(srv, *preload, *seed)
@@ -91,6 +106,9 @@ func main() {
 		cancel()
 		if err != nil {
 			fatal(err)
+		}
+		if p := fault.Armed(); p != nil {
+			fmt.Printf("cqpd: fault report:\n%s", p.Report())
 		}
 		fmt.Println("cqpd: drained, bye")
 	}

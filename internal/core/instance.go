@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"cqp/internal/fault"
 	"cqp/internal/prefs"
 	"cqp/internal/prefspace"
 )
@@ -63,7 +64,19 @@ type Instance struct {
 }
 
 // overBudget reports whether the search should stop, flagging truncation.
+// Every algorithm consults it per state, which also makes it the harness's
+// search.expand fault point: an injected fault aborts the search like an
+// exhausted budget, with the cause recorded in st.Fault. Disarmed cost is
+// one atomic load.
 func (in *Instance) overBudget(st *Stats) bool {
+	if st.Fault != nil {
+		return true
+	}
+	if err := fault.Inject(fault.SearchExpand); err != nil {
+		st.Fault = fmt.Errorf("core: state expansion: %w", err)
+		st.Truncated = true
+		return true
+	}
 	if in.StateBudget > 0 && st.StatesVisited >= in.StateBudget {
 		st.Truncated = true
 		return true

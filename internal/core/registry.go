@@ -69,19 +69,26 @@ func Solve(in *Instance, prob Problem, algo string) (Solution, error) {
 		if err != nil {
 			return Solution{}, err
 		}
-		return solver(in, prob.CostMax), nil
+		return surfaceFault(solver(in, prob.CostMax))
 	case prob.Objective == ObjMaxDoi && prob.CostMax > 0:
 		// Problem 3.
-		return windowedWithFallback(in, prob,
-			CBoundariesP3(in, prob.CostMax, prob.SizeMin, prob.SizeMax)), nil
+		return surfaceFault(windowedWithFallback(in, prob,
+			CBoundariesP3(in, prob.CostMax, prob.SizeMin, prob.SizeMax)))
 	case prob.Objective == ObjMaxDoi:
 		// Problem 1.
-		return windowedWithFallback(in, prob,
-			SBoundariesP1(in, prob.SizeMin, prob.SizeMax)), nil
+		return surfaceFault(windowedWithFallback(in, prob,
+			SBoundariesP1(in, prob.SizeMin, prob.SizeMax)))
 	default:
 		// Problems 4–6.
-		return BranchBound(in, prob), nil
+		return surfaceFault(BranchBound(in, prob))
 	}
+}
+
+// surfaceFault turns a solution's recorded injected-fault abort into
+// Solve's error return. The (partial) solution still rides along for
+// callers that want the best-so-far answer despite the fault.
+func surfaceFault(sol Solution) (Solution, error) {
+	return sol, sol.Stats.Fault
 }
 
 // windowedWithFallback escalates a truncated, answerless windowed search to

@@ -26,6 +26,11 @@ type Stats struct {
 	// at any point of the run — the live-frontier companion to
 	// PeakMemBytes.
 	QueueHighWater int
+	// Fault records an injected search.expand fault that aborted the run:
+	// the search stopped as if truncated, carrying the best solution found
+	// so far. Solve surfaces it as an error; direct Problem2Solver callers
+	// (benchmarks, experiments) inspect it here.
+	Fault error
 }
 
 // memTracker accumulates live bytes and records the peak.

@@ -15,10 +15,12 @@
 package estimate
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"cqp/internal/catalog"
+	"cqp/internal/fault"
 	"cqp/internal/prefs"
 	"cqp/internal/query"
 )
@@ -55,6 +57,19 @@ func New(cat *catalog.Catalog, bMillis float64) *Estimator {
 
 // Catalog exposes the underlying statistics.
 func (e *Estimator) Catalog() *catalog.Catalog { return e.cat }
+
+// CheckFault surfaces an injected estimate.histogram fault. The estimation
+// entry points return bare float64s by design (they sit inside tight search
+// loops), so they cannot fail in-band; callers that can propagate an error —
+// prefspace.Build polls it at its estimation sites — call this instead,
+// standing in for the stale-statistics and catalog-read failures a real
+// optimizer would hit. One atomic load when the harness is disarmed.
+func (e *Estimator) CheckFault() error {
+	if err := fault.Inject(fault.EstimateHistogram); err != nil {
+		return fmt.Errorf("estimate: histogram read: %w", err)
+	}
+	return nil
+}
 
 // EnableTiming switches on per-call accounting for the estimation entry
 // points (QueryCost, QuerySize, SubQueryCost, Shrink). Safe to call

@@ -11,12 +11,14 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"cqp/internal/fault"
 	"cqp/internal/obs"
 	"cqp/internal/prefs"
 	"cqp/internal/query"
@@ -39,12 +41,22 @@ type Result struct {
 
 // Eval evaluates a conjunctive SPJ query. It validates the query first.
 func Eval(db *storage.DB, q *query.Query) (*Result, error) {
+	return EvalContext(context.Background(), db, q)
+}
+
+// EvalContext is Eval honoring cancellation: the context is checked before
+// the evaluation starts and between relation scans, so an expired deadline
+// stops a multi-relation join before it reads the next heap file.
+func EvalContext(ctx context.Context, db *storage.DB, q *query.Query) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := q.Validate(db.Schema()); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	var io storage.IOCounter
-	rows, cols, err := evalJoinTree(db, &io, q)
+	rows, cols, err := evalJoinTree(ctx, db, &io, q)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +107,7 @@ type colIndex map[schema.AttrRef]int
 
 // evalJoinTree scans, filters, and joins all relations of the query,
 // returning wide tuples and a column index over them.
-func evalJoinTree(db *storage.DB, io *storage.IOCounter, q *query.Query) ([]storage.Row, colIndex, error) {
+func evalJoinTree(ctx context.Context, db *storage.DB, io *storage.IOCounter, q *query.Query) ([]storage.Row, colIndex, error) {
 	// Per-relation pushed-down selections.
 	selsFor := make(map[string][]query.Selection)
 	for _, s := range q.Selections {
@@ -104,13 +116,16 @@ func evalJoinTree(db *storage.DB, io *storage.IOCounter, q *query.Query) ([]stor
 	// Scan and filter each relation once.
 	filtered := make(map[string][]storage.Row, len(q.From))
 	for _, rel := range q.From {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		t, err := db.Table(rel)
 		if err != nil {
 			return nil, nil, err
 		}
 		sels := selsFor[rel]
 		var rows []storage.Row
-		t.Scan(io, func(r storage.Row) bool {
+		err = t.Scan(io, func(r storage.Row) bool {
 			for _, s := range sels {
 				i := t.Relation().ColumnIndex(s.Attr.Attr)
 				if !s.Op.Eval(r[i], s.Value) {
@@ -120,6 +135,9 @@ func evalJoinTree(db *storage.DB, io *storage.IOCounter, q *query.Query) ([]stor
 			rows = append(rows, r)
 			return true
 		})
+		if err != nil {
+			return nil, nil, err
+		}
 		filtered[rel] = rows
 	}
 
@@ -355,11 +373,22 @@ type UnionResult struct {
 // ranking; it may be nil, in which case all results rank equally at 0 and
 // only membership counts.
 func EvalUnion(db *storage.DB, subs []*query.Query, dois []float64, minMatches int) (*UnionResult, error) {
+	return EvalUnionContext(context.Background(), db, subs, dois, minMatches)
+}
+
+// EvalUnionContext is EvalUnion honoring cancellation: each sub-query checks
+// the context before it starts and between its relation scans. It also hosts
+// the fault harness's exec.union injection point, standing in for executor
+// failures (spilled hash tables, cancelled cursors) of a real engine.
+func EvalUnionContext(ctx context.Context, db *storage.DB, subs []*query.Query, dois []float64, minMatches int) (*UnionResult, error) {
 	if len(subs) == 0 {
 		return nil, fmt.Errorf("exec: union of zero sub-queries")
 	}
 	if dois != nil && len(dois) != len(subs) {
 		return nil, fmt.Errorf("exec: %d dois for %d sub-queries", len(dois), len(subs))
+	}
+	if err := fault.Inject(fault.ExecUnion); err != nil {
+		return nil, fmt.Errorf("exec: union: %w", err)
 	}
 	if minMatches < 1 {
 		minMatches = 1
@@ -381,7 +410,7 @@ func EvalUnion(db *storage.DB, subs []*query.Query, dois []float64, minMatches i
 			defer func() { <-sem }()
 			dq := sq.Clone()
 			dq.Distinct = true // dedup within a sub-query: HAVING counts sub-queries, not duplicates
-			results[i], errs[i] = Eval(db, dq)
+			results[i], errs[i] = EvalContext(ctx, db, dq)
 		}(i, sq)
 	}
 	wg.Wait()
@@ -395,7 +424,9 @@ func EvalUnion(db *storage.DB, subs []*query.Query, dois []float64, minMatches i
 	groups := make(map[string]*group)
 	for i, res := range results {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("exec: sub-query %d: %v", i, errs[i])
+			// %w: the cause's class (injected fault, context death) must
+			// survive for retry and degradation policies to read.
+			return nil, fmt.Errorf("exec: sub-query %d: %w", i, errs[i])
 		}
 		io += res.BlockReads
 		subs2[i] = SubQueryStat{Rows: len(res.Rows), BlockReads: res.BlockReads, Elapsed: res.Elapsed}

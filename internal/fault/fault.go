@@ -1,0 +1,348 @@
+// Package fault is a deterministic, seedable fault-injection harness for
+// the CQP serving stack. Production code declares named injection points
+// (storage scans, executor unions, estimator lookups, search expansions,
+// the daemon's result cache); a test or an operator arms a Plan that maps
+// points to failure rules — return an error, add latency, or panic — with
+// a configured probability and an optional injection cap.
+//
+// When no plan is armed the hot path pays exactly one atomic pointer load
+// per Inject call, so the harness can stay compiled into release binaries.
+// Decisions are derived from the plan's seed and a per-rule call counter
+// (splitmix64), so a given (plan, request interleaving) replays the same
+// faults — chaos runs are diagnosable, not merely noisy.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site in the serving stack.
+type Point string
+
+// The injection-point catalog. Adding a point means adding one Inject call
+// at the site and one constant here; Parse validates names against this
+// list so a typo in an operator's plan fails fast instead of arming a rule
+// that never fires.
+const (
+	// StorageScan fires at the start of every heap-file table scan.
+	StorageScan Point = "storage.scan"
+	// ExecUnion fires at the start of every personalized-union evaluation.
+	ExecUnion Point = "exec.union"
+	// EstimateHistogram fires on estimator consultations during preference
+	// extraction (the Parameter Estimation phase of Figure 2).
+	EstimateHistogram Point = "estimate.histogram"
+	// SearchExpand fires on every state expansion inside the Section-5
+	// search algorithms.
+	SearchExpand Point = "search.expand"
+	// ServerCache fires on daemon result-cache reads and writes.
+	ServerCache Point = "server.cache"
+)
+
+// Points returns the injection-point catalog in stable order.
+func Points() []Point {
+	return []Point{StorageScan, ExecUnion, EstimateHistogram, SearchExpand, ServerCache}
+}
+
+func validPoint(p Point) bool {
+	for _, q := range Points() {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Mode is what an armed rule does when it fires.
+type Mode uint8
+
+const (
+	// ModeErr makes the injection point return ErrInjected (wrapped).
+	ModeErr Mode = iota
+	// ModeLatency makes the injection point sleep before proceeding.
+	ModeLatency
+	// ModePanic makes the injection point panic.
+	ModePanic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeErr:
+		return "err"
+	case ModeLatency:
+		return "lat"
+	case ModePanic:
+		return "panic"
+	}
+	return fmt.Sprintf("mode(%d)", m)
+}
+
+// ErrInjected is the sentinel every injected error wraps; resilience
+// policies classify it as transient with errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Rule arms one failure behavior at one point.
+type Rule struct {
+	Point Point
+	Mode  Mode
+	// Prob is the per-call injection probability in [0, 1]; 0 means 1
+	// (always) so the terse spec "point:err" is a deterministic fault.
+	Prob float64
+	// Latency is the added delay for ModeLatency rules.
+	Latency time.Duration
+	// Count caps the number of injections; 0 means unlimited. A drained
+	// rule stops firing, which lets smoke tests assert recovery after a
+	// bounded burst of faults.
+	Count int64
+}
+
+// armedRule is a Rule plus its runtime counters.
+type armedRule struct {
+	Rule
+	seed     uint64 // per-rule stream seed
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+// Plan is an armed set of rules. A Plan is immutable after construction;
+// its counters are concurrency-safe.
+type Plan struct {
+	seed  int64
+	rules map[Point][]*armedRule
+	order []*armedRule // spec order, for String and Counts
+}
+
+// NewPlan builds a plan from rules. Rules for unknown points or with
+// out-of-range probabilities are rejected.
+func NewPlan(seed int64, rules ...Rule) (*Plan, error) {
+	p := &Plan{seed: seed, rules: make(map[Point][]*armedRule)}
+	for i, r := range rules {
+		if !validPoint(r.Point) {
+			return nil, fmt.Errorf("fault: unknown injection point %q", r.Point)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return nil, fmt.Errorf("fault: rule %d: probability %g out of [0,1]", i, r.Prob)
+		}
+		if r.Prob == 0 {
+			r.Prob = 1
+		}
+		if r.Mode == ModeLatency && r.Latency <= 0 {
+			return nil, fmt.Errorf("fault: rule %d: latency mode needs a duration", i)
+		}
+		ar := &armedRule{Rule: r, seed: splitmix64(uint64(seed) + uint64(i)*0x9e3779b97f4a7c15 + 1)}
+		p.rules[r.Point] = append(p.rules[r.Point], ar)
+		p.order = append(p.order, ar)
+	}
+	return p, nil
+}
+
+// Parse compiles a textual fault plan: comma-separated rules, each
+// "point:mode[:opt...]" where mode is err, lat or panic and the options
+// are, in any order, a probability (a float in [0,1]), a latency duration
+// (lat mode, e.g. 20ms), and an injection cap ("x" + integer). Examples:
+//
+//	storage.scan:err:0.05
+//	exec.union:lat:0.2:50ms
+//	search.expand:panic:0.001
+//	server.cache:err:x10           (first 10 cache touches fail)
+//
+// The seed makes the plan's fault sequence reproducible.
+func Parse(spec string, seed int64) (*Plan, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault: rule %q needs at least point:mode", part)
+		}
+		r := Rule{Point: Point(fields[0])}
+		switch fields[1] {
+		case "err", "error":
+			r.Mode = ModeErr
+		case "lat", "latency", "slow":
+			r.Mode = ModeLatency
+		case "panic":
+			r.Mode = ModePanic
+		default:
+			return nil, fmt.Errorf("fault: rule %q: unknown mode %q (err|lat|panic)", part, fields[1])
+		}
+		for _, opt := range fields[2:] {
+			switch {
+			case strings.HasPrefix(opt, "x"):
+				n, err := strconv.ParseInt(opt[1:], 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("fault: rule %q: bad injection cap %q", part, opt)
+				}
+				r.Count = n
+			default:
+				if f, err := strconv.ParseFloat(opt, 64); err == nil {
+					r.Prob = f
+					continue
+				}
+				if d, err := time.ParseDuration(opt); err == nil {
+					r.Latency = d
+					continue
+				}
+				return nil, fmt.Errorf("fault: rule %q: unrecognized option %q", part, opt)
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: empty plan %q", spec)
+	}
+	return NewPlan(seed, rules...)
+}
+
+// String renders the plan in the Parse syntax.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, r := range p.order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%s:%g", r.Point, r.Mode, r.Prob)
+		if r.Mode == ModeLatency {
+			fmt.Fprintf(&b, ":%s", r.Latency)
+		}
+		if r.Count > 0 {
+			fmt.Fprintf(&b, ":x%d", r.Count)
+		}
+	}
+	return b.String()
+}
+
+// Counts reports per-point call and injection totals.
+type Counts struct {
+	Calls    int64
+	Injected int64
+}
+
+// Counts sums the plan's counters per point.
+func (p *Plan) Counts() map[Point]Counts {
+	out := make(map[Point]Counts, len(p.rules))
+	for pt, rules := range p.rules {
+		var c Counts
+		for _, r := range rules {
+			c.Calls += r.calls.Load()
+			c.Injected += r.injected.Load()
+		}
+		out[pt] = c
+	}
+	return out
+}
+
+// Drained reports whether every count-capped rule has used up its budget
+// (a plan with any uncapped rule is never drained).
+func (p *Plan) Drained() bool {
+	for _, r := range p.order {
+		if r.Count == 0 || r.injected.Load() < r.Count {
+			return false
+		}
+	}
+	return true
+}
+
+// Report renders the plan's counters, one line per rule, for logs.
+func (p *Plan) Report() string {
+	var b strings.Builder
+	keys := make([]string, 0, len(p.order))
+	for _, r := range p.order {
+		keys = append(keys, fmt.Sprintf("%s:%s %d/%d injected",
+			r.Point, r.Mode, r.injected.Load(), r.calls.Load()))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// armed is the process-wide active plan. One atomic load on the hot path.
+var armed atomic.Pointer[Plan]
+
+// Arm activates the plan process-wide (nil disarms).
+func Arm(p *Plan) {
+	armed.Store(p)
+}
+
+// Disarm deactivates any armed plan.
+func Disarm() { armed.Store(nil) }
+
+// Armed returns the active plan (nil when none).
+func Armed() *Plan { return armed.Load() }
+
+// Enabled reports whether any plan is armed.
+func Enabled() bool { return armed.Load() != nil }
+
+// Inject consults the armed plan at the point. With no plan armed it is a
+// single atomic load returning nil. Otherwise it may sleep (latency rules),
+// panic (panic rules), or return an error wrapping ErrInjected.
+func Inject(pt Point) error {
+	p := armed.Load()
+	if p == nil {
+		return nil
+	}
+	return p.inject(pt)
+}
+
+// PanicValue is the value injected panics carry, so recovery middleware can
+// distinguish harness panics in counters and tests.
+type PanicValue struct {
+	Point Point
+}
+
+func (v PanicValue) String() string { return fmt.Sprintf("fault: injected panic at %s", v.Point) }
+
+func (p *Plan) inject(pt Point) error {
+	rules := p.rules[pt]
+	if len(rules) == 0 {
+		return nil
+	}
+	for _, r := range rules {
+		n := r.calls.Add(1)
+		if r.Prob < 1 && unitFloat(splitmix64(r.seed+uint64(n))) >= r.Prob {
+			continue
+		}
+		if r.Count > 0 {
+			if r.injected.Add(1) > r.Count {
+				r.injected.Add(-1) // budget spent; rule is drained
+				continue
+			}
+		} else {
+			r.injected.Add(1)
+		}
+		switch r.Mode {
+		case ModeLatency:
+			time.Sleep(r.Latency)
+		case ModePanic:
+			panic(PanicValue{Point: pt})
+		default:
+			return fmt.Errorf("fault: injected %s error: %w", pt, ErrInjected)
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the SplitMix64 mixer — a tiny, allocation-free PRNG step
+// good enough for injection decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a uint64 onto [0, 1).
+func unitFloat(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}

@@ -119,6 +119,9 @@ func Build(q *query.Query, profile *prefs.Profile, est *estimate.Estimator, opt 
 	if maxPath <= 0 {
 		maxPath = 4
 	}
+	if err := est.CheckFault(); err != nil {
+		return nil, fmt.Errorf("prefspace: base query estimate: %w", err)
+	}
 	sp := &Space{
 		Query:    q,
 		BaseCost: est.QueryCost(q),
@@ -154,6 +157,9 @@ func Build(q *query.Query, profile *prefs.Profile, est *estimate.Estimator, opt 
 			imp, err := prefs.NewImplicit(c.path, *c.sel)
 			if err != nil {
 				return nil, fmt.Errorf("prefspace: %v", err)
+			}
+			if err := est.CheckFault(); err != nil {
+				return nil, fmt.Errorf("prefspace: estimating preference %d: %w", sp.K, err)
 			}
 			p := Pref{
 				Imp:    imp,

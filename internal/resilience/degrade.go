@@ -1,0 +1,59 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrStepUnavailable is the sentinel a ladder step returns when it cannot
+// even attempt its answer (no stale entry cached, rung not applicable);
+// Walk moves on without treating it as the request's error.
+var ErrStepUnavailable = errors.New("resilience: degradation step unavailable")
+
+// ErrExhausted reports that every rung of a ladder failed; handlers map it
+// to 503.
+var ErrExhausted = errors.New("resilience: degradation ladder exhausted")
+
+// Step is one rung of a degradation ladder: a named, lower-quality way to
+// answer the request.
+type Step struct {
+	// Name labels the rung ("stale", "heuristic", "tight-cmax"); the value
+	// that answered carries it so responses can be marked degraded.
+	Name string
+	// Run produces the rung's answer.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Walk tries the rungs in order and returns the first success together
+// with the winning rung's name. A permanent error (per the predicate —
+// infeasibility, a dead context, a caller mistake) aborts the walk and is
+// returned as-is: degrading cannot fix a request that is wrong rather than
+// unlucky. If every rung fails transiently the result wraps ErrExhausted
+// with the last transient error.
+func Walk(ctx context.Context, permanent func(error) bool, steps ...Step) (any, string, error) {
+	var last error
+	for _, s := range steps {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return nil, "", errors.Join(last, err)
+			}
+			return nil, "", err
+		}
+		v, err := s.Run(ctx)
+		if err == nil {
+			return v, s.Name, nil
+		}
+		if errors.Is(err, ErrStepUnavailable) {
+			continue
+		}
+		if permanent != nil && permanent(err) {
+			return nil, s.Name, err
+		}
+		last = err
+	}
+	if last == nil {
+		last = ErrStepUnavailable
+	}
+	return nil, "", fmt.Errorf("%w: %w", ErrExhausted, last)
+}

@@ -1,0 +1,136 @@
+// Package resilience provides the fault-tolerance policies the cqpd daemon
+// threads around the CQP pipeline: Retry (capped exponential backoff with
+// jitter), Breaker (a three-state circuit breaker), and Walk (a graceful
+// degradation ladder).
+//
+// The degradation ladder is the operational reading of the paper's central
+// idea: personalization is optimization under constraints, and the
+// algorithm family spans exact search down to the cheap D-HEURDOI
+// heuristic. Under faults or load the daemon sheds *quality* — a stale
+// answer, a heuristic search, a tighter cost ceiling — before it sheds
+// requests.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy configures Retry. The zero value selects sane serving-path
+// defaults: 3 attempts, 5 ms base delay doubling to a 250 ms cap, 50%
+// jitter, and every error retryable except context cancellation.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 3; 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the sleep before the first retry (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 250ms).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter randomizes each delay by ±Jitter×delay/2 to decorrelate
+	// retry storms; in [0, 1], default 0.5.
+	Jitter float64
+	// Retryable classifies errors; a false verdict stops the loop
+	// immediately. nil means RetryableDefault.
+	Retryable func(error) bool
+	// OnRetry, when set, observes every scheduled retry (attempt counts
+	// from 1) — the daemon's retry counter hangs off this.
+	OnRetry func(attempt int, err error)
+
+	// rand returns a uniform [0,1) sample; tests may pin it. nil uses a
+	// process-wide seeded source.
+	rand func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.5
+	}
+	if p.Retryable == nil {
+		p.Retryable = RetryableDefault
+	}
+	if p.rand == nil {
+		p.rand = defaultRand
+	}
+	return p
+}
+
+// RetryableDefault treats everything as transient except context
+// cancellation and expiry — retrying a dead deadline only burns a worker.
+func RetryableDefault(err error) bool {
+	return err != nil &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+var (
+	randMu  sync.Mutex
+	randSrc = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func defaultRand() float64 {
+	randMu.Lock()
+	defer randMu.Unlock()
+	return randSrc.Float64()
+}
+
+// Retry runs fn until it succeeds, fails permanently (per the policy's
+// Retryable predicate), exhausts MaxAttempts, or ctx dies. Backoff sleeps
+// are context-aware: a cancelled ctx returns immediately with the last
+// error joined to the context's.
+func Retry(ctx context.Context, pol RetryPolicy, fn func(ctx context.Context) error) error {
+	pol = pol.withDefaults()
+	delay := pol.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return errors.Join(err, cerr)
+			}
+			return cerr
+		}
+		err = fn(ctx)
+		if err == nil {
+			return nil
+		}
+		if attempt >= pol.MaxAttempts || !pol.Retryable(err) {
+			return err
+		}
+		if pol.OnRetry != nil {
+			pol.OnRetry(attempt, err)
+		}
+		d := delay
+		if pol.Jitter > 0 {
+			// Spread across [d(1-j/2), d(1+j/2)].
+			d = time.Duration(float64(d) * (1 + pol.Jitter*(pol.rand()-0.5)))
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return errors.Join(err, ctx.Err())
+		case <-t.C:
+		}
+		delay = time.Duration(float64(delay) * pol.Multiplier)
+		if delay > pol.MaxDelay {
+			delay = pol.MaxDelay
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -118,9 +119,15 @@ func (p *Personalized) SQL() string {
 // Execute evaluates the personalized query on the store, returning ranked
 // results and I/O accounting.
 func (p *Personalized) Execute(db *storage.DB) (*exec.UnionResult, error) {
+	return p.ExecuteContext(context.Background(), db)
+}
+
+// ExecuteContext is Execute honoring cancellation, which the executor
+// checks before each sub-query and between its relation scans.
+func (p *Personalized) ExecuteContext(ctx context.Context, db *storage.DB) (*exec.UnionResult, error) {
 	dois := p.Dois
 	if len(dois) == 0 {
 		dois = nil
 	}
-	return exec.EvalUnion(db, p.Subs, dois, p.MinMatches())
+	return exec.EvalUnionContext(ctx, db, p.Subs, dois, p.MinMatches())
 }

@@ -26,10 +26,11 @@ type Pool struct {
 	queue  chan *task
 	wg     sync.WaitGroup
 
-	depth *obs.Gauge
-	busy  *obs.Gauge
-	shed  *obs.Counter
-	waits *obs.Histogram
+	depth  *obs.Gauge
+	busy   *obs.Gauge
+	shed   *obs.Counter
+	waits  *obs.Histogram
+	panics *obs.Counter
 }
 
 type task struct {
@@ -51,11 +52,12 @@ func NewPool(workers, queueDepth int, reg *obs.Registry) *Pool {
 		queueDepth = 0
 	}
 	p := &Pool{
-		queue: make(chan *task, queueDepth),
-		depth: reg.Gauge("server_queue_depth"),
-		busy:  reg.Gauge("server_workers_busy"),
-		shed:  reg.Counter("server_shed_total"),
-		waits: reg.Histogram("server_queue_wait_ms", obs.DurationBucketsMS),
+		queue:  make(chan *task, queueDepth),
+		depth:  reg.Gauge("server_queue_depth"),
+		busy:   reg.Gauge("server_workers_busy"),
+		shed:   reg.Counter("server_shed_total"),
+		waits:  reg.Histogram("server_queue_wait_ms", obs.DurationBucketsMS),
+		panics: reg.Counter("server_pool_panics_total"),
 	}
 	reg.Gauge("server_workers").Set(int64(workers))
 	p.wg.Add(workers)
@@ -105,6 +107,15 @@ func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
 	}
 }
 
+// Pressured reports whether the queue has crossed its high-water mark
+// (three quarters of capacity): the degradation ladder's signal to stop
+// spending full-fidelity search time and serve cheaper answers until the
+// backlog drains. Always false for an unbuffered queue.
+func (p *Pool) Pressured() bool {
+	c := cap(p.queue)
+	return c > 0 && len(p.queue) >= (3*c+3)/4
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for t := range p.queue {
@@ -112,12 +123,26 @@ func (p *Pool) worker() {
 		p.waits.Observe(float64(time.Since(t.enq)) / float64(time.Millisecond))
 		if t.ctx.Err() == nil {
 			p.busy.Add(1)
-			t.fn(t.ctx)
+			p.runTask(t)
 			p.busy.Add(-1)
 			t.ran = true
 		}
 		close(t.done)
 	}
+}
+
+// runTask executes one task, containing any panic so a poisoned request can
+// never kill a worker (and with it the whole daemon — worker exit would
+// strand the queue). Handlers wrap their own closures with recovery too;
+// this is the pool's last line of defense, and a panic that reaches it
+// leaves the task "ran" with whatever partial state the closure wrote.
+func (p *Pool) runTask(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Inc()
+		}
+	}()
+	t.fn(t.ctx)
 }
 
 // Close stops accepting work and blocks until queued tasks drain and all

@@ -20,10 +20,21 @@ type Cache struct {
 	items     map[string]*list.Element
 	byProfile map[string]map[string]struct{} // profile id -> live keys
 
+	// The stale index is the degradation ladder's first rung: a second
+	// bounded LRU keyed WITHOUT profile version or statistics generation, so
+	// the last good answer for (endpoint, query, profile, options) stays
+	// reachable after the exact key has rotated away. It deliberately
+	// survives InvalidateProfile and Purge — serving from it is explicitly
+	// marked stale in the response, and a deleted profile 404s before any
+	// lookup.
+	staleLL    *list.List
+	staleItems map[string]*list.Element
+
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
 	entries   *obs.Gauge
+	staleHits *obs.Counter
 }
 
 type cacheEntry struct {
@@ -40,14 +51,17 @@ func NewCache(max int, reg *obs.Registry) *Cache {
 		max = 1
 	}
 	return &Cache{
-		max:       max,
-		ll:        list.New(),
-		items:     make(map[string]*list.Element),
-		byProfile: make(map[string]map[string]struct{}),
-		hits:      reg.Counter("server_cache_hits"),
-		misses:    reg.Counter("server_cache_misses"),
-		evictions: reg.Counter("server_cache_evictions_total"),
-		entries:   reg.Gauge("server_cache_entries"),
+		max:        max,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		byProfile:  make(map[string]map[string]struct{}),
+		staleLL:    list.New(),
+		staleItems: make(map[string]*list.Element),
+		hits:       reg.Counter("server_cache_hits"),
+		misses:     reg.Counter("server_cache_misses"),
+		evictions:  reg.Counter("server_cache_evictions_total"),
+		entries:    reg.Gauge("server_cache_entries"),
+		staleHits:  reg.Counter("server_cache_stale_hits"),
 	}
 }
 
@@ -109,6 +123,46 @@ func (c *Cache) removeLocked(el *list.Element) {
 			}
 		}
 	}
+}
+
+// PutStale records val as the last good answer under a version-free key
+// (see the stale index comment on Cache). Bounded by the same capacity as
+// the exact cache, evicting least-recently-served entries.
+func (c *Cache) PutStale(staleKey string, val any) {
+	if staleKey == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.staleItems[staleKey]; ok {
+		c.staleLL.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	el := c.staleLL.PushFront(&cacheEntry{key: staleKey, val: val})
+	c.staleItems[staleKey] = el
+	for c.staleLL.Len() > c.max {
+		back := c.staleLL.Back()
+		delete(c.staleItems, back.Value.(*cacheEntry).key)
+		c.staleLL.Remove(back)
+	}
+}
+
+// GetStale returns the last good answer recorded under the version-free key.
+// Callers must mark any response served from here as degraded.
+func (c *Cache) GetStale(staleKey string) (any, bool) {
+	if staleKey == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.staleItems[staleKey]
+	if !ok {
+		return nil, false
+	}
+	c.staleLL.MoveToFront(el)
+	c.staleHits.Inc()
+	return el.Value.(*cacheEntry).val, true
 }
 
 // InvalidateProfile drops every entry attributed to the profile ID,

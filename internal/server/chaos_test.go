@@ -1,0 +1,412 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"cqp/internal/fault"
+	"cqp/internal/resilience"
+)
+
+// armPlan parses and arms a fault plan for the duration of the test. The
+// armed plan is process-wide, so chaos tests must not run in parallel with
+// each other (none of this package's tests call t.Parallel).
+func armPlan(t *testing.T, spec string, seed int64) *fault.Plan {
+	t.Helper()
+	plan, err := fault.Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(plan)
+	t.Cleanup(fault.Disarm)
+	return plan
+}
+
+// degradedMarkers is the closed set a 2xx response's degraded field may
+// carry; anything else is a malformed degraded response.
+var degradedMarkers = map[string]bool{"": true, "stale": true, "heuristic": true, "tight-cmax": true}
+
+// checkChaosBody asserts one chaos-run response body is well-formed: a 2xx
+// parses into a response whose degraded marker is known, anything else
+// parses into the error envelope with a non-empty class.
+func checkChaosBody(t *testing.T, code int, body []byte) (degraded string) {
+	t.Helper()
+	if code >= 200 && code < 300 {
+		var resp struct {
+			Degraded string `json:"degraded"`
+			Cached   bool   `json:"cached"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("2xx body does not parse: %v: %s", err, body)
+		}
+		if !degradedMarkers[resp.Degraded] {
+			t.Fatalf("unknown degraded marker %q", resp.Degraded)
+		}
+		if resp.Degraded == "stale" && !resp.Cached {
+			t.Errorf("stale response not marked cached: %s", body)
+		}
+		return resp.Degraded
+	}
+	var env errorResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("%d body is not the error envelope: %v: %s", code, err, body)
+	}
+	if env.Error.Class == "" || env.Error.Message == "" {
+		t.Fatalf("%d envelope missing class or message: %s", code, body)
+	}
+	return ""
+}
+
+// TestChaosStorageErrorRatio is the acceptance-criterion run: with a plan
+// injecting 10% storage-scan errors, at least 95% of requests must still be
+// answered 2xx — fresh, retried, or explicitly marked degraded — with zero
+// unrecovered panics (a panic would fail the test process under -race).
+//
+// A personalized-union execution performs dozens of heap scans, so a 10%
+// per-scan error rate means nearly every full execution sees at least one
+// fault — this workload is exactly what the stale rung exists for. The warm
+// pass populates the version-free stale index; a profile update then
+// rotates the exact keys away so every chaos request must run the pipeline
+// (and, when it faults, fall back to the last good answer).
+func TestChaosStorageErrorRatio(t *testing.T) {
+	s, ts := newTestServer(t, Config{BreakerOpenTimeout: 100 * time.Millisecond})
+	putProfile(t, ts.URL, "alice", testProfileText())
+
+	for v := 0; v < 7; v++ {
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/execute", chaosBody("/execute", v, false))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm /execute: %d: %s", resp.StatusCode, body)
+		}
+	}
+	for v := 0; v < 3; v++ {
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/topk", chaosBody("/topk", v, false))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm /topk: %d: %s", resp.StatusCode, body)
+		}
+	}
+	putProfile(t, ts.URL, "alice", testProfileText()) // rotate exact keys
+
+	armPlan(t, "storage.scan:err:0.1", 42)
+
+	total, ok2xx := 0, 0
+	for i := 0; i < 150; i++ {
+		// Alternate the storage-heavy endpoints (personalize and front never
+		// scan the heap, so they would dilute the fault pressure).
+		path := "/execute"
+		if i%3 == 2 {
+			path = "/topk"
+		}
+		resp, body := doJSON(t, http.MethodPost, ts.URL+path, chaosBody(path, i%7, false))
+		total++
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			ok2xx++
+		}
+		checkChaosBody(t, resp.StatusCode, body)
+	}
+	if ratio := float64(ok2xx) / float64(total); ratio < 0.95 {
+		t.Errorf("2xx ratio %.3f (%d/%d) under 10%% storage errors, want >= 0.95\n%s",
+			ratio, ok2xx, total, fault.Armed().Report())
+	}
+	if n := s.reg.Counter("server_panics_total", "endpoint", "execute").Value(); n != 0 {
+		t.Errorf("%d panics escaped to the middleware", n)
+	}
+
+	// Disarm and confirm the daemon converges back to full fidelity: the
+	// breaker (if it opened) closes after its half-open probes succeed and a
+	// fresh pipeline request serves undegraded.
+	fault.Disarm()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/execute", chaosBody("/execute", 1000, true))
+		if resp.StatusCode == http.StatusOK && checkChaosBody(t, resp.StatusCode, body) == "" &&
+			s.Breaker().State() == resilience.Closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not recover full fidelity after disarm: %d breaker=%v: %s",
+				resp.StatusCode, s.Breaker().State(), body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// chaosBody builds a request body for the chaos runs; variant diversifies
+// the cache key, noCache forces the pipeline.
+func chaosBody(path string, variant int, noCache bool) map[string]any {
+	b := map[string]any{
+		"sql":        testSQL,
+		"profile_id": "alice",
+		"no_cache":   noCache,
+	}
+	switch path {
+	case "/topk":
+		b["cmax_ms"] = 10000
+		b["k"] = 3 + variant%3
+	case "/front":
+		b["max_points"] = 4 + variant%4
+	default:
+		b["problem"] = map[string]any{"number": 2, "cmax_ms": 10000}
+		b["limit"] = 5 + variant
+	}
+	return b
+}
+
+// TestChaosRandomizedAllEndpoints drives every pipeline endpoint
+// concurrently through a multi-point randomized plan — errors, latency and
+// panics at every injection site at once — and asserts only the structural
+// invariants: every response is well-formed (2xx with a known degraded
+// marker or the error envelope), no panic escapes the middleware uncounted,
+// and the daemon still answers cleanly after the plan disarms.
+func TestChaosRandomizedAllEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		BreakerOpenTimeout: 100 * time.Millisecond,
+		RetryAttempts:      2,
+	})
+	putProfile(t, ts.URL, "alice", testProfileText())
+
+	armPlan(t, "storage.scan:err:0.1,exec.union:err:0.05,estimate.histogram:err:0.03,"+
+		"search.expand:panic:0.0005,server.cache:err:0.05,exec.union:lat:0.05:5ms", 7)
+
+	paths := []string{"/personalize", "/execute", "/front", "/topk"}
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes t.* calls and the tally from workers
+	counts := map[int]int{}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				path := paths[(w+i)%len(paths)]
+				resp, body := doJSON(t, http.MethodPost, ts.URL+path, chaosBody(path, i, i%2 == 0))
+				mu.Lock()
+				counts[resp.StatusCode]++
+				checkChaosBody(t, resp.StatusCode, body)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	t.Logf("status counts: %v\nfaults:\n%s", counts, fault.Armed().Report())
+
+	// Panics may have been injected (search.expand) — but every one must
+	// have been contained by safeRun, the pool, or the middleware, so the
+	// workers are all still alive and the daemon still serves.
+	fault.Disarm()
+	probe := personalizeBody("alice")
+	probe["no_cache"] = true // a cache hit would never probe the breaker
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/personalize", probe)
+		if resp.StatusCode == http.StatusOK && s.Breaker().State() == resilience.Closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not recover after disarm: %d breaker=%v: %s",
+				resp.StatusCode, s.Breaker().State(), body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Nothing nil may have been cached: replay every endpoint cacheable —
+	// a nil entry would explode the type assertion on the hit path.
+	for _, path := range paths {
+		for range [2]int{} {
+			resp, body := doJSON(t, http.MethodPost, ts.URL+path, chaosBody(path, 1, false))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("post-chaos %s: %d: %s", path, resp.StatusCode, body)
+			}
+		}
+	}
+}
+
+// TestChaosBreakerOpensAndRecovers forces the executor hard-down, watches
+// the breaker open and the ladder answer 503 degraded_unavailable once the
+// rungs are exhausted, then disarms and watches half-open probes close the
+// breaker and full-fidelity service resume.
+func TestChaosBreakerOpensAndRecovers(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		RetryAttempts:      1,
+		BreakerThreshold:   3,
+		BreakerOpenTimeout: 100 * time.Millisecond,
+	})
+	putProfile(t, ts.URL, "alice", testProfileText())
+
+	armPlan(t, "exec.union:err", 1)
+
+	sawExhausted := false
+	for i := 0; i < 6; i++ {
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/execute", chaosBody("/execute", i, true))
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: %d, want 503: %s", i, resp.StatusCode, body)
+		}
+		var env errorResponse
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Error.Class == "degraded_unavailable" {
+			sawExhausted = true
+		}
+	}
+	if !sawExhausted {
+		t.Error("no response carried class degraded_unavailable")
+	}
+	if st := s.Breaker().State(); st != resilience.Open {
+		t.Fatalf("breaker %v after hard-down burst, want open", st)
+	}
+	if n := s.reg.Counter("server_degraded_bypass_total",
+		"endpoint", "execute", "reason", "breaker-open").Value(); n == 0 {
+		t.Error("no request was counted as bypassing on an open breaker")
+	}
+
+	fault.Disarm()
+	time.Sleep(150 * time.Millisecond) // let the open timeout lapse
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/execute", chaosBody("/execute", 99, true))
+		if resp.StatusCode == http.StatusOK && s.Breaker().State() == resilience.Closed {
+			if d := checkChaosBody(t, resp.StatusCode, body); d != "" {
+				t.Fatalf("recovered response still degraded %q", d)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered: state=%v code=%d body=%s",
+				s.Breaker().State(), resp.StatusCode, body)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+}
+
+// TestChaosStaleLadderRung pins the first rung's exact behavior: after a
+// profile update rotates the exact cache key, a hard-down executor is
+// answered from the version-free stale index — 200, cached, marked
+// degraded:"stale" — instead of 503.
+func TestChaosStaleLadderRung(t *testing.T) {
+	s, ts := newTestServer(t, Config{RetryAttempts: 1})
+	putProfile(t, ts.URL, "alice", testProfileText())
+
+	body := chaosBody("/execute", 0, false)
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/execute", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean run: %d: %s", resp.StatusCode, raw)
+	}
+	var fresh executeResponse
+	if err := json.Unmarshal(raw, &fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rotate the version: the exact key dies, the stale key survives.
+	putProfile(t, ts.URL, "alice", testProfileText())
+
+	armPlan(t, "exec.union:err", 1)
+	resp, raw = doJSON(t, http.MethodPost, ts.URL+"/execute", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale rung: %d, want 200: %s", resp.StatusCode, raw)
+	}
+	var out executeResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Degraded != "stale" || !out.Cached {
+		t.Errorf("degraded=%q cached=%v, want stale/true", out.Degraded, out.Cached)
+	}
+	// The stale answer is the fresh answer replayed, markers aside.
+	if out.RowCount != fresh.RowCount || out.TotalRows != fresh.TotalRows || out.SQL != fresh.SQL {
+		t.Errorf("stale answer diverged: rows %d/%d vs %d/%d",
+			out.RowCount, out.TotalRows, fresh.RowCount, fresh.TotalRows)
+	}
+	if n := s.cache.staleHits.Value(); n == 0 {
+		t.Error("stale hit not counted")
+	}
+}
+
+// TestChaosHeuristicLadderRung pins the second rung: with no stale entry
+// available and the exact search's expansions poisoned, the request is
+// re-answered by D-HeurDoi and marked degraded:"heuristic".
+func TestChaosHeuristicLadderRung(t *testing.T) {
+	_, ts := newTestServer(t, Config{RetryAttempts: 1})
+	putProfile(t, ts.URL, "alice", testProfileText())
+
+	// The exact (default C_MaxBounds) search expands states through
+	// overBudget; a 100%-probability fault kills every attempt at it. The
+	// heuristic rung runs D-HeurDoi... which expands states too, so it would
+	// die as well — cap the injections so the burst drains mid-ladder.
+	// RetryAttempts=1 and one state expansion per request phase make the
+	// first rung attempt land after the cap most of the time; rather than
+	// guess scheduling, probe until the heuristic marker shows up.
+	armPlan(t, "search.expand:err:x2", 3)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, raw := doJSON(t, http.MethodPost, ts.URL+"/personalize", map[string]any{
+			"sql": testSQL, "profile_id": "alice", "no_cache": true,
+			"problem": map[string]any{"number": 2, "cmax_ms": 10000},
+		})
+		if resp.StatusCode == http.StatusOK {
+			var out personalizeResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Degraded == "heuristic" {
+				if out.Solution.Algorithm != "D-HEURDOI" {
+					t.Errorf("heuristic rung solved with %q", out.Solution.Algorithm)
+				}
+				return
+			}
+			if fault.Armed().Drained() {
+				// The whole burst was absorbed by retries before the ladder —
+				// legal, but not the path under test; re-arm and try again.
+				armPlan(t, "search.expand:err:x2", 3)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never observed a heuristic-rung response")
+		}
+	}
+}
+
+// TestChaosPanicContainment injects panics at the two layers with different
+// recovery paths: the result cache (handler goroutine — middleware recovery,
+// a counted 500) and the search (pool goroutine — safeRun converts it to a
+// retryable error, the request still succeeds).
+func TestChaosPanicContainment(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	putProfile(t, ts.URL, "alice", testProfileText())
+
+	// Handler-goroutine panic: first cacheable request trips it.
+	armPlan(t, "server.cache:panic:x1", 5)
+	resp, raw := doJSON(t, http.MethodPost, ts.URL+"/personalize", personalizeBody("alice"))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("cache panic: %d, want 500: %s", resp.StatusCode, raw)
+	}
+	var env errorResponse
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Class != "internal" {
+		t.Fatalf("cache panic envelope: %v %s", err, raw)
+	}
+	if n := s.reg.Counter("server_panics_total", "endpoint", "personalize").Value(); n != 1 {
+		t.Errorf("server_panics_total = %d, want 1", n)
+	}
+
+	// Pipeline-goroutine panic: safeRun turns it into a retry, the retry
+	// succeeds once the x1 cap drains, and the answer is full fidelity.
+	armPlan(t, "search.expand:panic:x1", 6)
+	resp, raw = doJSON(t, http.MethodPost, ts.URL+"/personalize", personalizeBody("alice"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search panic: %d, want 200 after retry: %s", resp.StatusCode, raw)
+	}
+	if d := checkChaosBody(t, resp.StatusCode, raw); d != "" && d != "heuristic" && d != "tight-cmax" {
+		t.Errorf("unexpected degraded marker %q", d)
+	}
+
+	// Either way the daemon is intact: workers alive, clean request clean.
+	fault.Disarm()
+	resp, raw = doJSON(t, http.MethodPost, ts.URL+"/personalize", personalizeBody("alice"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic request: %d: %s", resp.StatusCode, raw)
+	}
+	if got := fmt.Sprint(s.Breaker().State()); got != "closed" {
+		t.Errorf("breaker %s after contained panics", got)
+	}
+}

@@ -12,10 +12,8 @@ import (
 
 	"cqp"
 	"cqp/internal/obs"
+	"cqp/internal/resilience"
 )
-
-// maxBodyBytes bounds request bodies (queries and profiles are small).
-const maxBodyBytes = 1 << 20
 
 // problemSpec is the JSON form of a Table-1 problem: the number plus the
 // full bound set; bounds the problem does not use are ignored. The zero
@@ -66,7 +64,8 @@ type solutionJSON struct {
 }
 
 // personalizeResponse is the body of a /personalize answer; /execute embeds
-// it. Cached and Trace are per-request and set after any cache copy.
+// it. Cached, Degraded and Trace are per-request and set after any cache
+// copy.
 type personalizeResponse struct {
 	SQL            string       `json:"sql"`
 	Preferences    []string     `json:"preferences"`
@@ -76,7 +75,10 @@ type personalizeResponse struct {
 	ProfileID      string       `json:"profile_id,omitempty"`
 	ProfileVersion uint64       `json:"profile_version,omitempty"`
 	Cached         bool         `json:"cached"`
-	Trace          string       `json:"trace,omitempty"`
+	// Degraded names the ladder rung that answered ("stale", "heuristic",
+	// "tight-cmax"); empty for a full-fidelity answer.
+	Degraded string `json:"degraded,omitempty"`
+	Trace    string `json:"trace,omitempty"`
 }
 
 // rowJSON is one ranked answer row.
@@ -119,8 +121,9 @@ type frontPointJSON struct {
 }
 
 type frontResponse struct {
-	Points []frontPointJSON `json:"points"`
-	Cached bool             `json:"cached"`
+	Points   []frontPointJSON `json:"points"`
+	Cached   bool             `json:"cached"`
+	Degraded string           `json:"degraded,omitempty"`
 }
 
 // topkRequest is the body of POST /topk.
@@ -136,12 +139,21 @@ type topkRequest struct {
 }
 
 type topkResponse struct {
-	Answers []rowJSON `json:"answers"`
-	Cached  bool      `json:"cached"`
+	Answers  []rowJSON `json:"answers"`
+	Cached   bool      `json:"cached"`
+	Degraded string    `json:"degraded,omitempty"`
+}
+
+// errorBody is the one error envelope every endpoint speaks:
+// {"error":{"class":"...","message":"..."}}. Class is a stable,
+// machine-distinguishable token per failure kind; Message is for humans.
+type errorBody struct {
+	Class   string `json:"class"`
+	Message string `json:"message"`
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
 }
 
 // errDeadlineSkipped is the belt-and-braces answer when the pool reports
@@ -150,28 +162,48 @@ type errorResponse struct {
 // cache or dereference the nil response that state leaves behind.
 var errDeadlineSkipped = fmt.Errorf("server: deadline expired before the pipeline ran: %w", context.DeadlineExceeded)
 
-// statusWriter captures the response code for per-endpoint metrics.
+// statusWriter captures the response code for per-endpoint metrics and
+// whether the header went out (panic recovery must not write a second one).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
 // instrument wraps a handler with the per-endpoint latency histogram and
-// request counter.
+// request counter, plus panic recovery: a panic that escapes the handler —
+// the server.cache injection point's panic mode fires on this goroutine —
+// becomes a counted 500 instead of a torn connection with no metrics.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.reg.Counter("server_panics_total", "endpoint", endpoint).Inc()
+				if !sw.wrote {
+					sw.code = http.StatusInternalServerError
+					writeError(sw, http.StatusInternalServerError, "internal",
+						fmt.Sprintf("server: recovered panic: %v", rec))
+				}
+			}
+			s.reg.Counter("server_requests_total",
+				"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
+			s.reg.Histogram("server_request_ms", obs.DurationBucketsMS, "endpoint", endpoint).
+				Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		}()
 		h(sw, r)
-		s.reg.Counter("server_requests_total",
-			"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
-		s.reg.Histogram("server_request_ms", obs.DurationBucketsMS, "endpoint", endpoint).
-			Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	}
 }
 
@@ -183,20 +215,65 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// classFor names the failure class for a status code — the stable token
+// clients branch on.
+func classFor(code int) string {
+	switch code {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusUnprocessableEntity:
+		return "infeasible"
+	case http.StatusTooManyRequests:
+		return "saturated"
+	case http.StatusInternalServerError:
+		return "internal"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// writeError emits the error envelope.
+func writeError(w http.ResponseWriter, code int, class, msg string) {
+	writeJSON(w, code, errorResponse{Error: errorBody{Class: class, Message: msg}})
+}
+
+// fail maps an error onto the envelope. Two refinements over classFor's
+// code-based default: an oversized body (however deep http's wrapping
+// buried it) forces 413, and an exhausted degradation ladder marks its 503
+// as degraded_unavailable — "we tried every quality level", as opposed to
+// plain unavailability.
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	var mbe *http.MaxBytesError
+	class := classFor(code)
+	switch {
+	case errors.As(err, &mbe):
+		code = http.StatusRequestEntityTooLarge
+		class = "payload_too_large"
+	case errors.Is(err, resilience.ErrExhausted):
+		class = "degraded_unavailable"
+	}
+	writeError(w, code, class, err.Error())
 }
 
 // decodeJSON parses the bounded request body into v.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
 }
 
 // pipelineStatus maps a pipeline error onto an HTTP status: expired
-// deadlines are 504, infeasible problems 422, everything else a caller
-// error.
+// deadlines are 504, infeasible problems 422, an exhausted degradation
+// ladder or recovered panic or injected fault 503/500, everything else a
+// caller error.
 func pipelineStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -205,6 +282,10 @@ func pipelineStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, cqp.ErrInfeasible):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, resilience.ErrExhausted):
+		return http.StatusServiceUnavailable
+	case transientFault(err):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
@@ -341,7 +422,7 @@ func personalizeResponseFrom(res *cqp.Result, profileID string, version uint64) 
 // the result cache without entering the pipeline at all.
 func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 	var req personalizeRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -360,12 +441,13 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, err)
 		return
 	}
-	key := ""
+	key, staleKey := "", ""
 	if cacheable && !req.NoCache {
-		key = s.cacheKey("personalize", q, req.ProfileID, version,
-			fmt.Sprintf("%s|a=%s k=%d b=%d any=%v merge=%v",
-				prob, req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge))
-		if v, ok := s.cache.Get(key); ok {
+		extra := fmt.Sprintf("%s|a=%s k=%d b=%d any=%v merge=%v",
+			prob, req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge)
+		key = s.cacheKey("personalize", q, req.ProfileID, version, extra)
+		staleKey = s.staleKey("personalize", q, req.ProfileID, extra)
+		if v, ok := s.cacheGet(key); ok {
 			resp := *v.(*personalizeResponse)
 			resp.Cached = true
 			if req.Trace {
@@ -377,17 +459,28 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, req.Trace, "personalize")
 	defer cancel()
-	var out *personalizeResponse
+	build := func(prob cqp.Problem, alg string) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			res, err := s.p.PersonalizeContext(ctx, q, prof, prob,
+				buildOpts(alg, req.K, req.Budget, req.AnyMatch, req.Merge)...)
+			if err != nil {
+				return nil, err
+			}
+			return personalizeResponseFrom(res, req.ProfileID, version), nil
+		}
+	}
+	var out any
+	var degraded string
 	var perr error
 	if err := s.pool.Do(ctx, func(ctx context.Context) {
-		res, err := s.p.PersonalizeContext(ctx, q, prof, prob, buildOpts(req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge)...)
-		if err != nil {
-			perr = err
-			return
+		rungs := []resilience.Step{s.step("heuristic", build(prob, "D_HeurDoi"))}
+		if tp, ok := tightenedProblem(prob, s.cfg.TightenFactor); ok {
+			rungs = append(rungs, s.step("tight-cmax", build(tp, "D_HeurDoi")))
 		}
-		out = personalizeResponseFrom(res, req.ProfileID, version)
+		out, degraded, perr = s.runResilient(ctx, "personalize", staleKey,
+			build(prob, req.Algorithm), rungs...)
 	}); err != nil {
-		s.admit(w, err)
+		s.shedOrStale(w, "personalize", staleKey, err)
 		return
 	}
 	if perr != nil {
@@ -398,10 +491,13 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
-	if key != "" {
-		s.cache.Put(key, req.ProfileID, out)
+	resp := *out.(*personalizeResponse)
+	resp.Degraded = degraded
+	if degraded == "" {
+		s.cachePut(key, staleKey, req.ProfileID, out)
+	} else if degraded == "stale" {
+		resp.Cached = true
 	}
-	resp := *out
 	if tr != nil {
 		tr.End()
 		resp.Trace = tr.Tree()
@@ -414,7 +510,7 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 // the row limit part of the key.
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	var req personalizeRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -437,12 +533,13 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 {
 		limit = s.cfg.MaxRows
 	}
-	key := ""
+	key, staleKey := "", ""
 	if cacheable && !req.NoCache {
-		key = s.cacheKey("execute", q, req.ProfileID, version,
-			fmt.Sprintf("%s|a=%s k=%d b=%d any=%v merge=%v lim=%d",
-				prob, req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge, limit))
-		if v, ok := s.cache.Get(key); ok {
+		extra := fmt.Sprintf("%s|a=%s k=%d b=%d any=%v merge=%v lim=%d",
+			prob, req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge, limit)
+		key = s.cacheKey("execute", q, req.ProfileID, version, extra)
+		staleKey = s.staleKey("execute", q, req.ProfileID, extra)
+		if v, ok := s.cacheGet(key); ok {
 			resp := *v.(*executeResponse)
 			resp.Cached = true
 			if req.Trace {
@@ -454,39 +551,49 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, req.Trace, "execute")
 	defer cancel()
-	var out *executeResponse
+	build := func(prob cqp.Problem, alg string) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			res, err := s.p.PersonalizeContext(ctx, q, prof, prob,
+				buildOpts(alg, req.K, req.Budget, req.AnyMatch, req.Merge)...)
+			if err != nil {
+				return nil, err
+			}
+			rows, err := res.ExecuteContext(ctx)
+			if err != nil {
+				return nil, err
+			}
+			er := &executeResponse{
+				personalizeResponse: *personalizeResponseFrom(res, req.ProfileID, version),
+				TotalRows:           len(rows.Rows),
+				BlockReads:          rows.BlockReads,
+				ExecMS:              float64(rows.Elapsed) / float64(time.Millisecond),
+			}
+			for i, rr := range rows.Rows {
+				if i >= limit {
+					break
+				}
+				vals := make([]string, len(rr.Key))
+				for j, v := range rr.Key {
+					vals[j] = v.String()
+				}
+				er.Rows = append(er.Rows, rowJSON{Values: vals, Doi: rr.Doi, Matched: len(rr.Matched)})
+			}
+			er.RowCount = len(er.Rows)
+			return er, nil
+		}
+	}
+	var out any
+	var degraded string
 	var perr error
 	if err := s.pool.Do(ctx, func(ctx context.Context) {
-		res, err := s.p.PersonalizeContext(ctx, q, prof, prob, buildOpts(req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge)...)
-		if err != nil {
-			perr = err
-			return
+		rungs := []resilience.Step{s.step("heuristic", build(prob, "D_HeurDoi"))}
+		if tp, ok := tightenedProblem(prob, s.cfg.TightenFactor); ok {
+			rungs = append(rungs, s.step("tight-cmax", build(tp, "D_HeurDoi")))
 		}
-		rows, err := res.ExecuteContext(ctx)
-		if err != nil {
-			perr = err
-			return
-		}
-		er := &executeResponse{
-			personalizeResponse: *personalizeResponseFrom(res, req.ProfileID, version),
-			TotalRows:           len(rows.Rows),
-			BlockReads:          rows.BlockReads,
-			ExecMS:              float64(rows.Elapsed) / float64(time.Millisecond),
-		}
-		for i, rr := range rows.Rows {
-			if i >= limit {
-				break
-			}
-			vals := make([]string, len(rr.Key))
-			for j, v := range rr.Key {
-				vals[j] = v.String()
-			}
-			er.Rows = append(er.Rows, rowJSON{Values: vals, Doi: rr.Doi, Matched: len(rr.Matched)})
-		}
-		er.RowCount = len(er.Rows)
-		out = er
+		out, degraded, perr = s.runResilient(ctx, "execute", staleKey,
+			build(prob, req.Algorithm), rungs...)
 	}); err != nil {
-		s.admit(w, err)
+		s.shedOrStale(w, "execute", staleKey, err)
 		return
 	}
 	if perr != nil {
@@ -497,10 +604,13 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
-	if key != "" {
-		s.cache.Put(key, req.ProfileID, out)
+	resp := *out.(*executeResponse)
+	resp.Degraded = degraded
+	if degraded == "" {
+		s.cachePut(key, staleKey, req.ProfileID, out)
+	} else if degraded == "stale" {
+		resp.Cached = true
 	}
-	resp := *out
 	if tr != nil {
 		tr.End()
 		resp.Trace = tr.Tree()
@@ -508,10 +618,13 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleFront serves POST /front: the doi/cost Pareto frontier menu.
+// handleFront serves POST /front: the doi/cost Pareto frontier menu. Its
+// degradation ladder has no heuristic rung — the frontier IS the exhaustive
+// sweep — so after stale it goes straight to a tightened cmax (a smaller
+// frontier is still a truthful menu, just a shorter one).
 func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	var req frontRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -525,11 +638,12 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, err)
 		return
 	}
-	key := ""
+	key, staleKey := "", ""
 	if cacheable && !req.NoCache {
-		key = s.cacheKey("front", q, req.ProfileID, version,
-			fmt.Sprintf("c=%g s=[%g,%g] n=%d k=%d", req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, req.K))
-		if v, ok := s.cache.Get(key); ok {
+		extra := fmt.Sprintf("c=%g s=[%g,%g] n=%d k=%d", req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, req.K)
+		key = s.cacheKey("front", q, req.ProfileID, version, extra)
+		staleKey = s.staleKey("front", q, req.ProfileID, extra)
+		if v, ok := s.cacheGet(key); ok {
 			resp := *v.(*frontResponse)
 			resp.Cached = true
 			writeJSON(w, http.StatusOK, resp)
@@ -538,27 +652,37 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, _ := s.requestContext(r, req.TimeoutMS, false, "front")
 	defer cancel()
-	var out *frontResponse
+	build := func(cmax float64) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			front, err := s.p.PersonalizeFrontContext(ctx, q, prof, cmax, req.Smin, req.Smax, req.MaxPoints, buildOpts("", req.K, 0, false, false)...)
+			if err != nil {
+				return nil, err
+			}
+			fr := &frontResponse{Points: make([]frontPointJSON, 0, len(front))}
+			for _, fp := range front {
+				fr.Points = append(fr.Points, frontPointJSON{
+					Preferences: fp.Preferences,
+					Doi:         fp.Doi,
+					CostMS:      fp.CostMS,
+					SizeRows:    fp.Size,
+					Knee:        fp.Knee,
+				})
+			}
+			return fr, nil
+		}
+	}
+	var out any
+	var degraded string
 	var perr error
 	if err := s.pool.Do(ctx, func(ctx context.Context) {
-		front, err := s.p.PersonalizeFrontContext(ctx, q, prof, req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, buildOpts("", req.K, 0, false, false)...)
-		if err != nil {
-			perr = err
-			return
+		var rungs []resilience.Step
+		if req.CmaxMS > 0 {
+			rungs = append(rungs, s.step("tight-cmax", build(req.CmaxMS*s.cfg.TightenFactor)))
 		}
-		fr := &frontResponse{Points: make([]frontPointJSON, 0, len(front))}
-		for _, fp := range front {
-			fr.Points = append(fr.Points, frontPointJSON{
-				Preferences: fp.Preferences,
-				Doi:         fp.Doi,
-				CostMS:      fp.CostMS,
-				SizeRows:    fp.Size,
-				Knee:        fp.Knee,
-			})
-		}
-		out = fr
+		out, degraded, perr = s.runResilient(ctx, "front", staleKey,
+			build(req.CmaxMS), rungs...)
 	}); err != nil {
-		s.admit(w, err)
+		s.shedOrStale(w, "front", staleKey, err)
 		return
 	}
 	if perr != nil {
@@ -569,16 +693,22 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
-	if key != "" {
-		s.cache.Put(key, req.ProfileID, out)
+	resp := *out.(*frontResponse)
+	resp.Degraded = degraded
+	if degraded == "" {
+		s.cachePut(key, staleKey, req.ProfileID, out)
+	} else if degraded == "stale" {
+		resp.Cached = true
 	}
-	writeJSON(w, http.StatusOK, *out)
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleTopK serves POST /topk: the k highest-interest answers.
+// handleTopK serves POST /topk: the k highest-interest answers. Like
+// /front, its ladder degrades by tightening cmax — fewer union branches
+// execute, the answers that do come back are still genuinely top-interest.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req topkRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -598,11 +728,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if req.CmaxMS <= 0 {
 		req.CmaxMS = 400
 	}
-	key := ""
+	key, staleKey := "", ""
 	if cacheable && !req.NoCache {
-		key = s.cacheKey("topk", q, req.ProfileID, version,
-			fmt.Sprintf("c=%g k=%d maxk=%d", req.CmaxMS, req.K, req.MaxK))
-		if v, ok := s.cache.Get(key); ok {
+		extra := fmt.Sprintf("c=%g k=%d maxk=%d", req.CmaxMS, req.K, req.MaxK)
+		key = s.cacheKey("topk", q, req.ProfileID, version, extra)
+		staleKey = s.staleKey("topk", q, req.ProfileID, extra)
+		if v, ok := s.cacheGet(key); ok {
 			resp := *v.(*topkResponse)
 			resp.Cached = true
 			writeJSON(w, http.StatusOK, resp)
@@ -611,25 +742,32 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, _ := s.requestContext(r, req.TimeoutMS, false, "topk")
 	defer cancel()
-	var out *topkResponse
+	build := func(cmax float64) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			answers, err := s.p.PersonalizeTopKContext(ctx, q, prof, cmax, req.K, buildOpts("", req.MaxK, 0, false, false)...)
+			if err != nil {
+				return nil, err
+			}
+			tr := &topkResponse{Answers: make([]rowJSON, 0, len(answers))}
+			for _, a := range answers {
+				vals := make([]string, len(a.Row))
+				for j, v := range a.Row {
+					vals[j] = v.String()
+				}
+				tr.Answers = append(tr.Answers, rowJSON{Values: vals, Doi: a.Doi, Matched: a.Matched})
+			}
+			return tr, nil
+		}
+	}
+	var out any
+	var degraded string
 	var perr error
 	if err := s.pool.Do(ctx, func(ctx context.Context) {
-		answers, err := s.p.PersonalizeTopKContext(ctx, q, prof, req.CmaxMS, req.K, buildOpts("", req.MaxK, 0, false, false)...)
-		if err != nil {
-			perr = err
-			return
-		}
-		tr := &topkResponse{Answers: make([]rowJSON, 0, len(answers))}
-		for _, a := range answers {
-			vals := make([]string, len(a.Row))
-			for j, v := range a.Row {
-				vals[j] = v.String()
-			}
-			tr.Answers = append(tr.Answers, rowJSON{Values: vals, Doi: a.Doi, Matched: a.Matched})
-		}
-		out = tr
+		rungs := []resilience.Step{s.step("tight-cmax", build(req.CmaxMS*s.cfg.TightenFactor))}
+		out, degraded, perr = s.runResilient(ctx, "topk", staleKey,
+			build(req.CmaxMS), rungs...)
 	}); err != nil {
-		s.admit(w, err)
+		s.shedOrStale(w, "topk", staleKey, err)
 		return
 	}
 	if perr != nil {
@@ -640,10 +778,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
-	if key != "" {
-		s.cache.Put(key, req.ProfileID, out)
+	resp := *out.(*topkResponse)
+	resp.Degraded = degraded
+	if degraded == "" {
+		s.cachePut(key, staleKey, req.ProfileID, out)
+	} else if degraded == "stale" {
+		resp.Cached = true
 	}
-	writeJSON(w, http.StatusOK, *out)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // profileJSON is the single-profile response shape.
@@ -661,7 +803,7 @@ type profileJSON struct {
 // entries.
 func (s *Server) handleProfilePut(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -721,6 +863,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"generation":    s.p.Generation(),
 		"queue_depth":   s.reg.Gauge("server_queue_depth").Value(),
 		"cache_entries": s.cache.Len(),
+		"breaker":       s.breaker.State().String(),
 	})
 }
 

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"cqp"
+	"cqp/internal/fault"
+	"cqp/internal/resilience"
+)
+
+// errPanic marks a pipeline panic that the serving path recovered: the
+// request failed, the worker lives. Classified transient — injected panics
+// (the fault harness's panic mode) and genuine pipeline bugs both warrant a
+// retry and, failing that, the degradation ladder.
+var errPanic = errors.New("server: pipeline panicked")
+
+// transientFault reports whether an error is a backend fault the serving
+// path may retry or degrade around. ONLY injected faults and recovered
+// panics qualify; context errors, cqp.ErrInfeasible and caller mistakes
+// (unknown algorithms, bad SQL) are permanent — retrying them would mask
+// the caller's error and burn workers.
+func transientFault(err error) bool {
+	return errors.Is(err, fault.ErrInjected) || errors.Is(err, errPanic)
+}
+
+// permanentErr is transientFault's complement, in the shape
+// resilience.Walk's predicate wants.
+func permanentErr(err error) bool { return !transientFault(err) }
+
+// safeRun executes one pipeline attempt, converting a panic into an
+// errPanic-classed error. First line of panic containment: the pool worker
+// and the HTTP middleware behind it are belt and braces.
+func safeRun(ctx context.Context, fn func(context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, err = nil, fmt.Errorf("%w: %v", errPanic, r)
+		}
+	}()
+	return fn(ctx)
+}
+
+// step builds one degradation-ladder rung over a pipeline closure: panics
+// are contained, and an infeasibility verdict is treated as "rung
+// unavailable" rather than a request error — a degraded search (heuristic
+// algorithm, tightened cmax) can miss solutions the full-fidelity search
+// would find, so its infeasibility proves nothing about the caller's
+// problem. A genuinely infeasible problem surfaces from the primary
+// attempt, which is exact.
+func (s *Server) step(name string, run func(context.Context) (any, error)) resilience.Step {
+	return resilience.Step{Name: name, Run: func(ctx context.Context) (any, error) {
+		v, err := safeRun(ctx, run)
+		if err != nil && errors.Is(err, cqp.ErrInfeasible) {
+			return nil, resilience.ErrStepUnavailable
+		}
+		return v, err
+	}}
+}
+
+// runResilient executes one pipeline request with the daemon's full fault
+// posture. The primary (full-fidelity) attempt runs under the circuit
+// breaker and the retry policy; when it fails transiently, when the breaker
+// is open, or when the admission queue is past its high-water mark, the
+// degradation ladder runs instead: (1) the stale-cache rung, then (2+) the
+// endpoint's cheaper rungs, in order. Returns the answer, the name of the
+// rung that produced it ("" = full fidelity), and the terminal error.
+//
+// This is the operational reading of the paper's algorithm family: exact
+// search (C-BOUNDARIES, D-MAXDOI) down to the D-HEURDOI heuristic and a
+// tighter cmax are all answers to the same question at different
+// quality/cost points, so the daemon sheds quality before it sheds
+// requests.
+func (s *Server) runResilient(ctx context.Context, endpoint, staleKey string, primary func(context.Context) (any, error), rungs ...resilience.Step) (any, string, error) {
+	bypass := ""
+	switch {
+	case s.pool.Pressured():
+		bypass = "pressure"
+	case !s.breaker.Allow():
+		bypass = "breaker-open"
+	}
+	if bypass == "" {
+		var val any
+		pol := resilience.RetryPolicy{
+			MaxAttempts: s.cfg.RetryAttempts,
+			Retryable:   transientFault,
+			OnRetry: func(int, error) {
+				s.reg.Counter("server_retries_total", "endpoint", endpoint).Inc()
+			},
+		}
+		err := resilience.Retry(ctx, pol, func(ctx context.Context) error {
+			v, err := safeRun(ctx, primary)
+			if err != nil {
+				return err
+			}
+			val = v
+			return nil
+		})
+		switch {
+		case err == nil:
+			s.breaker.Success()
+			return val, "", nil
+		case !transientFault(err):
+			// The backend did its job; the request failed on its own terms
+			// (infeasible problem, dead deadline, caller mistake). Settles
+			// the breaker grant as a success: this is not backend illness.
+			s.breaker.Success()
+			return nil, "", err
+		default:
+			s.breaker.Failure()
+			s.reg.Counter("server_pipeline_faults_total", "endpoint", endpoint).Inc()
+		}
+	} else {
+		s.reg.Counter("server_degraded_bypass_total",
+			"endpoint", endpoint, "reason", bypass).Inc()
+	}
+
+	steps := make([]resilience.Step, 0, len(rungs)+1)
+	steps = append(steps, resilience.Step{Name: "stale", Run: func(context.Context) (any, error) {
+		if v, ok := s.cache.GetStale(staleKey); ok {
+			return v, nil
+		}
+		return nil, resilience.ErrStepUnavailable
+	}})
+	steps = append(steps, rungs...)
+	v, rung, err := resilience.Walk(ctx, permanentErr, steps...)
+	if err != nil {
+		return nil, "", err
+	}
+	s.reg.Counter("server_degraded_total", "endpoint", endpoint, "rung", rung).Inc()
+	return v, rung, nil
+}
+
+// shedOrStale answers an admission failure (saturated queue, shutdown,
+// queued-deadline skip): the last good stale answer when one exists —
+// shedding quality instead of the request — otherwise the admission error
+// itself.
+func (s *Server) shedOrStale(w http.ResponseWriter, endpoint, staleKey string, admitErr error) {
+	if v, ok := s.cache.GetStale(staleKey); ok {
+		s.reg.Counter("server_degraded_total", "endpoint", endpoint, "rung", "stale").Inc()
+		writeJSON(w, http.StatusOK, markStale(v))
+		return
+	}
+	s.admit(w, admitErr)
+}
+
+// markStale copies a stale-index response value and sets its Cached and
+// Degraded markers (the shared cached pointer must never be mutated).
+func markStale(v any) any {
+	switch t := v.(type) {
+	case *personalizeResponse:
+		resp := *t
+		resp.Cached, resp.Degraded = true, "stale"
+		return resp
+	case *executeResponse:
+		resp := *t
+		resp.Cached, resp.Degraded = true, "stale"
+		return resp
+	case *frontResponse:
+		resp := *t
+		resp.Cached, resp.Degraded = true, "stale"
+		return resp
+	case *topkResponse:
+		resp := *t
+		resp.Cached, resp.Degraded = true, "stale"
+		return resp
+	}
+	return v
+}
+
+// cacheGet is the result cache's read path with the server.cache fault
+// point in front: an injected error degrades to a miss (the pipeline
+// recomputes), an injected panic exercises the middleware recovery.
+func (s *Server) cacheGet(key string) (any, bool) {
+	if key == "" {
+		return nil, false
+	}
+	if err := fault.Inject(fault.ServerCache); err != nil {
+		s.reg.Counter("server_cache_faults_total").Inc()
+		return nil, false
+	}
+	return s.cache.Get(key)
+}
+
+// cachePut stores a full-fidelity response under both the exact key and the
+// version-free stale key, behind the server.cache fault point (an injected
+// error skips the store — the cache is an optimization, never a
+// correctness dependency).
+func (s *Server) cachePut(key, staleKey, profileID string, val any) {
+	if key == "" && staleKey == "" {
+		return
+	}
+	if err := fault.Inject(fault.ServerCache); err != nil {
+		s.reg.Counter("server_cache_faults_total").Inc()
+		return
+	}
+	if key != "" {
+		s.cache.Put(key, profileID, val)
+	}
+	s.cache.PutStale(staleKey, val)
+}
+
+// staleKey builds the version-free companion of cacheKey: profile version
+// and statistics generation are deliberately absent, so the entry remains
+// addressable when either rotates — that staleness is the point. Responses
+// served from it are marked degraded:"stale".
+func (s *Server) staleKey(endpoint string, q *cqp.Query, profileID, extra string) string {
+	return fmt.Sprintf("%s|%s|%s|%s", endpoint, q.Fingerprint(), profileID, extra)
+}
+
+// tightenedProblem applies the ladder's third rung to a problem: scale the
+// cost ceiling down by the configured factor. A problem with no cost bound
+// has nothing to tighten.
+func tightenedProblem(prob cqp.Problem, factor float64) (cqp.Problem, bool) {
+	if prob.CostMax <= 0 {
+		return prob, false
+	}
+	prob.CostMax *= factor
+	return prob, true
+}

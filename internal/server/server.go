@@ -13,6 +13,7 @@ import (
 
 	"cqp"
 	"cqp/internal/obs"
+	"cqp/internal/resilience"
 )
 
 // Config sizes the daemon's admission control and cache. The zero value
@@ -34,6 +35,24 @@ type Config struct {
 	// MaxRows caps rows returned by /execute when the request names no
 	// limit (default 100).
 	MaxRows int
+	// MaxBodyBytes bounds request bodies; oversized bodies get 413
+	// (default 1 MiB).
+	MaxBodyBytes int64
+
+	// RetryAttempts is the number of tries (including the first) the
+	// serving path gives a transiently failing pipeline run (default 3;
+	// 1 disables retrying).
+	RetryAttempts int
+	// BreakerThreshold is the consecutive-transient-failure count that
+	// opens the pipeline circuit breaker (default 5); BreakerOpenTimeout is
+	// how long it stays open before half-open probes (default 5s).
+	BreakerThreshold   int
+	BreakerOpenTimeout time.Duration
+	// TightenFactor is the cmax multiplier the degradation ladder's third
+	// rung applies — a cheaper, lower-quality search under the paper's own
+	// knob (a smaller feasible region is faster to search). In (0,1),
+	// default 0.5.
+	TightenFactor float64
 }
 
 func (c Config) withDefaults() Config {
@@ -55,21 +74,37 @@ func (c Config) withDefaults() Config {
 	if c.MaxRows <= 0 {
 		c.MaxRows = 100
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 3
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerOpenTimeout <= 0 {
+		c.BreakerOpenTimeout = 5 * time.Second
+	}
+	if c.TightenFactor <= 0 || c.TightenFactor >= 1 {
+		c.TightenFactor = 0.5
+	}
 	return c
 }
 
 // Server is the cqpd daemon: one Personalizer behind a profile store, an
 // admission pool, a result cache, and the HTTP/JSON surface.
 type Server struct {
-	cfg   Config
-	db    *cqp.DB
-	p     *cqp.Personalizer
-	reg   *obs.Registry
-	store *ProfileStore
-	cache *Cache
-	pool  *Pool
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	db      *cqp.DB
+	p       *cqp.Personalizer
+	reg     *obs.Registry
+	store   *ProfileStore
+	cache   *Cache
+	pool    *Pool
+	breaker *resilience.Breaker
+	mux     *http.ServeMux
+	start   time.Time
 
 	mu   sync.Mutex
 	http *http.Server
@@ -95,9 +130,21 @@ func New(db *cqp.DB, cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	s.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: cfg.BreakerThreshold,
+		OpenTimeout:      cfg.BreakerOpenTimeout,
+		OnTransition: func(from, to resilience.BreakerState) {
+			reg.Gauge("server_breaker_state").Set(int64(to))
+			reg.Counter("server_breaker_transitions_total",
+				"from", from.String(), "to", to.String()).Inc()
+		},
+	})
 	s.routes()
 	return s
 }
+
+// Breaker returns the daemon's pipeline circuit breaker (test hook).
+func (s *Server) Breaker() *resilience.Breaker { return s.breaker }
 
 // Personalizer returns the daemon's pipeline (test and embedding hook).
 func (s *Server) Personalizer() *cqp.Personalizer { return s.p }

@@ -42,7 +42,22 @@ func (t *Table) WriteCSV(w io.Writer) error {
 // header naming a subset ordering of the relation's columns (all columns
 // required). Fields parse according to the declared column types; empty
 // fields load as NULL.
-func (t *Table) ReadCSV(r io.Reader) (int, error) {
+//
+// The load is atomic: on any error — malformed header, short record, type
+// mismatch mid-file — the table rolls back to its pre-call state, so a
+// failed load never leaves partial rows (or their block accounting)
+// visible to scans.
+func (t *Table) ReadCSV(r io.Reader) (n int, err error) {
+	// Snapshot the heap-file state; Insert only appends, so truncating the
+	// row slice and restoring the block cursor is a complete rollback.
+	snapRows, snapBlocks, snapUsed := len(t.rows), t.blocks, t.curBlockUsed
+	defer func() {
+		if err != nil {
+			t.rows = t.rows[:snapRows]
+			t.blocks, t.curBlockUsed = snapBlocks, snapUsed
+			n = 0
+		}
+	}()
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()

@@ -85,20 +85,62 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 	for _, src := range cases {
 		dst := NewTable(csvRelation(t), 0)
-		if _, err := dst.ReadCSV(strings.NewReader(src)); err == nil {
+		n, err := dst.ReadCSV(strings.NewReader(src))
+		if err == nil {
 			t.Errorf("ReadCSV(%q) should fail", src)
+		}
+		if n != 0 || dst.RowCount() != 0 {
+			t.Errorf("ReadCSV(%q): failed load left n=%d rows=%d", src, n, dst.RowCount())
 		}
 	}
 }
 
-func TestReadCSVPartialLoadReported(t *testing.T) {
-	dst := NewTable(csvRelation(t), 0)
-	src := "id,title,score,seen\n1,a,1.5,true\n2,b,bad,false\n"
-	n, err := dst.ReadCSV(strings.NewReader(src))
-	if err == nil {
-		t.Fatal("expected error")
+// TestReadCSVAtomicRollback drives every mid-load failure mode and asserts
+// the load is all-or-nothing: after a failed ReadCSV the table holds exactly
+// its pre-call rows and block accounting, and a subsequent good load works.
+func TestReadCSVAtomicRollback(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"type mismatch mid-file", "id,title,score,seen\n1,a,1.5,true\n2,b,bad,false\n3,c,2.5,true\n"},
+		{"short record mid-file", "id,title,score,seen\n1,a,1.5,true\n2,b,3.5\n"},
+		{"long record mid-file", "id,title,score,seen\n1,a,1.5,true\n2,b,3.5,false,extra\n"},
+		{"duplicate header column", "id,id,score,seen\n1,2,1.5,true\n"},
+		{"missing header column", "id,title,score\n1,a,1.5\n"},
+		{"unknown header column", "id,title,score,nope\n1,a,1.5,true\n"},
 	}
-	if n != 1 || dst.RowCount() != 1 {
-		t.Errorf("partial load: n=%d rows=%d", n, dst.RowCount())
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := NewTable(csvRelation(t), 0)
+			dst.MustInsert(value.Int(100), value.Str("kept"), value.Float(9), value.Bool(true))
+			wantRows, wantBlocks := dst.RowCount(), dst.Blocks()
+
+			n, err := dst.ReadCSV(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("ReadCSV(%q) should fail", tc.src)
+			}
+			if n != 0 {
+				t.Errorf("failed load reported n=%d, want 0", n)
+			}
+			if dst.RowCount() != wantRows {
+				t.Errorf("failed load left %d rows visible, want %d", dst.RowCount(), wantRows)
+			}
+			if dst.Blocks() != wantBlocks {
+				t.Errorf("failed load left %d blocks, want %d", dst.Blocks(), wantBlocks)
+			}
+			if got := dst.Rows()[0][1].AsStr(); got != "kept" {
+				t.Errorf("pre-existing row corrupted: %q", got)
+			}
+
+			// The table must still accept a clean load after rollback.
+			n, err = dst.ReadCSV(strings.NewReader("id,title,score,seen\n7,ok,2.5,false\n"))
+			if err != nil || n != 1 {
+				t.Fatalf("reload after rollback: n=%d err=%v", n, err)
+			}
+			if dst.RowCount() != wantRows+1 {
+				t.Errorf("reload: %d rows, want %d", dst.RowCount(), wantRows+1)
+			}
+		})
 	}
 }

@@ -12,6 +12,7 @@ package storage
 import (
 	"fmt"
 
+	"cqp/internal/fault"
 	"cqp/internal/obs"
 	"cqp/internal/schema"
 	"cqp/internal/value"
@@ -135,8 +136,14 @@ func (t *Table) MustInsert(vals ...value.Value) {
 // counter and invoking fn for each row. fn must not retain the row slice
 // beyond the call unless it clones it. Returning false stops the scan early
 // (the full block charge still applies: the model has no indexes, a scan
-// reads the whole heap file).
-func (t *Table) Scan(io *IOCounter, fn func(Row) bool) {
+// reads the whole heap file). The error return models read failures — the
+// in-memory store itself cannot fail, but the fault harness's storage.scan
+// point injects here, standing in for the disk and page-cache errors a real
+// heap file would surface.
+func (t *Table) Scan(io *IOCounter, fn func(Row) bool) error {
+	if err := fault.Inject(fault.StorageScan); err != nil {
+		return fmt.Errorf("storage: scan %s: %w", t.rel.Name, err)
+	}
 	io.Add(t.blocks)
 	t.mScans.Inc()
 	t.mBlockReads.Add(t.blocks)
@@ -148,6 +155,7 @@ func (t *Table) Scan(io *IOCounter, fn func(Row) bool) {
 		}
 	}
 	t.mRowsScanned.Add(int64(scanned))
+	return nil
 }
 
 // Rows returns the backing row slice for read-only access without I/O

@@ -102,7 +102,9 @@ func TestScanChargesBlocks(t *testing.T) {
 	}
 	var io IOCounter
 	var seen int
-	tb.Scan(&io, func(Row) bool { seen++; return true })
+	if err := tb.Scan(&io, func(Row) bool { seen++; return true }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
 	if seen != 4 {
 		t.Errorf("scanned %d rows", seen)
 	}
@@ -111,12 +113,16 @@ func TestScanChargesBlocks(t *testing.T) {
 	}
 	// Early stop still charges the full scan (no indexes in the model).
 	io = IOCounter{}
-	tb.Scan(&io, func(Row) bool { return false })
+	if err := tb.Scan(&io, func(Row) bool { return false }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
 	if io.BlockReads != tb.Blocks() {
 		t.Errorf("early-stop io = %d, want %d", io.BlockReads, tb.Blocks())
 	}
 	// Nil counter must be safe.
-	tb.Scan(nil, func(Row) bool { return true })
+	if err := tb.Scan(nil, func(Row) bool { return true }); err != nil {
+		t.Fatalf("Scan with nil counter: %v", err)
+	}
 }
 
 func TestDB(t *testing.T) {

@@ -188,7 +188,7 @@ func (r *Result) ExecuteContext(ctx context.Context) (*exec.UnionResult, error) 
 		return nil, fmt.Errorf("cqp: execute: %w", err)
 	}
 	_, span := obs.StartSpan(ctx, "execute")
-	res, err := r.pq.Execute(r.db)
+	res, err := r.pq.ExecuteContext(ctx, r.db)
 	span.End()
 	if err != nil {
 		return nil, err
