@@ -7,7 +7,9 @@
 //
 //	cqpd                              # :8344 over a 4000-movie synthetic DB
 //	cqpd -addr :9000 -movies 20000
-//	cqpd -data out/                   # load datagen CSVs instead
+//	cqpd -csv out/                    # load datagen CSVs instead
+//	cqpd -data state/                 # durable profiles: WAL + snapshots
+//	cqpd -data state/ -fsync interval -snapshot-every 256
 //	cqpd -workers 8 -queue 128 -cache 4096 -timeout 10s -maxtimeout 1m
 //	cqpd -preload 60                  # store a synthetic profile as "default"
 //	cqpd -faults 'storage.scan:err:0.05' -faultseed 42   # chaos run
@@ -38,7 +40,10 @@ func main() {
 		addr      = flag.String("addr", ":8344", "listen address")
 		movies    = flag.Int("movies", 4000, "synthetic database size")
 		seed      = flag.Int64("seed", 1, "workload seed")
-		dataDir   = flag.String("data", "", "directory of relation CSVs (from datagen) to load instead of generating")
+		csvDir    = flag.String("csv", "", "directory of relation CSVs (from datagen) to load instead of generating")
+		dataDir   = flag.String("data", "", "durable profile-store directory (write-ahead log + snapshots); empty = in-memory")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		snapEvery = flag.Int("snapshot-every", 1024, "logged mutations between snapshots (negative disables)")
 		workers   = flag.Int("workers", 0, "concurrent pipeline workers (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "admission queue depth before shedding with 429")
 		cache     = flag.Int("cache", 1024, "LRU result-cache entries")
@@ -62,11 +67,11 @@ func main() {
 		fmt.Printf("cqpd: fault plan armed: %s (seed %d)\n", plan, *faultSeed)
 	}
 
-	db, err := buildDB(*dataDir, *movies, *seed)
+	db, err := buildDB(*csvDir, *movies, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	srv := server.New(db, server.Config{
+	srv, err := server.New(db, server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
@@ -74,7 +79,17 @@ func main() {
 		MaxTimeout:     *maxTO,
 		MaxRows:        *maxRows,
 		MaxBodyBytes:   *maxBody,
+		DataDir:        *dataDir,
+		FsyncPolicy:    *fsync,
+		SnapshotEvery:  *snapEvery,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	if rec := srv.Recovery(); rec != nil {
+		fmt.Printf("cqpd: recovered %d profiles (clock %d, %d log records, %d torn bytes truncated) in %s from %s\n",
+			len(rec.Profiles), rec.Clock, rec.LogRecords, rec.TornBytes, rec.Duration.Round(time.Millisecond), *dataDir)
+	}
 	if *preload > 0 {
 		sp, err := preloadProfile(srv, *preload, *seed)
 		if err != nil {
@@ -114,8 +129,8 @@ func main() {
 	}
 }
 
-// buildDB loads datagen CSVs from dir, or generates the synthetic movie
-// database when dir is empty.
+// buildDB loads datagen CSVs from dir (-csv), or generates the synthetic
+// movie database when dir is empty.
 func buildDB(dir string, movies int, seed int64) (*cqp.DB, error) {
 	if dir == "" {
 		return cqp.SyntheticMovieDB(movies, seed), nil

@@ -21,7 +21,7 @@ func TestBuildDBSynthetic(t *testing.T) {
 }
 
 // TestBuildDBFromCSV dumps a synthetic database relation-by-relation and
-// reloads it via -data, checking row counts survive the round trip.
+// reloads it via -csv, checking row counts survive the round trip.
 func TestBuildDBFromCSV(t *testing.T) {
 	src := cqp.SyntheticMovieDB(150, 3)
 	dir := t.TempDir()
@@ -58,7 +58,10 @@ func TestBuildDBMissingCSV(t *testing.T) {
 }
 
 func TestPreloadProfile(t *testing.T) {
-	srv := server.New(cqp.SyntheticMovieDB(100, 1), server.Config{})
+	srv, err := server.New(cqp.SyntheticMovieDB(100, 1), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sp, err := preloadProfile(srv, 20, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -42,11 +42,18 @@ const (
 	SearchExpand Point = "search.expand"
 	// ServerCache fires on daemon result-cache reads and writes.
 	ServerCache Point = "server.cache"
+	// WALAppend fires before a profile mutation record is written to the
+	// durable write-ahead log — a failed append must leave the mutation
+	// unacked and the in-memory store untouched.
+	WALAppend Point = "wal.append"
+	// WALFsync fires before every log fsync, modeling a device that
+	// accepts writes but fails to make them durable.
+	WALFsync Point = "wal.fsync"
 )
 
 // Points returns the injection-point catalog in stable order.
 func Points() []Point {
-	return []Point{StorageScan, ExecUnion, EstimateHistogram, SearchExpand, ServerCache}
+	return []Point{StorageScan, ExecUnion, EstimateHistogram, SearchExpand, ServerCache, WALAppend, WALFsync}
 }
 
 func validPoint(p Point) bool {

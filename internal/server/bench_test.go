@@ -18,7 +18,10 @@ import (
 func newBenchServer(b *testing.B) (*Server, http.Handler) {
 	b.Helper()
 	db := cqp.SyntheticMovieDB(300, 1)
-	s := New(db, Config{})
+	s, err := New(db, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Cleanup(s.pool.Close)
 	if _, err := s.store.Put("alice", cqp.SyntheticProfile(40, 2).String()); err != nil {
 		b.Fatal(err)
@@ -72,6 +75,18 @@ func BenchmarkServeExecute(b *testing.B) {
 		b.Fatal(err)
 	}
 	serveBench(b, h, "/execute", body)
+}
+
+// BenchmarkProfileStoreShard measures the stripe-routing hash on the
+// profile-lookup hot path. The FNV-1a loop is inlined precisely so this
+// reports 0 allocs/op; hash/fnv.New32a costs one allocation per call.
+func BenchmarkProfileStoreShard(b *testing.B) {
+	ps := NewProfileStore(cqp.MovieSchema())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.shard("user-12345")
+	}
 }
 
 // BenchmarkServePersonalizeCacheHit is the warm path: decode, cache lookup

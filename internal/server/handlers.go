@@ -797,10 +797,12 @@ type profileJSON struct {
 	UpdatedAt   time.Time `json:"updated_at"`
 }
 
-// / handleProfilePut serves PUT /profiles/{id}: the body is the profile in
+// handleProfilePut serves PUT /profiles/{id}: the body is the profile in
 // the text format (one "doi(<condition>) = <number>" per line). A
 // replacement bumps the version and eagerly invalidates dependent cache
-// entries.
+// entries. With a durable store the mutation is in the write-ahead log
+// before the 200 goes out; a failed append is a 503 and the store is
+// unchanged.
 func (s *Server) handleProfilePut(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -809,6 +811,10 @@ func (s *Server) handleProfilePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp, err := s.store.Put(id, string(body))
+	if errors.Is(err, errDurability) {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -834,7 +840,12 @@ func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleProfileDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.store.Delete(id) {
+	ok, err := s.store.Delete(id)
+	if errors.Is(err, errDurability) {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if !ok {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("server: no profile %q", id))
 		return
 	}
@@ -842,6 +853,10 @@ func (s *Server) handleProfileDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleProfileList serves GET /profiles. The "profiles" array is always
+// sorted by id ascending (bytewise), so the listing is deterministic
+// across calls, restarts, and recovery — clients may diff successive
+// listings without reordering them.
 func (s *Server) handleProfileList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"profiles": s.store.List()})
 }
@@ -856,7 +871,16 @@ func (s *Server) handleRefresh(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	// A daemon still replaying its write-ahead log is not serving the
+	// profiles it acked before the crash; report 503 until recovery
+	// completes so load balancers hold traffic.
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "recovering",
+		})
+		return
+	}
+	body := map[string]any{
 		"status":        "ok",
 		"uptime_ms":     time.Since(s.start).Milliseconds(),
 		"profiles":      s.store.Len(),
@@ -864,7 +888,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"queue_depth":   s.reg.Gauge("server_queue_depth").Value(),
 		"cache_entries": s.cache.Len(),
 		"breaker":       s.breaker.State().String(),
-	})
+	}
+	if l := s.store.WAL(); l != nil {
+		st := l.Stats()
+		body["wal"] = map[string]any{
+			"log_bytes":              st.LogBytes,
+			"records_since_snapshot": st.RecordsSinceSnapshot,
+			"last_snapshot_age_ms":   time.Since(st.LastSnapshot).Milliseconds(),
+			"clock":                  st.Clock,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

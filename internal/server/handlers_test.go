@@ -20,7 +20,10 @@ import (
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	db := cqp.SyntheticMovieDB(300, 1)
-	s := New(db, cfg)
+	s, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -450,7 +453,10 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestGracefulShutdown: a live server drains and Shutdown returns cleanly.
 func TestGracefulShutdown(t *testing.T) {
 	db := cqp.SyntheticMovieDB(200, 1)
-	s := New(db, Config{})
+	s, err := New(db, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

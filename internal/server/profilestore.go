@@ -6,14 +6,15 @@
 package server
 
 import (
+	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cqp"
+	"cqp/internal/wal"
 )
 
 // profileShards is the number of locks the store spreads profile IDs over.
@@ -21,12 +22,19 @@ import (
 // shards keep unrelated users' CRUD from contending.
 const profileShards = 16
 
+// errDurability marks a mutation rejected because its write-ahead log
+// append failed: the store is unchanged, the client must not treat the
+// mutation as applied, and the handler answers 503 rather than 400.
+var errDurability = errors.New("server: durable log append failed")
+
 // StoredProfile is one versioned profile held by the daemon.
 type StoredProfile struct {
 	ID string
 	// Version increases on every mutation of any profile (a store-global
 	// counter), so a deleted-then-recreated ID never reuses a version and
-	// cache keys built from ID@Version can never alias stale entries.
+	// cache keys built from ID@Version can never alias stale entries. With
+	// a durable store the clock is restored on recovery, so the contract
+	// holds across crashes too.
 	Version uint64
 	// Profile is the parsed, schema-validated profile.
 	Profile *cqp.Profile
@@ -43,12 +51,21 @@ type ProfileInfo struct {
 	UpdatedAt   time.Time `json:"updated_at"`
 }
 
-// ProfileStore is a sharded, versioned in-memory profile store. All methods
-// are safe for concurrent use.
+// ProfileStore is a sharded, versioned profile store. All methods are safe
+// for concurrent use. With a write-ahead log attached every mutation is
+// appended (and, per policy, fsynced) before it becomes visible, so an
+// acked mutation survives a crash; reads never touch the log.
 type ProfileStore struct {
 	schema *cqp.Schema
 	clock  atomic.Uint64 // store-global version source
 	shards [profileShards]profileShard
+
+	// mutMu serializes mutations so the log sees records in version order
+	// (recovery's replay guard and the monotone-clock contract rely on
+	// it). Reads are untouched; mutations are rare and, when durable,
+	// serialized by the single log file anyway.
+	mutMu sync.Mutex
+	log   *wal.Log // nil for a memory-only store
 }
 
 type profileShard struct {
@@ -56,8 +73,8 @@ type profileShard struct {
 	m  map[string]*StoredProfile
 }
 
-// NewProfileStore builds an empty store validating profiles against the
-// schema.
+// NewProfileStore builds an empty memory-only store validating profiles
+// against the schema.
 func NewProfileStore(s *cqp.Schema) *ProfileStore {
 	ps := &ProfileStore{schema: s}
 	for i := range ps.shards {
@@ -66,14 +83,61 @@ func NewProfileStore(s *cqp.Schema) *ProfileStore {
 	return ps
 }
 
+// NewDurableProfileStore opens (recovering if needed) the write-ahead log
+// in dir and returns a store seeded with the recovered profiles, its
+// version clock restored strictly monotone over every pre-crash version.
+func NewDurableProfileStore(s *cqp.Schema, dir string, opts wal.Options) (*ProfileStore, *wal.Recovery, error) {
+	log, rec, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := NewProfileStore(s)
+	ps.log = log
+	for _, r := range rec.Profiles {
+		prof, err := cqp.ParseProfile(r.Text)
+		if err == nil {
+			err = prof.Validate(s)
+		}
+		if err != nil {
+			// Recovered bytes passed their checksums, so this is acked
+			// state that no longer parses (e.g. a schema change). Refusing
+			// to start beats silently dropping a user's preferences.
+			log.Close()
+			return nil, nil, fmt.Errorf("server: recovered profile %q invalid: %w", r.ID, err)
+		}
+		sh := ps.shard(r.ID)
+		sh.m[r.ID] = &StoredProfile{
+			ID:        r.ID,
+			Version:   r.Version,
+			Profile:   prof,
+			Text:      r.Text,
+			UpdatedAt: time.Unix(0, r.UpdatedAt),
+		}
+	}
+	ps.clock.Store(rec.Clock)
+	return ps, rec, nil
+}
+
+// WAL returns the store's write-ahead log (nil for a memory-only store).
+func (ps *ProfileStore) WAL() *wal.Log { return ps.log }
+
+// shard routes an ID to its lock stripe with FNV-1a inlined: hash/fnv's
+// New32a allocates its hash state on every call, and this sits on the hot
+// path of every profile lookup, so the loop keeps it allocation-free.
 func (ps *ProfileStore) shard(id string) *profileShard {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return &ps.shards[h.Sum32()%profileShards]
+	h := uint32(2166136261) // FNV-1a offset basis
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619 // FNV prime
+	}
+	return &ps.shards[h%profileShards]
 }
 
 // Put parses, validates and stores the profile text under id, creating or
-// replacing, and returns the stored record with its new version.
+// replacing, and returns the stored record with its new version. With a
+// durable store the mutation is appended to the log before it is applied
+// or acked; a failed append leaves the store unchanged and returns an
+// error wrapping errDurability.
 func (ps *ProfileStore) Put(id, text string) (*StoredProfile, error) {
 	if id == "" {
 		return nil, fmt.Errorf("server: empty profile id")
@@ -85,13 +149,28 @@ func (ps *ProfileStore) Put(id, text string) (*StoredProfile, error) {
 	if err := prof.Validate(ps.schema); err != nil {
 		return nil, err
 	}
+	ps.mutMu.Lock()
+	defer ps.mutMu.Unlock()
 	sp := &StoredProfile{
 		ID:        id,
-		Version:   ps.clock.Add(1),
+		Version:   ps.clock.Load() + 1,
 		Profile:   prof,
 		Text:      text,
 		UpdatedAt: time.Now(),
 	}
+	if ps.log != nil {
+		err := ps.log.Append(wal.Record{
+			Op:        wal.OpPut,
+			ID:        id,
+			Text:      text,
+			Version:   sp.Version,
+			UpdatedAt: sp.UpdatedAt.UnixNano(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errDurability, err)
+		}
+	}
+	ps.clock.Store(sp.Version)
 	sh := ps.shard(id)
 	sh.mu.Lock()
 	sh.m[id] = sp
@@ -111,16 +190,42 @@ func (ps *ProfileStore) Get(id string) (*StoredProfile, bool) {
 
 // Delete removes the profile, reporting whether it existed. The version
 // clock still advances so caches keyed on it can never resurrect the ID.
-func (ps *ProfileStore) Delete(id string) bool {
+// Like Put, a durable delete is logged before it is applied or acked.
+func (ps *ProfileStore) Delete(id string) (bool, error) {
+	ps.mutMu.Lock()
+	defer ps.mutMu.Unlock()
 	sh := ps.shard(id)
-	sh.mu.Lock()
+	sh.mu.RLock()
 	_, ok := sh.m[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return false, nil
+	}
+	v := ps.clock.Load() + 1
+	if ps.log != nil {
+		err := ps.log.Append(wal.Record{
+			Op:        wal.OpDelete,
+			ID:        id,
+			Version:   v,
+			UpdatedAt: time.Now().UnixNano(),
+		})
+		if err != nil {
+			return false, fmt.Errorf("%w: %v", errDurability, err)
+		}
+	}
+	ps.clock.Store(v)
+	sh.mu.Lock()
 	delete(sh.m, id)
 	sh.mu.Unlock()
-	if ok {
-		ps.clock.Add(1)
+	return true, nil
+}
+
+// Close syncs and closes the store's log, if any (graceful shutdown).
+func (ps *ProfileStore) Close() error {
+	if ps.log == nil {
+		return nil
 	}
-	return ok
+	return ps.log.Close()
 }
 
 // Len returns the number of stored profiles.
@@ -135,7 +240,8 @@ func (ps *ProfileStore) Len() int {
 	return n
 }
 
-// List returns every profile's listing view, sorted by ID.
+// List returns every profile's listing view, sorted by ID ascending — the
+// deterministic order the /profiles endpoint documents and relies on.
 func (ps *ProfileStore) List() []ProfileInfo {
 	var out []ProfileInfo
 	for i := range ps.shards {

@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
 	"testing"
 
@@ -37,10 +39,10 @@ func TestProfileStoreCRUD(t *testing.T) {
 	if len(list) != 1 || list[0].ID != "u1" || list[0].Preferences != 2 {
 		t.Fatalf("List = %+v", list)
 	}
-	if !ps.Delete("u1") {
-		t.Fatal("Delete reported missing")
+	if ok, err := ps.Delete("u1"); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v; want true, nil", ok, err)
 	}
-	if ps.Delete("u1") {
+	if ok, _ := ps.Delete("u1"); ok {
 		t.Fatal("second Delete reported present")
 	}
 	if _, ok := ps.Get("u1"); ok {
@@ -76,11 +78,57 @@ func TestProfileStoreVersionsNeverRepeat(t *testing.T) {
 			t.Fatalf("version %d issued twice", sp.Version)
 		}
 		seen[sp.Version] = true
-		ps.Delete("u1")
+		if _, err := ps.Delete("u1"); err != nil {
+			t.Fatal(err)
+		}
 	}
 	sp, _ := ps.Put("u2", profText)
 	if seen[sp.Version] {
 		t.Fatalf("version %d reused across IDs", sp.Version)
+	}
+}
+
+// TestShardMatchesFNV pins the inlined FNV-1a loop to the hash/fnv
+// reference implementation, so the inline-for-speed rewrite can never
+// silently remap IDs to different stripes than the documented hash.
+func TestShardMatchesFNV(t *testing.T) {
+	ps := newStore()
+	for _, id := range []string{"", "a", "user-1", "user-12345", "ünicode-⌘", "long-" + fmt.Sprint(1<<20)} {
+		h := fnv.New32a()
+		h.Write([]byte(id))
+		want := &ps.shards[h.Sum32()%profileShards]
+		if got := ps.shard(id); got != want {
+			t.Errorf("shard(%q) = stripe %p, fnv reference %p", id, got, want)
+		}
+	}
+}
+
+// TestShardAllocFree: shard sits on the hot path of every profile lookup;
+// the inlined hash must not allocate (hash/fnv's New32a allocates its
+// state every call, which is exactly what the rewrite removed).
+func TestShardAllocFree(t *testing.T) {
+	ps := newStore()
+	if n := testing.AllocsPerRun(200, func() { ps.shard("user-12345") }); n != 0 {
+		t.Fatalf("shard allocates %v objects/op, want 0", n)
+	}
+}
+
+// TestProfileStoreListSorted: List (and therefore GET /profiles) returns
+// entries sorted by ID ascending regardless of insertion or shard order.
+func TestProfileStoreListSorted(t *testing.T) {
+	ps := newStore()
+	ids := []string{"zeta", "alpha", "mu", "beta", "omega", "kappa"}
+	for _, id := range ids {
+		if _, err := ps.Put(id, profText); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := ps.List()
+	if len(list) != len(ids) {
+		t.Fatalf("List returned %d entries, want %d", len(list), len(ids))
+	}
+	if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].ID < list[j].ID }) {
+		t.Fatalf("List not sorted by ID: %+v", list)
 	}
 }
 
@@ -100,7 +148,10 @@ func TestProfileStoreConcurrent(t *testing.T) {
 				ps.Get(id)
 				ps.List()
 				if i%10 == 9 {
-					ps.Delete(id)
+					if _, err := ps.Delete(id); err != nil {
+						t.Error(err)
+						return
+					}
 				}
 			}
 		}(g)

@@ -9,11 +9,13 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cqp"
 	"cqp/internal/obs"
 	"cqp/internal/resilience"
+	"cqp/internal/wal"
 )
 
 // Config sizes the daemon's admission control and cache. The zero value
@@ -53,6 +55,23 @@ type Config struct {
 	// knob (a smaller feasible region is faster to search). In (0,1),
 	// default 0.5.
 	TightenFactor float64
+
+	// DataDir, when set, makes the profile store durable: every mutation
+	// is appended to a write-ahead log under this directory before it is
+	// acked, and startup replays snapshot+log. Empty keeps the PR-2
+	// memory-only store.
+	DataDir string
+	// FsyncPolicy is when log appends reach stable storage: "always"
+	// (default — fsync before ack), "interval" (background ticker), or
+	// "never" (OS page cache).
+	FsyncPolicy string
+	// FsyncInterval is the "interval" policy's ticker period (default
+	// 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery is how many logged mutations trigger a snapshot and
+	// log truncation (default 1024; negative disables automatic
+	// snapshots).
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,26 +114,34 @@ func (c Config) withDefaults() Config {
 // Server is the cqpd daemon: one Personalizer behind a profile store, an
 // admission pool, a result cache, and the HTTP/JSON surface.
 type Server struct {
-	cfg     Config
-	db      *cqp.DB
-	p       *cqp.Personalizer
-	reg     *obs.Registry
-	store   *ProfileStore
-	cache   *Cache
-	pool    *Pool
-	breaker *resilience.Breaker
-	mux     *http.ServeMux
-	start   time.Time
+	cfg      Config
+	db       *cqp.DB
+	p        *cqp.Personalizer
+	reg      *obs.Registry
+	store    *ProfileStore
+	cache    *Cache
+	pool     *Pool
+	breaker  *resilience.Breaker
+	mux      *http.ServeMux
+	start    time.Time
+	recovery *wal.Recovery
+	// ready flips once recovery (replaying the durable store's
+	// snapshot+log) has completed; until then /healthz answers 503 so a
+	// load balancer never routes to a daemon still rebuilding profiles.
+	ready atomic.Bool
 
 	mu   sync.Mutex
 	http *http.Server
 }
 
 // New wires a daemon over the database: it builds the Personalizer,
-// attaches a fresh metrics registry to the whole pipeline, and mounts every
+// attaches a fresh metrics registry to the whole pipeline, recovers the
+// durable profile store when cfg.DataDir is set, and mounts every
 // endpoint. The caller owns serving (Serve/ListenAndServe) and teardown
-// (Shutdown).
-func New(db *cqp.DB, cfg Config) *Server {
+// (Shutdown). New fails when recovery finds mid-log or snapshot
+// corruption — a daemon that cannot prove its acked state refuses to
+// serve.
+func New(db *cqp.DB, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := cqp.NewMetrics()
 	p := cqp.NewPersonalizer(db)
@@ -124,11 +151,28 @@ func New(db *cqp.DB, cfg Config) *Server {
 		db:    db,
 		p:     p,
 		reg:   reg,
-		store: NewProfileStore(db.Schema()),
 		cache: NewCache(cfg.CacheEntries, reg),
 		pool:  NewPool(cfg.Workers, cfg.QueueDepth, reg),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+	}
+	if cfg.DataDir != "" {
+		policy, err := wal.ParseSyncPolicy(cfg.FsyncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		store, rec, err := NewDurableProfileStore(db.Schema(), cfg.DataDir, wal.Options{
+			Sync:          policy,
+			SyncEvery:     cfg.FsyncInterval,
+			SnapshotEvery: cfg.SnapshotEvery,
+			Metrics:       reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store, s.recovery = store, rec
+	} else {
+		s.store = NewProfileStore(db.Schema())
 	}
 	s.breaker = resilience.NewBreaker(resilience.BreakerConfig{
 		FailureThreshold: cfg.BreakerThreshold,
@@ -140,8 +184,13 @@ func New(db *cqp.DB, cfg Config) *Server {
 		},
 	})
 	s.routes()
-	return s
+	s.ready.Store(true)
+	return s, nil
 }
+
+// Recovery reports what the durable store replayed at startup (nil for a
+// memory-only daemon).
+func (s *Server) Recovery() *wal.Recovery { return s.recovery }
 
 // Breaker returns the daemon's pipeline circuit breaker (test hook).
 func (s *Server) Breaker() *resilience.Breaker { return s.breaker }
@@ -225,8 +274,9 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains gracefully: stop accepting connections, wait for in-
-// flight handlers up to ctx's deadline, then stop the admission pool once
-// no handler can enqueue more work.
+// flight handlers up to ctx's deadline, stop the admission pool once no
+// handler can enqueue more work, then sync and close the durable store's
+// log — strictly last, so no acked mutation can race a closing log.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	srv := s.http
@@ -236,5 +286,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = srv.Shutdown(ctx)
 	}
 	s.pool.Close()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
