@@ -1,0 +1,115 @@
+package cqp
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// BatchItem is one personalization request in a PersonalizeBatch call.
+type BatchItem struct {
+	Query   *Query
+	Profile *Profile
+	Problem Problem
+	Opts    []Option
+}
+
+// BatchResult is the outcome of one BatchItem, aligned by index with the
+// input slice. Exactly one of Result and Err is set.
+type BatchResult struct {
+	Result *Result
+	Err    error
+	// Duplicate reports that this item was coalesced with an earlier
+	// identical item: its Result/Err are shared with that item's, and no
+	// extra pipeline run was spent on it.
+	Duplicate bool
+}
+
+// fingerprint derives the batch-dedup identity of an item: the query's
+// canonical fingerprint, the profile text, the problem, and the resolved
+// options. Two items with equal fingerprints would run the exact same
+// pipeline, so one run can answer both.
+func (it BatchItem) fingerprint() string {
+	o := options{maxK: 20, budget: 1 << 20}
+	for _, fn := range it.Opts {
+		fn(&o)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%+v", it.Query.Fingerprint(), it.Profile.String(), it.Problem, o)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// PersonalizeBatch personalizes many (query, profile, problem) items in one
+// call — the serving shape of a list page, where one screen fans into many
+// closely related personalizations. Items are deduplicated by fingerprint
+// (query + profile + problem + options) so each distinct pipeline runs
+// once, distinct items run across a bounded worker group (parallelism ≤ 0
+// selects GOMAXPROCS), and results come back in input order, one per item,
+// with per-item errors: a malformed item fails alone without poisoning its
+// batch. A canceled ctx aborts the underlying personalizations with its
+// error.
+func (p *Personalizer) PersonalizeBatch(ctx context.Context, items []BatchItem, parallelism int) []BatchResult {
+	out := make([]BatchResult, len(items))
+	// Dedup pass: the first item with a given fingerprint becomes the
+	// leader; later duplicates copy its outcome after the run.
+	leaders := make([]int, 0, len(items))
+	leaderOf := make(map[string]int, len(items))
+	followers := make(map[int][]int)
+	for i, it := range items {
+		if it.Query == nil || it.Profile == nil {
+			out[i].Err = fmt.Errorf("cqp: batch item %d: query and profile are required", i)
+			continue
+		}
+		fp := it.fingerprint()
+		if li, ok := leaderOf[fp]; ok {
+			followers[li] = append(followers[li], i)
+			continue
+		}
+		leaderOf[fp] = i
+		leaders = append(leaders, i)
+	}
+
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(leaders) {
+		workers = len(leaders)
+	}
+	run := func(i int) {
+		it := items[i]
+		out[i].Result, out[i].Err = p.PersonalizeContext(ctx, it.Query, it.Profile, it.Problem, it.Opts...)
+	}
+	if workers <= 1 {
+		for _, i := range leaders {
+			run(i)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					run(i)
+				}
+			}()
+		}
+		for _, i := range leaders {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	for li, dups := range followers {
+		for _, i := range dups {
+			out[i] = out[li]
+			out[i].Duplicate = true
+		}
+	}
+	return out
+}

@@ -237,13 +237,16 @@ func runFront(p *cqp.Personalizer, db *cqp.DB, profile *cqp.Profile, sql string,
 		fmt.Println("error:", err)
 		return
 	}
-	for i, fp := range front {
+	for i, fp := range front.Points {
 		mark := " "
 		if fp.Knee {
 			mark = "*"
 		}
 		fmt.Printf(" %s %2d: doi %.4f  cost %6.0f ms  size %8.1f  (%d prefs)\n",
 			mark, i+1, fp.Doi, fp.CostMS, fp.Size, len(fp.Preferences))
+	}
+	if front.Truncated {
+		fmt.Println("note: frontier search hit its state budget; menu may be incomplete")
 	}
 }
 

@@ -12,6 +12,8 @@
 //	cqpbench -metrics                # dump the run's metrics at the end
 //	cqpbench -http :8080             # serve /metrics, /debug/vars, /debug/pprof
 //	cqpbench -faults 'exec.union:lat:0.1:20ms'   # run the figures under injected faults
+//	cqpbench -herd 64 -bursts 8 -gate -json BENCH_5.json   # thundering-herd serving benchmark
+//	cqpbench -batch 32                                     # /personalize/batch vs singleton requests
 package main
 
 import (
@@ -52,8 +54,19 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address while running")
 		faults    = flag.String("faults", os.Getenv("FAULTS"), "fault-injection plan, e.g. 'storage.scan:err:0.05' (also via FAULTS env)")
 		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's injection decisions")
+		herd      = flag.Int("herd", 0, "serving benchmark: this many concurrent duplicate requests per burst, with and without coalescing (0 = off)")
+		bursts    = flag.Int("bursts", 8, "herd mode: distinct cache-miss bursts to fire")
+		batchN    = flag.Int("batch", 0, "serving benchmark: one /personalize/batch of this many items vs the same items as singletons (0 = off)")
+		gate      = flag.Bool("gate", false, "herd mode: exit non-zero when coalescing loses to the no-coalesce baseline")
 	)
 	flag.Parse()
+
+	if *herd > 0 || *batchN > 0 {
+		if err := runServeBench(*movies, *seed, *herd, *bursts, *batchN, *jsonPath, *gate); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *faults != "" {
 		plan, err := fault.Parse(*faults, *faultSeed)

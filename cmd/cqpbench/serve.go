@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"cqp"
+	"cqp/internal/fault"
+	"cqp/internal/server"
+)
+
+// The serving benchmarks (-herd, -batch) measure the daemon rather than the
+// pipeline: what duplicate-heavy traffic costs with and without
+// singleflight coalescing, and what the batch endpoint saves over singleton
+// requests. They drive a real Server over HTTP (httptest transport) so
+// admission control, caching and coalescing are all on the measured path.
+//
+// Both benchmarks run under an injected estimator latency
+// (estimate.histogram:lat), emulating a daemon whose cost model reads a
+// remote or disk-resident catalog. That keeps each pipeline run I/O-bound,
+// so concurrent requests genuinely overlap the in-flight run on any core
+// count — the scenario coalescing and batching exist for — instead of
+// serializing behind a CPU-bound search on small runners.
+
+// armServeLatency injects the estimator latency both serving benchmarks
+// run under; the caller must invoke the returned disarm.
+func armServeLatency() (func(), error) {
+	plan, err := fault.Parse("estimate.histogram:lat:1:1ms", 1)
+	if err != nil {
+		return nil, err
+	}
+	fault.Arm(plan)
+	return fault.Disarm, nil
+}
+
+// herdStats is one mode's view of the thundering-herd run.
+type herdStats struct {
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Leaders       int64   `json:"coalesce_leaders"`
+	Followers     int64   `json:"coalesce_followers"`
+	HitRatio      float64 `json:"coalesce_hit_ratio"`
+	PipelineRuns  int64   `json:"pipeline_runs"`
+	Errors        int     `json:"errors"`
+}
+
+type herdReport struct {
+	Concurrency int                  `json:"concurrency"`
+	Bursts      int                  `json:"bursts"`
+	Modes       map[string]herdStats `json:"modes"`
+	// Speedup is coalesced over uncoalesced duplicate-miss throughput —
+	// the number the CI gate checks stays >= 1.
+	Speedup float64 `json:"duplicate_miss_speedup"`
+}
+
+type batchReport struct {
+	Items       int     `json:"items"`
+	Distinct    int     `json:"distinct"`
+	BatchMS     float64 `json:"batch_ms"`
+	SingletonMS float64 `json:"singleton_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type serveBenchReport struct {
+	Herd  *herdReport  `json:"herd,omitempty"`
+	Batch *batchReport `json:"batch,omitempty"`
+}
+
+// runServeBench runs the requested serving benchmarks, writes the JSON
+// report to jsonPath when set, and — with gate — fails when coalescing
+// loses to the no-coalesce baseline on duplicate-miss throughput.
+func runServeBench(movies int, seed int64, herdSize, bursts, batchItems int, jsonPath string, gate bool) error {
+	var rep serveBenchReport
+	if herdSize > 0 {
+		hr := herdReport{Concurrency: herdSize, Bursts: bursts, Modes: map[string]herdStats{}}
+		for _, m := range []struct {
+			name       string
+			noCoalesce bool
+		}{{"coalesce", false}, {"nocoalesce", true}} {
+			st, err := herdOnce(movies, seed, herdSize, bursts, m.noCoalesce)
+			if err != nil {
+				return err
+			}
+			hr.Modes[m.name] = st
+			fmt.Printf("herd %-10s  p50 %7.2fms  p99 %7.2fms  %7.1f req/s  runs %4d  hit %4.1f%%  errors %d\n",
+				m.name, st.P50MS, st.P99MS, st.ThroughputRPS, st.PipelineRuns, st.HitRatio*100, st.Errors)
+		}
+		if base := hr.Modes["nocoalesce"].ThroughputRPS; base > 0 {
+			hr.Speedup = hr.Modes["coalesce"].ThroughputRPS / base
+		}
+		fmt.Printf("herd duplicate-miss speedup: %.2fx\n", hr.Speedup)
+		rep.Herd = &hr
+	}
+	if batchItems > 0 {
+		br, err := batchOnce(movies, seed, batchItems)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("batch %d items (%d distinct): batch %7.2fms  singletons %7.2fms  %.2fx\n",
+			br.Items, br.Distinct, br.BatchMS, br.SingletonMS, br.Speedup)
+		rep.Batch = &br
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if gate && rep.Herd != nil {
+		for name, st := range rep.Herd.Modes {
+			if st.Errors > 0 {
+				return fmt.Errorf("herd gate: %s mode saw %d request errors", name, st.Errors)
+			}
+		}
+		if rep.Herd.Speedup < 1 {
+			return fmt.Errorf("herd gate: coalescing regressed duplicate-miss throughput (%.2fx < 1x)",
+				rep.Herd.Speedup)
+		}
+	}
+	return nil
+}
+
+// newBenchServer builds a daemon over a synthetic database with a stored
+// profile "bench", wrapped in an httptest transport.
+func newBenchServer(movies int, seed int64, noCoalesce bool) (*server.Server, *httptest.Server, error) {
+	db := cqp.SyntheticMovieDB(movies, seed)
+	s, err := server.New(db, server.Config{NoCoalesce: noCoalesce})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := s.Profiles().Put("bench", cqp.SyntheticProfile(40, seed+1).String()); err != nil {
+		return nil, nil, err
+	}
+	return s, httptest.NewServer(s.Handler()), nil
+}
+
+// herdOnce fires bursts rounds of herdSize concurrent identical requests —
+// each round a fresh cache miss (the query varies per round) — and reports
+// latency percentiles, throughput, and the coalescing counters.
+func herdOnce(movies int, seed int64, herdSize, bursts int, noCoalesce bool) (herdStats, error) {
+	disarm, err := armServeLatency()
+	if err != nil {
+		return herdStats{}, err
+	}
+	defer disarm()
+	s, ts, err := newBenchServer(movies, seed, noCoalesce)
+	if err != nil {
+		return herdStats{}, err
+	}
+	defer func() {
+		ts.Close()
+		_ = s.Shutdown(context.Background())
+	}()
+	client := ts.Client()
+
+	var mu sync.Mutex
+	var lat []float64
+	errs := 0
+	start := time.Now()
+	for b := 0; b < bursts; b++ {
+		body := fmt.Sprintf(`{"sql":"SELECT title FROM MOVIE WHERE year >= %d","profile_id":"bench","problem":{"number":2,"cmax_ms":10000}}`, 1900+b)
+		ready := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < herdSize; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-ready
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/personalize", "application/json", bytes.NewReader([]byte(body)))
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				ok := err == nil && resp.StatusCode == http.StatusOK
+				if resp != nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				mu.Lock()
+				if ok {
+					lat = append(lat, ms)
+				} else {
+					errs++
+				}
+				mu.Unlock()
+			}()
+		}
+		close(ready)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	reg := s.Registry()
+	st := herdStats{
+		P50MS:         percentile(lat, 0.50),
+		P99MS:         percentile(lat, 0.99),
+		ThroughputRPS: float64(len(lat)) / elapsed.Seconds(),
+		Leaders:       reg.Counter("coalesce_leaders_total", "endpoint", "personalize").Value(),
+		Followers:     reg.Counter("coalesce_followers_total", "endpoint", "personalize").Value(),
+		PipelineRuns:  reg.Counter("personalize_total").Value(),
+		Errors:        errs,
+	}
+	if total := herdSize * bursts; total > 0 {
+		st.HitRatio = float64(st.Followers) / float64(total)
+	}
+	return st, nil
+}
+
+// batchOnce compares one /personalize/batch call against the same items as
+// sequential singleton requests, each side on a fresh (cold-cache) daemon.
+func batchOnce(movies int, seed int64, items int) (batchReport, error) {
+	disarm, err := armServeLatency()
+	if err != nil {
+		return batchReport{}, err
+	}
+	defer disarm()
+	distinct := (items + 3) / 4 // a list page repeats itself ~4:1
+	mkItem := func(i int) map[string]any {
+		return map[string]any{
+			"sql":        fmt.Sprintf("SELECT title FROM MOVIE WHERE year >= %d", 1900+i%distinct),
+			"profile_id": "bench",
+			"problem":    map[string]any{"number": 2, "cmax_ms": 10000},
+		}
+	}
+
+	// One batch round trip.
+	s, ts, err := newBenchServer(movies, seed, false)
+	if err != nil {
+		return batchReport{}, err
+	}
+	list := make([]map[string]any, items)
+	for i := range list {
+		list[i] = mkItem(i)
+	}
+	body, _ := json.Marshal(map[string]any{"items": list})
+	t0 := time.Now()
+	resp, err := ts.Client().Post(ts.URL+"/personalize/batch", "application/json", bytes.NewReader(body))
+	batchMS := float64(time.Since(t0)) / float64(time.Millisecond)
+	if err == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("batch: HTTP %d", resp.StatusCode)
+		}
+	}
+	ts.Close()
+	_ = s.Shutdown(context.Background())
+	if err != nil {
+		return batchReport{}, err
+	}
+
+	// The same items as sequential singleton requests, cold cache.
+	s, ts, err = newBenchServer(movies, seed, false)
+	if err != nil {
+		return batchReport{}, err
+	}
+	defer func() {
+		ts.Close()
+		_ = s.Shutdown(context.Background())
+	}()
+	t0 = time.Now()
+	for i := 0; i < items; i++ {
+		b, _ := json.Marshal(mkItem(i))
+		resp, err := ts.Client().Post(ts.URL+"/personalize", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return batchReport{}, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return batchReport{}, fmt.Errorf("singleton %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	singleMS := float64(time.Since(t0)) / float64(time.Millisecond)
+
+	br := batchReport{Items: items, Distinct: distinct, BatchMS: batchMS, SingletonMS: singleMS}
+	if batchMS > 0 {
+		br.Speedup = singleMS / batchMS
+	}
+	return br, nil
+}
+
+// percentile returns the p-quantile of values (nearest-rank); 0 when empty.
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

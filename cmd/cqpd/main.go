@@ -11,10 +11,12 @@
 //	cqpd -data state/                 # durable profiles: WAL + snapshots
 //	cqpd -data state/ -fsync interval -snapshot-every 256
 //	cqpd -workers 8 -queue 128 -cache 4096 -timeout 10s -maxtimeout 1m
+//	cqpd -coalesce=false -batch-max 16   # A/B: no singleflight, small batches
 //	cqpd -preload 60                  # store a synthetic profile as "default"
 //	cqpd -faults 'storage.scan:err:0.05' -faultseed 42   # chaos run
 //
-// Endpoints: POST /personalize, /execute, /front, /topk; PUT/GET/DELETE
+// Endpoints: POST /personalize, /personalize/batch, /execute, /front,
+// /topk; PUT/GET/DELETE
 // /profiles/{id}, GET /profiles; POST /refresh; GET /healthz, /metrics,
 // /debug/vars, /debug/pprof.
 package main
@@ -51,6 +53,8 @@ func main() {
 		maxTO     = flag.Duration("maxtimeout", 2*time.Minute, "cap on per-request deadlines (timeout_ms)")
 		maxRows   = flag.Int("maxrows", 100, "default row cap for /execute responses")
 		maxBody   = flag.Int64("maxbody", 1<<20, "request-body size cap in bytes (oversize gets 413)")
+		coalesce  = flag.Bool("coalesce", true, "coalesce concurrent identical pipeline requests into one run")
+		batchMax  = flag.Int("batch-max", 64, "max items per /personalize/batch request")
 		preload   = flag.Int("preload", 0, "store a synthetic profile with this many selection preferences as \"default\"")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
 		faults    = flag.String("faults", os.Getenv("FAULTS"), "fault-injection plan, e.g. 'storage.scan:err:0.05' (also via FAULTS env)")
@@ -79,6 +83,8 @@ func main() {
 		MaxTimeout:     *maxTO,
 		MaxRows:        *maxRows,
 		MaxBodyBytes:   *maxBody,
+		NoCoalesce:     !*coalesce,
+		BatchMaxItems:  *batchMax,
 		DataDir:        *dataDir,
 		FsyncPolicy:    *fsync,
 		SnapshotEvery:  *snapEvery,

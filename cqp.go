@@ -76,6 +76,10 @@ type Problem = core.Problem
 // parameters.
 type Solution = core.Solution
 
+// SearchStats carries one search run's counters: algorithm name, duration,
+// states visited, peak memory, and whether the state budget truncated it.
+type SearchStats = core.Stats
+
 // Metrics is the engine's concurrency-safe metrics registry. Attach one to
 // a Personalizer with Observe; read it back via Snapshot, Render,
 // WritePrometheus or Expvar. A nil *Metrics disables all recording.

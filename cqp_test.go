@@ -242,15 +242,22 @@ func TestPersonalizeFront(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(front) == 0 || len(front) > 6 {
-		t.Fatalf("front size = %d", len(front))
+	pts := front.Points
+	if len(pts) == 0 || len(pts) > 6 {
+		t.Fatalf("front size = %d", len(pts))
+	}
+	if front.Truncated {
+		t.Error("unbudgeted frontier reported truncated")
+	}
+	if front.Stats.Algorithm != "PARETO" {
+		t.Errorf("front stats algorithm = %q, want PARETO", front.Stats.Algorithm)
 	}
 	knees := 0
-	for i, fp := range front {
+	for i, fp := range pts {
 		if fp.CostMS > cost*20+1e-9 {
 			t.Errorf("point %d violates cost bound", i)
 		}
-		if i > 0 && (fp.CostMS < front[i-1].CostMS || fp.Doi <= front[i-1].Doi) {
+		if i > 0 && (fp.CostMS < pts[i-1].CostMS || fp.Doi <= pts[i-1].Doi) {
 			t.Errorf("front not sorted/strictly improving at %d", i)
 		}
 		if fp.Knee {

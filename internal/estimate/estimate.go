@@ -31,6 +31,13 @@ const DefaultBlockMillis = 1.0
 
 // Estimator estimates personalized-query parameters from catalog
 // statistics.
+//
+// An Estimator is safe for concurrent use: the estimation entry points
+// (QueryCost, QuerySize, SubQueryCost, Shrink) only read the catalog —
+// whose maps and histograms are immutable after catalog.Build — and the
+// call-accounting state is atomic. prefspace.Build leans on this to fan
+// its per-candidate estimations across a worker group; a statistics
+// refresh swaps in a whole new Estimator rather than mutating this one.
 type Estimator struct {
 	cat *catalog.Catalog
 	// BlockMillis is b, the milliseconds charged per block read.
@@ -63,7 +70,10 @@ func (e *Estimator) Catalog() *catalog.Catalog { return e.cat }
 // loops), so they cannot fail in-band; callers that can propagate an error —
 // prefspace.Build polls it at its estimation sites — call this instead,
 // standing in for the stale-statistics and catalog-read failures a real
-// optimizer would hit. One atomic load when the harness is disarmed.
+// optimizer would hit. One atomic load when the harness is disarmed, and
+// safe to poll from concurrent estimation workers (the fault harness's
+// decisions are atomic, though which worker draws a count-capped fault is
+// scheduling-dependent).
 func (e *Estimator) CheckFault() error {
 	if err := fault.Inject(fault.EstimateHistogram); err != nil {
 		return fmt.Errorf("estimate: histogram read: %w", err)

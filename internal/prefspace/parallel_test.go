@@ -1,0 +1,92 @@
+package prefspace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cqp/internal/workload"
+)
+
+// parallelSetup builds a workload-scale environment: a profile rich enough
+// that extraction at K=20 pops through join paths and dozens of candidate
+// selections, so the parallel build has real work to distribute.
+func parallelSetup() (*workload.Env, *workload.Env) {
+	env := workload.NewEnv(workload.DBConfig{Movies: 2000, Seed: 9}, 1)
+	return env, env
+}
+
+// TestParallelBuildMatchesSequential is the tentpole invariant: at every
+// parallelism setting the extracted space is byte-identical to the
+// sequential build — same preferences in the same order, same vectors.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	env, _ := parallelSetup()
+	profile := workload.GenerateProfile(workload.ProfileConfig{Seed: 11})
+	queries := workload.Queries(4, 7)
+
+	cases := []Options{
+		{MaxK: 20},
+		{MaxK: 20, CostMax: 800},
+		{MaxK: 40, MaxPathLen: 3},
+		{}, // uncapped: one big batch
+	}
+	for ci, base := range cases {
+		for qi, q := range queries {
+			seq := base
+			seq.Parallelism = 1
+			want, err := Build(q, profile, env.Est, seq)
+			if err != nil {
+				t.Fatalf("case %d query %d sequential: %v", ci, qi, err)
+			}
+			for _, par := range []int{0, 2, 8} {
+				opt := base
+				opt.Parallelism = par
+				got, err := Build(q, profile, env.Est, opt)
+				if err != nil {
+					t.Fatalf("case %d query %d parallelism %d: %v", ci, qi, par, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("case %d query %d: parallelism %d diverges from sequential\n got K=%d P=%v\nwant K=%d P=%v",
+						ci, qi, par, got.K, got.P, want.K, want.P)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildContextCancelled: a dead context aborts extraction with the
+// context's error at every parallelism setting.
+func TestBuildContextCancelled(t *testing.T) {
+	env, _ := parallelSetup()
+	profile := workload.GenerateProfile(workload.ProfileConfig{Seed: 11})
+	q := workload.Queries(1, 7)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 0} {
+		_, err := BuildContext(ctx, q, profile, env.Est, Options{MaxK: 20, Parallelism: par})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+	}
+}
+
+// BenchmarkBuildParallel pins the acceptance criterion: at K=20 the
+// parallel build must beat the sequential one by ≥1.5× on a 4-core runner
+// (compare the parallelism=1 and parallelism=0 timings).
+func BenchmarkBuildParallel(b *testing.B) {
+	env, _ := parallelSetup()
+	profile := workload.GenerateProfile(workload.ProfileConfig{Seed: 11})
+	q := workload.Queries(1, 7)[0]
+	for _, par := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("K=20/parallelism=%d", par), func(b *testing.B) {
+			opt := Options{MaxK: 20, Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(q, profile, env.Est, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

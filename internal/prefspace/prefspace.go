@@ -22,8 +22,12 @@ package prefspace
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cqp/internal/estimate"
 	"cqp/internal/prefs"
@@ -78,6 +82,13 @@ type Options struct {
 	// paper's D_PrefSelTime configuration (doi-only ordering) in Fig. 12(b).
 	SkipCostVector bool
 	SkipSizeVector bool
+	// Parallelism bounds the worker group that runs the per-candidate
+	// cost/shrink estimations (Formula 6 per preference — the dominant cost
+	// of extraction, and embarrassingly parallel). 0 selects GOMAXPROCS;
+	// 1 forces the sequential build. Output is identical at every setting:
+	// estimation results are committed in pop order regardless of which
+	// worker finished first.
+	Parallelism int
 }
 
 // candidate is a queue entry: a join path under construction or a completed
@@ -110,8 +121,23 @@ func (q *candQueue) Pop() any {
 	return it
 }
 
-// Build runs the Preference Space algorithm.
+// Build runs the Preference Space algorithm without a context (it cannot
+// be canceled mid-extraction). See BuildContext.
 func Build(q *query.Query, profile *prefs.Profile, est *estimate.Estimator, opt Options) (*Space, error) {
+	return BuildContext(context.Background(), q, profile, est, opt)
+}
+
+// BuildContext runs the Preference Space algorithm.
+//
+// The best-first traversal itself is sequential (it is heap operations and
+// doi arithmetic), but the per-candidate cost(Q ∧ pi)/shrink estimations of
+// Formula 6 — the dominant cost of extraction — are independent of one
+// another, so they run across a bounded worker group (see
+// Options.Parallelism). Rounds pop exactly the selections the sequential
+// build would pop, estimate them concurrently, and commit the results in
+// pop order, so the output is byte-identical to the sequential build.
+// A canceled ctx aborts between estimations with ctx's error.
+func BuildContext(ctx context.Context, q *query.Query, profile *prefs.Profile, est *estimate.Estimator, opt Options) (*Space, error) {
 	if len(q.From) == 0 {
 		return nil, fmt.Errorf("prefspace: query has no relations")
 	}
@@ -126,6 +152,9 @@ func Build(q *query.Query, profile *prefs.Profile, est *estimate.Estimator, opt 
 		Query:    q,
 		BaseCost: est.QueryCost(q),
 		BaseSize: est.QuerySize(q),
+	}
+	if opt.MaxK > 0 {
+		sp.P = make([]Pref, 0, opt.MaxK)
 	}
 
 	var qp candQueue
@@ -146,26 +175,76 @@ func Build(q *query.Query, profile *prefs.Profile, est *estimate.Estimator, opt 
 		}
 	}
 
-	// Step 3: best-first expansion.
+	// Step 3: best-first expansion, in rounds. Each round pops candidates
+	// until it has gathered the selections still needed (MaxK minus what is
+	// committed — exactly the set the sequential build would estimate next),
+	// estimates the batch across the worker group, and commits in pop
+	// order. A candidate rejected by the CostMax filter leaves a gap the
+	// next round refills, keeping the estimated set identical to the
+	// sequential build's.
 	for qp.Len() > 0 {
 		if opt.MaxK > 0 && sp.K >= opt.MaxK {
 			break
 		}
-		c := heap.Pop(&qp).(*candidate)
-		if c.sel != nil {
-			// A complete (implicit) selection preference.
-			imp, err := prefs.NewImplicit(c.path, *c.sel)
-			if err != nil {
-				return nil, fmt.Errorf("prefspace: %v", err)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("prefspace: %w", err)
+		}
+		want := opt.MaxK - sp.K // ≤ 0 means "no cap": gather everything
+		room := want
+		if opt.MaxK <= 0 {
+			room = qp.Len()
+		}
+		batch := make([]*candidate, 0, room)
+		for qp.Len() > 0 && (opt.MaxK <= 0 || len(batch) < want) {
+			c := heap.Pop(&qp).(*candidate)
+			if c.sel != nil {
+				// A complete (implicit) selection preference; materialized
+				// and estimated by the worker group below.
+				batch = append(batch, c)
+				continue
 			}
-			if err := est.CheckFault(); err != nil {
-				return nil, fmt.Errorf("prefspace: estimating preference %d: %w", sp.K, err)
+			// A join path: expand through preferences adjacent to its end.
+			end := c.path[len(c.path)-1].Join.Right.Relation
+			if opt.CostMax > 0 && pathCost(est, q, c.path) > opt.CostMax {
+				continue // extensions only get more expensive
+			}
+			for _, a := range profile.SelectionsOn(end) {
+				a := a
+				push(&candidate{
+					doi:  prefs.Compose(c.doi, a.Doi),
+					path: c.path,
+					sel:  &a,
+				})
+			}
+			if len(c.path) >= maxPath {
+				continue
+			}
+			for _, a := range profile.JoinsFrom(end) {
+				if revisits(c.path, a.Join.Right.Relation) {
+					continue // acyclicity (Figure 3's "p ∧ pi is acyclic")
+				}
+				next := make([]prefs.Atomic, len(c.path)+1)
+				copy(next, c.path)
+				next[len(c.path)] = a
+				push(&candidate{doi: prefs.Compose(c.doi, a.Doi), path: next})
+			}
+		}
+		if len(batch) == 0 {
+			break // heap drained without completing another selection
+		}
+		results := estimateBatch(ctx, est, q, batch, opt.Parallelism)
+		for _, r := range results {
+			if r.impErr != nil {
+				return nil, fmt.Errorf("prefspace: %v", r.impErr)
+			}
+			if r.err != nil {
+				return nil, fmt.Errorf("prefspace: estimating preference %d: %w", sp.K, r.err)
 			}
 			p := Pref{
-				Imp:    imp,
-				Doi:    imp.Doi,
-				Cost:   est.SubQueryCost(q, imp),
-				Shrink: est.Shrink(q, imp),
+				Imp:    r.imp,
+				Doi:    r.imp.Doi,
+				Cost:   r.cost,
+				Shrink: r.shrink,
 			}
 			p.Size = sp.BaseSize * p.Shrink
 			if opt.CostMax > 0 && p.Cost > opt.CostMax {
@@ -173,37 +252,81 @@ func Build(q *query.Query, profile *prefs.Profile, est *estimate.Estimator, opt 
 			}
 			sp.P = append(sp.P, p)
 			sp.K++
-			continue
-		}
-		// A join path: expand through preferences adjacent to its end.
-		end := c.path[len(c.path)-1].Join.Right.Relation
-		if opt.CostMax > 0 && pathCost(est, q, c.path) > opt.CostMax {
-			continue // extensions only get more expensive
-		}
-		for _, a := range profile.SelectionsOn(end) {
-			a := a
-			push(&candidate{
-				doi:  prefs.Compose(c.doi, a.Doi),
-				path: c.path,
-				sel:  &a,
-			})
-		}
-		if len(c.path) >= maxPath {
-			continue
-		}
-		for _, a := range profile.JoinsFrom(end) {
-			if revisits(c.path, a.Join.Right.Relation) {
-				continue // acyclicity (Figure 3's "p ∧ pi is acyclic")
+			if opt.MaxK > 0 && sp.K >= opt.MaxK {
+				break
 			}
-			next := make([]prefs.Atomic, len(c.path)+1)
-			copy(next, c.path)
-			next[len(c.path)] = a
-			push(&candidate{doi: prefs.Compose(c.doi, a.Doi), path: next})
 		}
 	}
 
 	sp.buildVectors(opt)
 	return sp, nil
+}
+
+// estResult is one candidate's materialization + estimation outcome.
+type estResult struct {
+	imp    prefs.Implicit
+	cost   float64
+	shrink float64
+	impErr error // NewImplicit rejected the candidate (malformed path)
+	err    error // fault point or context fired before estimation
+}
+
+// estimateBatch materializes every candidate selection (NewImplicit) and
+// runs its SubQueryCost/Shrink estimations across a bounded worker group,
+// preserving input order in the result slice. Each worker polls the
+// estimate.histogram fault point and ctx before every candidate, exactly as
+// the sequential build does between estimations. The estimator's entry
+// points are safe for concurrent use: they read the catalog, which is
+// immutable after catalog.Build, and touch only atomic timing counters;
+// candidate paths are shared between candidates but read-only here.
+func estimateBatch(ctx context.Context, est *estimate.Estimator, q *query.Query, cands []*candidate, parallelism int) []estResult {
+	out := make([]estResult, len(cands))
+	estimate := func(i int) {
+		r := &out[i]
+		c := cands[i]
+		r.imp, r.impErr = prefs.NewImplicit(c.path, *c.sel)
+		if r.impErr != nil {
+			return
+		}
+		if r.err = ctx.Err(); r.err != nil {
+			return
+		}
+		if r.err = est.CheckFault(); r.err != nil {
+			return
+		}
+		r.cost = est.SubQueryCost(q, r.imp)
+		r.shrink = est.Shrink(q, r.imp)
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 || len(cands) < 2 {
+		for i := range cands {
+			estimate(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				estimate(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // pathCost estimates the sub-query cost of a partial path (without its

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+
+	"cqp"
+	"cqp/internal/resilience"
+)
+
+// batchRequest is the body of POST /personalize/batch: a list of
+// /personalize-shaped items sharing one deadline. Per-item trace, timeout
+// and limit fields are ignored — the batch is one request with one
+// deadline, and traces don't compose across coalesced runs.
+type batchRequest struct {
+	Items     []personalizeRequest `json:"items"`
+	TimeoutMS int                  `json:"timeout_ms"`
+}
+
+// batchItemJSON is one item's outcome: a personalize response or a
+// per-item error envelope, never both. Duplicate marks items answered by
+// an identical earlier item's run.
+type batchItemJSON struct {
+	*personalizeResponse
+	Duplicate bool       `json:"duplicate,omitempty"`
+	Error     *errorBody `json:"error,omitempty"`
+}
+
+// batchResponse is the body of a /personalize/batch answer. Results is
+// aligned index-for-index with the request's items.
+type batchResponse struct {
+	Results []batchItemJSON `json:"results"`
+	// Distinct counts the pipeline-distinct items; Duplicates counts the
+	// items answered by another item's run.
+	Distinct   int `json:"distinct"`
+	Duplicates int `json:"duplicates"`
+}
+
+// batchUnit is one parsed, pipeline-distinct batch item.
+type batchUnit struct {
+	idx       int
+	q         *cqp.Query
+	prob      cqp.Problem
+	prof      *cqp.Profile
+	version   uint64
+	cacheable bool
+}
+
+// itemError builds the per-item error envelope for a status code.
+func itemError(code int, err error) *errorBody {
+	class := classFor(code)
+	if errors.Is(err, resilience.ErrExhausted) {
+		class = "degraded_unavailable"
+	}
+	return &errorBody{Class: class, Message: err.Error()}
+}
+
+// admitStatus maps an admission error onto a status code — the non-HTTP
+// sibling of Server.admit, for per-item batch errors.
+func admitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusServiceUnavailable
+	}
+}
+
+// batchIdentity is the dedup key of one item: query fingerprint, profile
+// identity (stored id@version, or a hash of the inline text), problem, and
+// every solver knob. Two items with equal identities would run the exact
+// same pipeline, so one run answers both. NoCache is part of the identity:
+// an item that demanded a fresh run must not be answered by one that may
+// come from cache.
+func batchIdentity(q *cqp.Query, item personalizeRequest, version uint64, prob cqp.Problem) string {
+	prof := item.ProfileID
+	if prof == "" {
+		h := fnv.New64a()
+		h.Write([]byte(item.Profile))
+		prof = fmt.Sprintf("inline:%016x", h.Sum64())
+	}
+	return fmt.Sprintf("%s|%s@%d|%s|a=%s k=%d b=%d any=%v merge=%v nc=%v",
+		q.Fingerprint(), prof, version, prob,
+		item.Algorithm, item.K, item.Budget, item.AnyMatch, item.Merge, item.NoCache)
+}
+
+// handleBatch serves POST /personalize/batch — the list-page shape: many
+// personalizations in one request. Items are deduplicated by identity
+// (query + profile + problem + options), distinct items run concurrently
+// through the same admission pool, cache, coalescing and degradation
+// machinery as /personalize, and results come back in item order with
+// per-item errors: one malformed or infeasible item fails alone.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: batch needs at least one item"))
+		return
+	}
+	if len(req.Items) > s.cfg.BatchMaxItems {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("server: batch of %d items exceeds the %d-item cap", len(req.Items), s.cfg.BatchMaxItems))
+		return
+	}
+	ctx, cancel, _ := s.requestContext(r, req.TimeoutMS, false, "batch")
+	defer cancel()
+
+	results := make([]batchItemJSON, len(req.Items))
+	leaderOf := make(map[string]int, len(req.Items))
+	followers := make(map[int][]int)
+	var units []batchUnit
+	for i, item := range req.Items {
+		q, err := cqp.ParseQuery(s.db.Schema(), item.SQL)
+		if err != nil {
+			results[i].Error = itemError(http.StatusBadRequest, err)
+			continue
+		}
+		prob, err := item.Problem.build()
+		if err != nil {
+			results[i].Error = itemError(http.StatusBadRequest, err)
+			continue
+		}
+		prof, version, cacheable, code, err := s.resolveProfile(item.ProfileID, item.Profile)
+		if err != nil {
+			results[i].Error = itemError(code, err)
+			continue
+		}
+		id := batchIdentity(q, item, version, prob)
+		if li, ok := leaderOf[id]; ok {
+			followers[li] = append(followers[li], i)
+			continue
+		}
+		leaderOf[id] = i
+		units = append(units, batchUnit{
+			idx: i, q: q, prob: prob, prof: prof, version: version, cacheable: cacheable,
+		})
+	}
+
+	var wg sync.WaitGroup
+	for _, u := range units {
+		wg.Add(1)
+		go func(u batchUnit) {
+			defer wg.Done()
+			results[u.idx] = s.personalizeUnit(ctx, u, req.Items[u.idx])
+		}(u)
+	}
+	wg.Wait()
+
+	duplicates := 0
+	for li, dups := range followers {
+		for _, i := range dups {
+			results[i] = results[li]
+			results[i].Duplicate = true
+			duplicates++
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponse{
+		Results: results, Distinct: len(units), Duplicates: duplicates,
+	})
+}
+
+// personalizeUnit runs one batch item through the /personalize machinery:
+// warm cache path, then the coalesced, admission-controlled, ladder-backed
+// pipeline. Identical concurrent work — inside this batch or from any
+// other request — shares one run via the flight table.
+func (s *Server) personalizeUnit(ctx context.Context, u batchUnit, item personalizeRequest) batchItemJSON {
+	key, staleKey := "", ""
+	if u.cacheable && !item.NoCache {
+		extra := fmt.Sprintf("%s|a=%s k=%d b=%d any=%v merge=%v",
+			u.prob, item.Algorithm, item.K, item.Budget, item.AnyMatch, item.Merge)
+		key = s.cacheKey("personalize", u.q, item.ProfileID, u.version, extra)
+		staleKey = s.staleKey("personalize", u.q, item.ProfileID, extra)
+		if v, ok := s.cacheGet(key); ok {
+			resp := *v.(*personalizeResponse)
+			resp.Cached = true
+			return batchItemJSON{personalizeResponse: &resp}
+		}
+	}
+	build := func(prob cqp.Problem, alg string) func(context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			res, err := s.p.PersonalizeContext(ctx, u.q, u.prof, prob,
+				buildOpts(alg, item.K, item.Budget, item.AnyMatch, item.Merge)...)
+			if err != nil {
+				return nil, err
+			}
+			return personalizeResponseFrom(res, item.ProfileID, u.version), nil
+		}
+	}
+	rungs := []resilience.Step{s.step("heuristic", build(u.prob, "D_HeurDoi"))}
+	if tp, ok := tightenedProblem(u.prob, s.cfg.TightenFactor); ok {
+		rungs = append(rungs, s.step("tight-cmax", build(tp, "D_HeurDoi")))
+	}
+	o, leader := s.runPipeline(ctx, "personalize", key, staleKey, build(u.prob, item.Algorithm), rungs...)
+	if o.admitErr != nil {
+		if v, ok := s.cache.GetStale(staleKey); ok {
+			s.reg.Counter("server_degraded_total", "endpoint", "personalize", "rung", "stale").Inc()
+			resp := markStale(v).(personalizeResponse)
+			return batchItemJSON{personalizeResponse: &resp}
+		}
+		return batchItemJSON{Error: itemError(admitStatus(o.admitErr), o.admitErr)}
+	}
+	if o.perr != nil {
+		return batchItemJSON{Error: itemError(pipelineStatus(o.perr), o.perr)}
+	}
+	if o.out == nil {
+		return batchItemJSON{Error: itemError(http.StatusGatewayTimeout, errDeadlineSkipped)}
+	}
+	resp := *o.out.(*personalizeResponse)
+	resp.Degraded = o.degraded
+	if leader && o.degraded == "" {
+		s.cachePut(key, staleKey, item.ProfileID, o.out)
+	} else if o.degraded == "stale" {
+		resp.Cached = true
+	}
+	return batchItemJSON{personalizeResponse: &resp}
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// batchBody builds a /personalize/batch request around a list of items.
+func batchBody(items ...map[string]any) map[string]any {
+	return map[string]any{"items": items}
+}
+
+func batchItem(profileID, sql string) map[string]any {
+	return map[string]any{
+		"sql":        sql,
+		"profile_id": profileID,
+		"problem":    map[string]any{"number": 2, "cmax_ms": 10000},
+	}
+}
+
+// TestBatchEndpoint: duplicates within a batch coalesce onto one pipeline
+// run, a malformed item fails alone with a per-item error, and results stay
+// aligned with input order.
+func TestBatchEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	putProfile(t, ts.URL, "alice", testProfileText())
+
+	const q2 = "SELECT title FROM MOVIE WHERE year >= 1990"
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/personalize/batch", batchBody(
+		batchItem("alice", testSQL),                    // 0: leader
+		batchItem("alice", q2),                         // 1: distinct query
+		batchItem("alice", testSQL),                    // 2: duplicate of 0
+		batchItem("alice", "SELECT nope FROM NOWHERE"), // 3: malformed, fails alone
+		batchItem("alice", testSQL),                    // 4: duplicate of 0
+	))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d: %s", resp.StatusCode, body)
+	}
+	var br struct {
+		Results []struct {
+			SQL       string `json:"sql"`
+			ProfileID string `json:"profile_id"`
+			Duplicate bool   `json:"duplicate"`
+			Error     *struct {
+				Class   string `json:"class"`
+				Message string `json:"message"`
+			} `json:"error"`
+		} `json:"results"`
+		Distinct   int `json:"distinct"`
+		Duplicates int `json:"duplicates"`
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("batch body: %v: %s", err, body)
+	}
+	if len(br.Results) != 5 {
+		t.Fatalf("got %d results for 5 items", len(br.Results))
+	}
+	if br.Distinct != 2 || br.Duplicates != 2 {
+		t.Errorf("distinct=%d duplicates=%d, want 2 and 2", br.Distinct, br.Duplicates)
+	}
+	for _, i := range []int{0, 1, 2, 4} {
+		r := br.Results[i]
+		if r.Error != nil {
+			t.Fatalf("item %d: unexpected error %+v", i, r.Error)
+		}
+		if r.SQL == "" || r.ProfileID != "alice" {
+			t.Fatalf("item %d: incomplete response: %+v", i, r)
+		}
+	}
+	if br.Results[3].Error == nil || br.Results[3].Error.Class != "bad_request" {
+		t.Errorf("malformed item error = %+v, want per-item bad_request", br.Results[3].Error)
+	}
+	if br.Results[3].SQL != "" {
+		t.Error("failed item must not carry a response body")
+	}
+	if !br.Results[2].Duplicate || !br.Results[4].Duplicate {
+		t.Error("items 2 and 4 should be marked duplicate")
+	}
+	if br.Results[0].Duplicate || br.Results[1].Duplicate {
+		t.Error("leaders must not be marked duplicate")
+	}
+	// Order preservation: each result answers its own item's query shape.
+	if br.Results[0].SQL == br.Results[1].SQL {
+		t.Error("distinct queries produced identical rewrites — results misaligned?")
+	}
+	if br.Results[2].SQL != br.Results[0].SQL {
+		t.Error("duplicate must share its leader's rewrite")
+	}
+	// Exactly one pipeline run per distinct item.
+	if got := s.reg.Counter("personalize_total").Value(); got != 2 {
+		t.Errorf("personalize_total = %d, want 2 (deduplicated runs)", got)
+	}
+	// Batch leaders fill the shared result cache: a singleton /personalize
+	// for the same work is now a cache hit.
+	resp2, body2 := doJSON(t, http.MethodPost, ts.URL+"/personalize", map[string]any{
+		"sql": testSQL, "profile_id": "alice",
+		"problem": map[string]any{"number": 2, "cmax_ms": 10000},
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up personalize: %d: %s", resp2.StatusCode, body2)
+	}
+	var single personalizeResponse
+	if err := json.Unmarshal(body2, &single); err != nil {
+		t.Fatal(err)
+	}
+	if !single.Cached {
+		t.Error("singleton request after a batch leader should hit the cache")
+	}
+}
+
+// TestBatchEndpointLimits: empty batches and batches past BatchMaxItems are
+// rejected whole with 400.
+func TestBatchEndpointLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchMaxItems: 2})
+	resp, _ := doJSON(t, http.MethodPost, ts.URL+"/personalize/batch", batchBody())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: %d, want 400", resp.StatusCode)
+	}
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/personalize/batch", batchBody(
+		batchItem("a", testSQL), batchItem("b", testSQL), batchItem("c", testSQL),
+	))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: %d, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+// TestBatchEndpointUnknownProfile: a missing stored profile is a per-item
+// 404-class error, not a whole-batch failure.
+func TestBatchEndpointUnknownProfile(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	putProfile(t, ts.URL, "alice", testProfileText())
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/personalize/batch", batchBody(
+		batchItem("ghost", testSQL),
+		batchItem("alice", testSQL),
+	))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d: %s", resp.StatusCode, body)
+	}
+	var br struct {
+		Results []struct {
+			SQL   string `json:"sql"`
+			Error *struct {
+				Class string `json:"class"`
+			} `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Error == nil || br.Results[0].Error.Class != "not_found" {
+		t.Errorf("unknown profile item = %+v, want not_found error", br.Results[0])
+	}
+	if br.Results[1].Error != nil || br.Results[1].SQL == "" {
+		t.Errorf("valid item should still succeed: %+v", br.Results[1])
+	}
+}

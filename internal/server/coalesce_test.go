@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cqp"
+)
+
+// newTestDaemon builds a daemon without the httptest wrapper, for tests
+// that drive runPipeline directly.
+func newTestDaemon(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cqp.SyntheticMovieDB(300, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.pool.Close)
+	return s
+}
+
+// TestCoalesceHerd is the thundering-herd contract: 64 concurrent requests
+// sharing one cache key execute the pipeline exactly once, every waiter
+// gets the answer, and — with a one-worker, one-slot pool — no follower
+// consumes an admission slot (otherwise 62 of them would shed with 429).
+func TestCoalesceHerd(t *testing.T) {
+	s := newTestDaemon(t, Config{Workers: 1, QueueDepth: 1})
+	const herd = 64
+	followersIn := func() int64 {
+		return s.reg.Counter("coalesce_followers_total", "endpoint", "personalize").Value()
+	}
+	var runs atomic.Int64
+	primary := func(ctx context.Context) (any, error) {
+		runs.Add(1)
+		// Hold the run open until every other member of the herd has joined
+		// as a follower, so no late arrival can start a second flight.
+		deadline := time.Now().Add(10 * time.Second)
+		for followersIn() < herd-1 {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("only %d followers joined", followersIn())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return &personalizeResponse{SQL: "coalesced"}, nil
+	}
+
+	var wg sync.WaitGroup
+	var leaders atomic.Int64
+	outcomes := make([]flightOutcome, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o, led := s.runPipeline(context.Background(), "personalize", "key", "stale-key", primary)
+			if led {
+				leaders.Add(1)
+			}
+			outcomes[i] = o
+		}(i)
+	}
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("pipeline ran %d times for %d identical requests, want exactly 1", got, herd)
+	}
+	if got := leaders.Load(); got != 1 {
+		t.Fatalf("%d requests led the flight, want exactly 1", got)
+	}
+	for i, o := range outcomes {
+		if o.admitErr != nil || o.perr != nil {
+			t.Fatalf("request %d: admitErr=%v perr=%v, want clean coalesced answer", i, o.admitErr, o.perr)
+		}
+		resp, ok := o.out.(*personalizeResponse)
+		if !ok || resp.SQL != "coalesced" {
+			t.Fatalf("request %d: out = %#v, want the leader's response", i, o.out)
+		}
+	}
+	if got := s.reg.Counter("coalesce_leaders_total", "endpoint", "personalize").Value(); got != 1 {
+		t.Errorf("coalesce_leaders_total = %d, want 1", got)
+	}
+	if got := followersIn(); got != herd-1 {
+		t.Errorf("coalesce_followers_total = %d, want %d", got, herd-1)
+	}
+	if got := s.reg.Gauge("coalesce_inflight").Value(); got != 0 {
+		t.Errorf("coalesce_inflight = %d after drain, want 0", got)
+	}
+}
+
+// TestCoalesceFollowerHonorsOwnContext: a follower whose context dies while
+// waiting detaches with its own error and leaves the leader running to
+// completion.
+func TestCoalesceFollowerHonorsOwnContext(t *testing.T) {
+	s := newTestDaemon(t, Config{})
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	primary := func(ctx context.Context) (any, error) {
+		close(started)
+		<-gate
+		return &personalizeResponse{SQL: "late"}, nil
+	}
+
+	leaderCh := make(chan flightOutcome, 1)
+	go func() {
+		o, _ := s.runPipeline(context.Background(), "personalize", "key", "stale-key", primary)
+		leaderCh <- o
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never started")
+	}
+
+	fctx, fcancel := context.WithCancel(context.Background())
+	followerCh := make(chan flightOutcome, 1)
+	var followerLed atomic.Bool
+	go func() {
+		o, led := s.runPipeline(fctx, "personalize", "key", "stale-key", primary)
+		followerLed.Store(led)
+		followerCh <- o
+	}()
+	waitFor(t, func() bool {
+		return s.reg.Counter("coalesce_followers_total", "endpoint", "personalize").Value() == 1
+	})
+
+	fcancel()
+	fo := <-followerCh
+	if !errors.Is(fo.perr, context.Canceled) {
+		t.Fatalf("canceled follower got perr=%v, want its own context.Canceled", fo.perr)
+	}
+	if followerLed.Load() {
+		t.Fatal("a detaching follower must not report leadership")
+	}
+
+	close(gate)
+	lo := <-leaderCh
+	if lo.perr != nil || lo.admitErr != nil {
+		t.Fatalf("leader failed after follower detached: perr=%v admitErr=%v", lo.perr, lo.admitErr)
+	}
+	if resp := lo.out.(*personalizeResponse); resp.SQL != "late" {
+		t.Fatalf("leader out = %+v, want its own run's answer", resp)
+	}
+}
+
+// TestCoalesceFollowerRetriesAfterLeaderDeath: when the leader dies of its
+// own context, a follower with a live context must not inherit that error —
+// it retries, becomes the new leader, and runs the pipeline itself.
+func TestCoalesceFollowerRetriesAfterLeaderDeath(t *testing.T) {
+	s := newTestDaemon(t, Config{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderStarted := make(chan struct{})
+	var runs atomic.Int64
+	primary := func(ctx context.Context) (any, error) {
+		if runs.Add(1) == 1 {
+			close(leaderStarted)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return &personalizeResponse{SQL: "second run"}, nil
+	}
+
+	leaderCh := make(chan flightOutcome, 1)
+	go func() {
+		o, _ := s.runPipeline(leaderCtx, "personalize", "key", "stale-key", primary)
+		leaderCh <- o
+	}()
+	select {
+	case <-leaderStarted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never started")
+	}
+
+	type res struct {
+		o   flightOutcome
+		led bool
+	}
+	followerCh := make(chan res, 1)
+	go func() {
+		o, led := s.runPipeline(context.Background(), "personalize", "key", "stale-key", primary)
+		followerCh <- res{o, led}
+	}()
+	waitFor(t, func() bool {
+		return s.reg.Counter("coalesce_followers_total", "endpoint", "personalize").Value() == 1
+	})
+
+	cancelLeader()
+	lo := <-leaderCh
+	// The cancellation surfaces as perr (pipeline observed it) or admitErr
+	// (Do's caller-side wait observed it first); both are leader-specific.
+	if !errors.Is(lo.perr, context.Canceled) && !errors.Is(lo.admitErr, context.Canceled) {
+		t.Fatalf("leader outcome = %+v, want context.Canceled", lo)
+	}
+	fr := <-followerCh
+	if fr.o.perr != nil || fr.o.admitErr != nil {
+		t.Fatalf("retrying follower failed: perr=%v admitErr=%v", fr.o.perr, fr.o.admitErr)
+	}
+	if resp := fr.o.out.(*personalizeResponse); resp.SQL != "second run" {
+		t.Fatalf("follower out = %+v, want its own re-run's answer", resp)
+	}
+	if !fr.led {
+		t.Fatal("the retrying follower should have become the new leader")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("pipeline ran %d times, want 2 (dead leader + retry)", got)
+	}
+}
+
+// TestCoalesceDisabled: with NoCoalesce set, identical concurrent requests
+// each pay their own run and the flight table stays untouched.
+func TestCoalesceDisabled(t *testing.T) {
+	s := newTestDaemon(t, Config{NoCoalesce: true, Workers: 4})
+	var runs atomic.Int64
+	release := make(chan struct{})
+	primary := func(ctx context.Context) (any, error) {
+		runs.Add(1)
+		<-release
+		return &personalizeResponse{}, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, led := s.runPipeline(context.Background(), "personalize", "key", "stale-key", primary); !led {
+				t.Error("without coalescing every request leads its own run")
+			}
+		}()
+	}
+	waitFor(t, func() bool { return runs.Load() == 4 })
+	close(release)
+	wg.Wait()
+	if got := s.reg.Counter("coalesce_leaders_total", "endpoint", "personalize").Value(); got != 0 {
+		t.Errorf("coalesce_leaders_total = %d with coalescing disabled, want 0", got)
+	}
+}

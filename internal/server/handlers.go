@@ -108,6 +108,7 @@ type frontRequest struct {
 	Smax      float64 `json:"smax"`
 	MaxPoints int     `json:"max_points"`
 	K         int     `json:"k"`
+	Budget    int     `json:"budget"` // per-solve state budget; exhausting it sets truncated
 	TimeoutMS int     `json:"timeout_ms"`
 	NoCache   bool    `json:"no_cache"`
 }
@@ -121,9 +122,12 @@ type frontPointJSON struct {
 }
 
 type frontResponse struct {
-	Points   []frontPointJSON `json:"points"`
-	Cached   bool             `json:"cached"`
-	Degraded string           `json:"degraded,omitempty"`
+	Points []frontPointJSON `json:"points"`
+	// Truncated reports that the frontier search hit its state budget —
+	// the menu is best-found, not proven complete.
+	Truncated bool   `json:"truncated,omitempty"`
+	Cached    bool   `json:"cached"`
+	Degraded  string `json:"degraded,omitempty"`
 }
 
 // topkRequest is the body of POST /topk.
@@ -469,33 +473,28 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 			return personalizeResponseFrom(res, req.ProfileID, version), nil
 		}
 	}
-	var out any
-	var degraded string
-	var perr error
-	if err := s.pool.Do(ctx, func(ctx context.Context) {
-		rungs := []resilience.Step{s.step("heuristic", build(prob, "D_HeurDoi"))}
-		if tp, ok := tightenedProblem(prob, s.cfg.TightenFactor); ok {
-			rungs = append(rungs, s.step("tight-cmax", build(tp, "D_HeurDoi")))
-		}
-		out, degraded, perr = s.runResilient(ctx, "personalize", staleKey,
-			build(prob, req.Algorithm), rungs...)
-	}); err != nil {
-		s.shedOrStale(w, "personalize", staleKey, err)
+	rungs := []resilience.Step{s.step("heuristic", build(prob, "D_HeurDoi"))}
+	if tp, ok := tightenedProblem(prob, s.cfg.TightenFactor); ok {
+		rungs = append(rungs, s.step("tight-cmax", build(tp, "D_HeurDoi")))
+	}
+	o, leader := s.runPipeline(ctx, "personalize", key, staleKey, build(prob, req.Algorithm), rungs...)
+	if o.admitErr != nil {
+		s.shedOrStale(w, "personalize", staleKey, o.admitErr)
 		return
 	}
-	if perr != nil {
-		s.fail(w, pipelineStatus(perr), perr)
+	if o.perr != nil {
+		s.fail(w, pipelineStatus(o.perr), o.perr)
 		return
 	}
-	if out == nil {
+	if o.out == nil {
 		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
-	resp := *out.(*personalizeResponse)
-	resp.Degraded = degraded
-	if degraded == "" {
-		s.cachePut(key, staleKey, req.ProfileID, out)
-	} else if degraded == "stale" {
+	resp := *o.out.(*personalizeResponse)
+	resp.Degraded = o.degraded
+	if leader && o.degraded == "" {
+		s.cachePut(key, staleKey, req.ProfileID, o.out)
+	} else if o.degraded == "stale" {
 		resp.Cached = true
 	}
 	if tr != nil {
@@ -582,33 +581,28 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			return er, nil
 		}
 	}
-	var out any
-	var degraded string
-	var perr error
-	if err := s.pool.Do(ctx, func(ctx context.Context) {
-		rungs := []resilience.Step{s.step("heuristic", build(prob, "D_HeurDoi"))}
-		if tp, ok := tightenedProblem(prob, s.cfg.TightenFactor); ok {
-			rungs = append(rungs, s.step("tight-cmax", build(tp, "D_HeurDoi")))
-		}
-		out, degraded, perr = s.runResilient(ctx, "execute", staleKey,
-			build(prob, req.Algorithm), rungs...)
-	}); err != nil {
-		s.shedOrStale(w, "execute", staleKey, err)
+	rungs := []resilience.Step{s.step("heuristic", build(prob, "D_HeurDoi"))}
+	if tp, ok := tightenedProblem(prob, s.cfg.TightenFactor); ok {
+		rungs = append(rungs, s.step("tight-cmax", build(tp, "D_HeurDoi")))
+	}
+	o, leader := s.runPipeline(ctx, "execute", key, staleKey, build(prob, req.Algorithm), rungs...)
+	if o.admitErr != nil {
+		s.shedOrStale(w, "execute", staleKey, o.admitErr)
 		return
 	}
-	if perr != nil {
-		s.fail(w, pipelineStatus(perr), perr)
+	if o.perr != nil {
+		s.fail(w, pipelineStatus(o.perr), o.perr)
 		return
 	}
-	if out == nil {
+	if o.out == nil {
 		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
-	resp := *out.(*executeResponse)
-	resp.Degraded = degraded
-	if degraded == "" {
-		s.cachePut(key, staleKey, req.ProfileID, out)
-	} else if degraded == "stale" {
+	resp := *o.out.(*executeResponse)
+	resp.Degraded = o.degraded
+	if leader && o.degraded == "" {
+		s.cachePut(key, staleKey, req.ProfileID, o.out)
+	} else if o.degraded == "stale" {
 		resp.Cached = true
 	}
 	if tr != nil {
@@ -640,7 +634,7 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	}
 	key, staleKey := "", ""
 	if cacheable && !req.NoCache {
-		extra := fmt.Sprintf("c=%g s=[%g,%g] n=%d k=%d", req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, req.K)
+		extra := fmt.Sprintf("c=%g s=[%g,%g] n=%d k=%d b=%d", req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, req.K, req.Budget)
 		key = s.cacheKey("front", q, req.ProfileID, version, extra)
 		staleKey = s.staleKey("front", q, req.ProfileID, extra)
 		if v, ok := s.cacheGet(key); ok {
@@ -654,12 +648,15 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	build := func(cmax float64) func(context.Context) (any, error) {
 		return func(ctx context.Context) (any, error) {
-			front, err := s.p.PersonalizeFrontContext(ctx, q, prof, cmax, req.Smin, req.Smax, req.MaxPoints, buildOpts("", req.K, 0, false, false)...)
+			front, err := s.p.PersonalizeFrontContext(ctx, q, prof, cmax, req.Smin, req.Smax, req.MaxPoints, buildOpts("", req.K, req.Budget, false, false)...)
 			if err != nil {
 				return nil, err
 			}
-			fr := &frontResponse{Points: make([]frontPointJSON, 0, len(front))}
-			for _, fp := range front {
+			fr := &frontResponse{
+				Points:    make([]frontPointJSON, 0, len(front.Points)),
+				Truncated: front.Truncated,
+			}
+			for _, fp := range front.Points {
 				fr.Points = append(fr.Points, frontPointJSON{
 					Preferences: fp.Preferences,
 					Doi:         fp.Doi,
@@ -671,33 +668,28 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 			return fr, nil
 		}
 	}
-	var out any
-	var degraded string
-	var perr error
-	if err := s.pool.Do(ctx, func(ctx context.Context) {
-		var rungs []resilience.Step
-		if req.CmaxMS > 0 {
-			rungs = append(rungs, s.step("tight-cmax", build(req.CmaxMS*s.cfg.TightenFactor)))
-		}
-		out, degraded, perr = s.runResilient(ctx, "front", staleKey,
-			build(req.CmaxMS), rungs...)
-	}); err != nil {
-		s.shedOrStale(w, "front", staleKey, err)
+	var rungs []resilience.Step
+	if req.CmaxMS > 0 {
+		rungs = append(rungs, s.step("tight-cmax", build(req.CmaxMS*s.cfg.TightenFactor)))
+	}
+	o, leader := s.runPipeline(ctx, "front", key, staleKey, build(req.CmaxMS), rungs...)
+	if o.admitErr != nil {
+		s.shedOrStale(w, "front", staleKey, o.admitErr)
 		return
 	}
-	if perr != nil {
-		s.fail(w, pipelineStatus(perr), perr)
+	if o.perr != nil {
+		s.fail(w, pipelineStatus(o.perr), o.perr)
 		return
 	}
-	if out == nil {
+	if o.out == nil {
 		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
-	resp := *out.(*frontResponse)
-	resp.Degraded = degraded
-	if degraded == "" {
-		s.cachePut(key, staleKey, req.ProfileID, out)
-	} else if degraded == "stale" {
+	resp := *o.out.(*frontResponse)
+	resp.Degraded = o.degraded
+	if leader && o.degraded == "" {
+		s.cachePut(key, staleKey, req.ProfileID, o.out)
+	} else if o.degraded == "stale" {
 		resp.Cached = true
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -759,30 +751,25 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return tr, nil
 		}
 	}
-	var out any
-	var degraded string
-	var perr error
-	if err := s.pool.Do(ctx, func(ctx context.Context) {
-		rungs := []resilience.Step{s.step("tight-cmax", build(req.CmaxMS*s.cfg.TightenFactor))}
-		out, degraded, perr = s.runResilient(ctx, "topk", staleKey,
-			build(req.CmaxMS), rungs...)
-	}); err != nil {
-		s.shedOrStale(w, "topk", staleKey, err)
+	rungs := []resilience.Step{s.step("tight-cmax", build(req.CmaxMS*s.cfg.TightenFactor))}
+	o, leader := s.runPipeline(ctx, "topk", key, staleKey, build(req.CmaxMS), rungs...)
+	if o.admitErr != nil {
+		s.shedOrStale(w, "topk", staleKey, o.admitErr)
 		return
 	}
-	if perr != nil {
-		s.fail(w, pipelineStatus(perr), perr)
+	if o.perr != nil {
+		s.fail(w, pipelineStatus(o.perr), o.perr)
 		return
 	}
-	if out == nil {
+	if o.out == nil {
 		s.fail(w, http.StatusGatewayTimeout, errDeadlineSkipped)
 		return
 	}
-	resp := *out.(*topkResponse)
-	resp.Degraded = degraded
-	if degraded == "" {
-		s.cachePut(key, staleKey, req.ProfileID, out)
-	} else if degraded == "stale" {
+	resp := *o.out.(*topkResponse)
+	resp.Degraded = o.degraded
+	if leader && o.degraded == "" {
+		s.cachePut(key, staleKey, req.ProfileID, o.out)
+	} else if o.degraded == "stale" {
 		resp.Cached = true
 	}
 	writeJSON(w, http.StatusOK, resp)

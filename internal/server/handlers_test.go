@@ -399,6 +399,9 @@ func TestFrontAndTopK(t *testing.T) {
 	if len(fr.Points) == 0 {
 		t.Fatal("empty frontier")
 	}
+	if fr.Truncated {
+		t.Fatal("unbudgeted frontier sweep reported truncation")
+	}
 
 	resp, data = doJSON(t, http.MethodPost, ts.URL+"/topk", map[string]any{
 		"sql": testSQL, "profile_id": "alice", "cmax_ms": 10000, "k": 3,
@@ -412,6 +415,27 @@ func TestFrontAndTopK(t *testing.T) {
 	}
 	if len(tk.Answers) == 0 || len(tk.Answers) > 3 {
 		t.Fatalf("topk returned %d answers, want 1..3", len(tk.Answers))
+	}
+}
+
+// TestFrontTruncatedUnderTinyBudget pins the Pareto-sweep stats plumbing:
+// a state budget too small for the exhaustive sweep must surface as
+// truncated:true, so a client knows the menu it got is partial.
+func TestFrontTruncatedUnderTinyBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	putProfile(t, ts.URL, "alice", testProfileText())
+	resp, data := doJSON(t, http.MethodPost, ts.URL+"/front", map[string]any{
+		"sql": testSQL, "profile_id": "alice", "max_points": 8, "budget": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("front: %d: %s", resp.StatusCode, data)
+	}
+	var fr frontResponse
+	if err := json.Unmarshal(data, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Truncated {
+		t.Fatalf("budget=1 frontier not marked truncated: %s", data)
 	}
 }
 

@@ -56,6 +56,14 @@ type Config struct {
 	// default 0.5.
 	TightenFactor float64
 
+	// NoCoalesce disables singleflight coalescing of concurrent identical
+	// pipeline requests. The zero value (coalescing on) is the right
+	// default; the knob exists for A/B benchmarking and incident bisection.
+	NoCoalesce bool
+	// BatchMaxItems caps the items one POST /personalize/batch may carry
+	// (default 64).
+	BatchMaxItems int
+
 	// DataDir, when set, makes the profile store durable: every mutation
 	// is appended to a write-ahead log under this directory before it is
 	// acked, and startup replays snapshot+log. Empty keeps the PR-2
@@ -108,6 +116,9 @@ func (c Config) withDefaults() Config {
 	if c.TightenFactor <= 0 || c.TightenFactor >= 1 {
 		c.TightenFactor = 0.5
 	}
+	if c.BatchMaxItems <= 0 {
+		c.BatchMaxItems = 64
+	}
 	return c
 }
 
@@ -121,6 +132,7 @@ type Server struct {
 	store    *ProfileStore
 	cache    *Cache
 	pool     *Pool
+	flights  *flightTable
 	breaker  *resilience.Breaker
 	mux      *http.ServeMux
 	start    time.Time
@@ -147,14 +159,15 @@ func New(db *cqp.DB, cfg Config) (*Server, error) {
 	p := cqp.NewPersonalizer(db)
 	p.Observe(reg)
 	s := &Server{
-		cfg:   cfg,
-		db:    db,
-		p:     p,
-		reg:   reg,
-		cache: NewCache(cfg.CacheEntries, reg),
-		pool:  NewPool(cfg.Workers, cfg.QueueDepth, reg),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:     cfg,
+		db:      db,
+		p:       p,
+		reg:     reg,
+		cache:   NewCache(cfg.CacheEntries, reg),
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth, reg),
+		flights: newFlightTable(),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
 	}
 	if cfg.DataDir != "" {
 		policy, err := wal.ParseSyncPolicy(cfg.FsyncPolicy)
@@ -211,6 +224,7 @@ func (s *Server) ResultCache() *Cache { return s.cache }
 func (s *Server) routes() {
 	// Pipeline endpoints run through admission control.
 	s.mux.HandleFunc("POST /personalize", s.instrument("personalize", s.handlePersonalize))
+	s.mux.HandleFunc("POST /personalize/batch", s.instrument("batch", s.handleBatch))
 	s.mux.HandleFunc("POST /execute", s.instrument("execute", s.handleExecute))
 	s.mux.HandleFunc("POST /front", s.instrument("front", s.handleFront))
 	s.mux.HandleFunc("POST /topk", s.instrument("topk", s.handleTopK))

@@ -274,6 +274,11 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
+	// Option compatibility is validated up front: rejecting merge+anyMatch
+	// only at construction time would waste the whole extraction and search.
+	if o.merge && o.anyMatch {
+		return nil, fmt.Errorf("cqp: merged sub-queries require all-match semantics")
+	}
 	est, metrics, acc := p.pipeline()
 	start := time.Now()
 	ctx, span := obs.StartSpan(ctx, "personalize")
@@ -292,7 +297,7 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 
 	_, psSpan := obs.StartSpan(ctx, "prefspace")
 	calls0, spent0 := est.TimingTotals()
-	sp, err := prefspace.Build(q, u, est, prefspace.Options{
+	sp, err := prefspace.BuildContext(ctx, q, u, est, prefspace.Options{
 		MaxK:    o.maxK,
 		CostMax: prob.CostMax,
 	})
@@ -343,9 +348,6 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 		prefStrs = append(prefStrs, sp.P[i].Imp.String())
 		prefDois = append(prefDois, sp.P[i].Doi)
 	}
-	if o.merge && o.anyMatch {
-		return nil, fmt.Errorf("cqp: merged sub-queries require all-match semantics")
-	}
 	_, conSpan := obs.StartSpan(ctx, "construct")
 	var pq *rewrite.Personalized
 	if o.merge {
@@ -381,10 +383,16 @@ func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Prof
 // record each raced algorithm under its own label as well as the
 // aggregate.
 func recordSearch(reg *obs.Registry, sol Solution) {
+	recordSearchStats(reg, append([]core.Stats{sol.Stats}, sol.Portfolio...)...)
+}
+
+// recordSearchStats records per-algorithm search counters; PARETO frontier
+// enumerations report through here too.
+func recordSearchStats(reg *obs.Registry, stats ...core.Stats) {
 	if reg == nil {
 		return
 	}
-	for _, st := range append([]core.Stats{sol.Stats}, sol.Portfolio...) {
+	for _, st := range stats {
 		algo := st.Algorithm
 		reg.Counter("search_solves_total", "algorithm", algo).Inc()
 		reg.Counter("search_states_visited_total", "algorithm", algo).Add(int64(st.StatesVisited))
@@ -412,12 +420,25 @@ type FrontPoint struct {
 	Knee bool
 }
 
+// Front is a Pareto-frontier menu of personalized query candidates.
+type Front struct {
+	// Points holds the non-dominated candidates, cheapest first.
+	Points []FrontPoint
+	// Truncated reports that the frontier search hit its state budget: the
+	// menu is best-found, not proven complete. Callers presenting the
+	// frontier as exhaustive must check this.
+	Truncated bool
+	// Stats carries the frontier search's counters (states visited, peak
+	// memory, duration), as recorded into the metrics registry.
+	Stats SearchStats
+}
+
 // PersonalizeFront enumerates the doi/cost Pareto frontier of personalized
 // queries — the paper's Section 8 future work ("more than one query
 // parameter may be optimized simultaneously") — instead of committing to a
 // single Table 1 problem. Optional constraints come from the problem-like
 // bounds; maxPoints caps the menu (0 = all).
-func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, sizeMax float64, maxPoints int, opts ...Option) ([]FrontPoint, error) {
+func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, sizeMax float64, maxPoints int, opts ...Option) (*Front, error) {
 	return p.PersonalizeFrontContext(context.Background(), q, u, costMax, sizeMin, sizeMax, maxPoints, opts...)
 }
 
@@ -425,7 +446,7 @@ func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, 
 // or expired ctx aborts the enumeration at the same phase boundaries
 // PersonalizeContext checks (before extraction, before the frontier search,
 // before construction of the menu).
-func (p *Personalizer) PersonalizeFrontContext(ctx context.Context, q *Query, u *Profile, costMax, sizeMin, sizeMax float64, maxPoints int, opts ...Option) ([]FrontPoint, error) {
+func (p *Personalizer) PersonalizeFrontContext(ctx context.Context, q *Query, u *Profile, costMax, sizeMin, sizeMax float64, maxPoints int, opts ...Option) (*Front, error) {
 	o := options{maxK: 20, budget: 1 << 20}
 	for _, fn := range opts {
 		fn(&o)
@@ -436,11 +457,11 @@ func (p *Personalizer) PersonalizeFrontContext(ctx context.Context, q *Query, u 
 	if err := u.Validate(p.db.Schema()); err != nil {
 		return nil, err
 	}
-	est, _, _ := p.pipeline()
+	est, metrics, _ := p.pipeline()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("cqp: front: %w", err)
 	}
-	sp, err := prefspace.Build(q, u, est, prefspace.Options{MaxK: o.maxK, CostMax: costMax})
+	sp, err := prefspace.BuildContext(ctx, q, u, est, prefspace.Options{MaxK: o.maxK, CostMax: costMax})
 	if err != nil {
 		return nil, err
 	}
@@ -449,20 +470,21 @@ func (p *Personalizer) PersonalizeFrontContext(ctx context.Context, q *Query, u 
 	}
 	in := core.FromSpace(sp)
 	in.StateBudget = o.budget
-	front, _ := core.ParetoFront(in, core.ParetoOptions{
+	front, stats := core.ParetoFront(in, core.ParetoOptions{
 		CostMax: costMax, SizeMin: sizeMin, SizeMax: sizeMax, MaxPoints: maxPoints,
 	})
+	recordSearchStats(metrics, stats)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("cqp: front: %w", err)
 	}
 	kneeIdx, hasKnee := core.KneeIndex(front)
-	out := make([]FrontPoint, 0, len(front))
+	out := &Front{Points: make([]FrontPoint, 0, len(front)), Truncated: stats.Truncated, Stats: stats}
 	for fi, fp := range front {
 		names := make([]string, 0, len(fp.Set))
 		for _, i := range fp.Set {
 			names = append(names, sp.P[i].Imp.String())
 		}
-		out = append(out, FrontPoint{
+		out.Points = append(out.Points, FrontPoint{
 			Preferences: names,
 			Doi:         fp.Doi,
 			CostMS:      fp.Cost,
@@ -492,7 +514,9 @@ func (p *Personalizer) PersonalizeTopKContext(ctx context.Context, q *Query, u *
 	if k <= 0 {
 		return nil, fmt.Errorf("cqp: top-k needs k > 0")
 	}
-	opts = append(opts, WithAnyMatch())
+	// Full-slice expression: appending into the caller's backing array
+	// would leak WithAnyMatch into a slice the caller may reuse.
+	opts = append(opts[:len(opts):len(opts)], WithAnyMatch())
 	res, err := p.PersonalizeContext(ctx, q, u, Problem2(costMax), opts...)
 	if err != nil {
 		return nil, err
