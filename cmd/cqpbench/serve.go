@@ -46,12 +46,21 @@ func armServeLatency() (func(), error) {
 type herdStats struct {
 	P50MS         float64 `json:"p50_ms"`
 	P99MS         float64 `json:"p99_ms"`
+	P999MS        float64 `json:"p999_ms"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	Leaders       int64   `json:"coalesce_leaders"`
 	Followers     int64   `json:"coalesce_followers"`
 	HitRatio      float64 `json:"coalesce_hit_ratio"`
 	PipelineRuns  int64   `json:"pipeline_runs"`
 	Errors        int     `json:"errors"`
+	// PhaseP50MS/PhaseP99MS break request latency down by attribution phase
+	// (queue wait, coalesce wait, prefspace, search, ...), read from the
+	// daemon's server_phase_ms histograms after the run.
+	PhaseP50MS map[string]float64 `json:"phase_p50_ms,omitempty"`
+	PhaseP99MS map[string]float64 `json:"phase_p99_ms,omitempty"`
+	// SLO is the daemon's own rolling-window view of the run, as /slo
+	// reports it.
+	SLO any `json:"slo,omitempty"`
 }
 
 type herdReport struct {
@@ -206,11 +215,23 @@ func herdOnce(movies int, seed int64, herdSize, bursts int, noCoalesce bool) (he
 	st := herdStats{
 		P50MS:         percentile(lat, 0.50),
 		P99MS:         percentile(lat, 0.99),
+		P999MS:        percentile(lat, 0.999),
 		ThroughputRPS: float64(len(lat)) / elapsed.Seconds(),
 		Leaders:       reg.Counter("coalesce_leaders_total", "endpoint", "personalize").Value(),
 		Followers:     reg.Counter("coalesce_followers_total", "endpoint", "personalize").Value(),
 		PipelineRuns:  reg.Counter("personalize_total").Value(),
 		Errors:        errs,
+		PhaseP50MS:    map[string]float64{},
+		PhaseP99MS:    map[string]float64{},
+		SLO:           s.SLO().Report(),
+	}
+	for _, phase := range []string{"parse", "cache", "queue", "coalesce", "prefspace", "search", "construct", "encode", "other"} {
+		h := reg.Histogram("server_phase_ms", nil, "endpoint", "personalize", "phase", phase)
+		if h.Count() == 0 {
+			continue // a NaN quantile would poison the JSON report
+		}
+		st.PhaseP50MS[phase] = h.Quantile(0.50)
+		st.PhaseP99MS[phase] = h.Quantile(0.99)
 	}
 	if total := herdSize * bursts; total > 0 {
 		st.HitRatio = float64(st.Followers) / float64(total)

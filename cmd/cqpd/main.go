@@ -14,17 +14,20 @@
 //	cqpd -coalesce=false -batch-max 16   # A/B: no singleflight, small batches
 //	cqpd -preload 60                  # store a synthetic profile as "default"
 //	cqpd -faults 'storage.scan:err:0.05' -faultseed 42   # chaos run
+//	cqpd -slowlog 50ms -logjson       # attribute every request ≥ 50ms, JSON logs
+//	cqpd -flight 1024                 # retain more requests for /debug/requests
 //
 // Endpoints: POST /personalize, /personalize/batch, /execute, /front,
 // /topk; PUT/GET/DELETE
 // /profiles/{id}, GET /profiles; POST /refresh; GET /healthz, /metrics,
-// /debug/vars, /debug/pprof.
+// /slo, /debug/requests, /debug/requests/{id}, /debug/vars, /debug/pprof.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -59,8 +62,25 @@ func main() {
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
 		faults    = flag.String("faults", os.Getenv("FAULTS"), "fault-injection plan, e.g. 'storage.scan:err:0.05' (also via FAULTS env)")
 		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's injection decisions")
+		logJSON   = flag.Bool("logjson", false, "emit request logs as JSON instead of logfmt-style text")
+		slowLog   = flag.Duration("slowlog", -1, "log per-phase latency attribution for requests at least this slow (0 = every request; negative disables)")
+		flightN   = flag.Int("flight", 256, "flight-recorder ring size for /debug/requests (negative disables retention)")
 	)
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	// -slowlog 0 means "attribute everything": map it to the smallest
+	// positive threshold, since zero Config.SlowLog disables the slow log.
+	slowThreshold := *slowLog
+	if slowThreshold == 0 {
+		slowThreshold = 1
+	} else if slowThreshold < 0 {
+		slowThreshold = 0
+	}
 
 	if *faults != "" {
 		plan, err := fault.Parse(*faults, *faultSeed)
@@ -88,6 +108,9 @@ func main() {
 		DataDir:        *dataDir,
 		FsyncPolicy:    *fsync,
 		SnapshotEvery:  *snapEvery,
+		Logger:         logger,
+		SlowLog:        slowThreshold,
+		FlightRecords:  *flightN,
 	})
 	if err != nil {
 		fatal(err)

@@ -104,7 +104,8 @@ func (r *Registry) Render() string {
 			if m.Hist.Count > 0 {
 				mean = m.Hist.Sum / float64(m.Hist.Count)
 			}
-			val = fmt.Sprintf("count %d  mean %.3g  %s", m.Hist.Count, mean, sparkline(m.Hist))
+			val = fmt.Sprintf("count %d  mean %.3g  p50 %.3g  p99 %.3g  %s",
+				m.Hist.Count, mean, m.Hist.Quantile(0.50), m.Hist.Quantile(0.99), sparkline(m.Hist))
 		default:
 			val = strconv.FormatInt(m.Value, 10)
 		}

@@ -212,6 +212,23 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the p-quantile (p in [0,1]) of the observed values by
+// linear interpolation within the bucket holding the target rank — the
+// same estimate Prometheus's histogram_quantile computes server-side. NaN
+// on a nil or empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	snap := HistSnapshot{Bounds: h.bounds, Counts: make([]int64, len(h.counts))}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		snap.Counts[i] = c
+		snap.Count += c
+	}
+	return snap.Quantile(p)
+}
+
 // Default bucket sets for the pipeline's two recurring shapes.
 var (
 	// DurationBucketsMS spans sub-millisecond shell interactions up to the
@@ -241,6 +258,41 @@ type HistSnapshot struct {
 	Counts []int64
 	Count  int64
 	Sum    float64
+}
+
+// Quantile estimates the p-quantile of a frozen histogram by linear
+// interpolation within the bucket holding the target rank. The bucket's
+// lower edge is the previous bound (0 for the first bucket — every
+// recorded quantity here is non-negative); values landing in the +Inf
+// bucket report the highest finite bound, the tightest claim the bucket
+// data supports. p is clamped to [0,1]; NaN on an empty snapshot.
+func (h *HistSnapshot) Quantile(p float64) float64 {
+	if h == nil || h.Count == 0 {
+		return math.NaN()
+	}
+	p = math.Min(math.Max(p, 0), 1)
+	rank := p * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// +Inf bucket: no finite upper edge to interpolate toward.
+			if len(h.Bounds) == 0 {
+				return math.NaN()
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (h.Bounds[i]-lo)*frac
+	}
+	return math.NaN()
 }
 
 // Snapshot freezes all metrics, sorted by name then labels. Nil registries

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO tracks per-endpoint service-level indicators over a rolling time
+// window: latency quantiles (via the shared bucket interpolation of
+// HistSnapshot.Quantile), error rate, degraded rate, and cache/coalesce
+// hit ratios. The window is sliced into slots; a slot is reset lazily the
+// first time it is touched in a new epoch, so there is no background
+// goroutine and an idle endpoint costs nothing.
+type SLO struct {
+	slotDur time.Duration
+	slots   int
+	bounds  []float64
+	now     func() time.Time // test hook
+
+	mu     sync.Mutex
+	series map[string]*sloSeries
+}
+
+type sloSeries struct {
+	slots []sloSlot
+}
+
+type sloSlot struct {
+	epoch     int64 // slot timestamp in slotDur units; 0 = never used
+	counts    []int64
+	count     int64
+	sum       float64 // milliseconds
+	errors    int64   // status >= 500
+	degraded  int64   // answered by a degradation rung
+	cacheHits int64   // role "hit"
+	followers int64   // role "follower"
+}
+
+// NewSLO returns a tracker whose window is slots × slotDur (e.g. 30 × 10s
+// = a 5-minute rolling view). Latencies bucket into bounds
+// (DurationBucketsMS when nil).
+func NewSLO(slots int, slotDur time.Duration, bounds []float64) *SLO {
+	if slots <= 0 {
+		slots = 30
+	}
+	if slotDur <= 0 {
+		slotDur = 10 * time.Second
+	}
+	if bounds == nil {
+		bounds = DurationBucketsMS
+	}
+	return &SLO{
+		slotDur: slotDur,
+		slots:   slots,
+		bounds:  bounds,
+		now:     time.Now,
+		series:  make(map[string]*sloSeries),
+	}
+}
+
+// Record folds one finished request into the window. role is the
+// cache/coalesce role ("hit", "leader", "follower", "solo"); rung is the
+// degradation rung ("" = full fidelity). Nil-safe.
+func (s *SLO) Record(endpoint string, total time.Duration, status int, role, rung string) {
+	if s == nil {
+		return
+	}
+	ms := float64(total) / float64(time.Millisecond)
+	now := s.now()
+	epoch := now.UnixNano() / int64(s.slotDur)
+	idx := int(epoch % int64(s.slots))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser := s.series[endpoint]
+	if ser == nil {
+		ser = &sloSeries{slots: make([]sloSlot, s.slots)}
+		s.series[endpoint] = ser
+	}
+	slot := &ser.slots[idx]
+	if slot.epoch != epoch {
+		*slot = sloSlot{epoch: epoch, counts: make([]int64, len(s.bounds)+1)}
+	}
+	i := 0
+	for i < len(s.bounds) && ms > s.bounds[i] {
+		i++
+	}
+	slot.counts[i]++
+	slot.count++
+	slot.sum += ms
+	if status >= 500 {
+		slot.errors++
+	}
+	if rung != "" {
+		slot.degraded++
+	}
+	switch role {
+	case "hit":
+		slot.cacheHits++
+	case "follower":
+		slot.followers++
+	}
+}
+
+// EndpointSLO is one endpoint's rolling-window report.
+type EndpointSLO struct {
+	Count            int64   `json:"count"`
+	P50MS            float64 `json:"p50_ms"`
+	P95MS            float64 `json:"p95_ms"`
+	P99MS            float64 `json:"p99_ms"`
+	P999MS           float64 `json:"p999_ms"`
+	MeanMS           float64 `json:"mean_ms"`
+	ErrorRate        float64 `json:"error_rate"`
+	DegradedRate     float64 `json:"degraded_rate"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
+	CoalesceHitRatio float64 `json:"coalesce_hit_ratio"`
+}
+
+// Report summarizes every endpoint over the live window. Slots older than
+// the window are skipped (they belong to a previous lap of the ring).
+func (s *SLO) Report() map[string]EndpointSLO {
+	if s == nil {
+		return nil
+	}
+	epoch := s.now().UnixNano() / int64(s.slotDur)
+	out := make(map[string]EndpointSLO)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for endpoint, ser := range s.series {
+		hist := HistSnapshot{Bounds: s.bounds, Counts: make([]int64, len(s.bounds)+1)}
+		var errors, degraded, hits, followers int64
+		for i := range ser.slots {
+			slot := &ser.slots[i]
+			if slot.epoch == 0 || slot.epoch <= epoch-int64(s.slots) {
+				continue
+			}
+			for j, c := range slot.counts {
+				hist.Counts[j] += c
+			}
+			hist.Count += slot.count
+			hist.Sum += slot.sum
+			errors += slot.errors
+			degraded += slot.degraded
+			hits += slot.cacheHits
+			followers += slot.followers
+		}
+		if hist.Count == 0 {
+			continue
+		}
+		n := float64(hist.Count)
+		out[endpoint] = EndpointSLO{
+			Count:            hist.Count,
+			P50MS:            hist.Quantile(0.50),
+			P95MS:            hist.Quantile(0.95),
+			P99MS:            hist.Quantile(0.99),
+			P999MS:           hist.Quantile(0.999),
+			MeanMS:           hist.Sum / n,
+			ErrorRate:        float64(errors) / n,
+			DegradedRate:     float64(degraded) / n,
+			CacheHitRatio:    float64(hits) / n,
+			CoalesceHitRatio: float64(followers) / n,
+		}
+	}
+	return out
+}
+
+// Window returns the rolling window's span.
+func (s *SLO) Window() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.slots) * s.slotDur
+}

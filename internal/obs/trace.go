@@ -206,6 +206,61 @@ func (s *Span) Tree() string {
 	return b.String()
 }
 
+// SpanJSON is the wire form of a span tree, served by the flight
+// recorder's per-request endpoint.
+type SpanJSON struct {
+	Name       string      `json:"name"`
+	DurationUS int64       `json:"duration_us"`
+	Attrs      []Attr      `json:"attrs,omitempty"`
+	Children   []*SpanJSON `json:"children,omitempty"`
+}
+
+// JSON freezes the span and its descendants into the wire shape. Nil on a
+// nil span.
+func (s *Span) JSON() *SpanJSON {
+	if s == nil {
+		return nil
+	}
+	out := &SpanJSON{
+		Name:       s.Name(),
+		DurationUS: s.Duration().Microseconds(),
+		Attrs:      s.Attrs(),
+	}
+	for _, c := range s.Children() {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}
+
+// PhaseDurations sums descendant span durations by name over the tree
+// (self excluded — the root is the whole request). When the same phase
+// appears more than once (retries, degradation reruns, batch items) the
+// occurrences accumulate, which is what latency attribution wants: total
+// time spent in that kind of work. Nested spans only contribute their own
+// name — a child's time is already inside its parent's — so only the
+// outermost span of each distinct name chain should be attributed; callers
+// pass the set of names they consider phases and only those are counted,
+// and a counted span's subtree is not descended (its children are part of
+// its phase).
+func (s *Span) PhaseDurations(names map[string]bool) map[string]time.Duration {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]time.Duration)
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		for _, c := range sp.Children() {
+			if names[c.Name()] {
+				out[c.Name()] += c.Duration()
+				continue // subtree time is inside this phase
+			}
+			walk(c)
+		}
+	}
+	walk(s)
+	return out
+}
+
 // Find returns the first descendant span (depth-first, self included) with
 // the given name, or nil. Test and tooling helper.
 func (s *Span) Find(name string) *Span {

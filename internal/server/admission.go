@@ -120,7 +120,9 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for t := range p.queue {
 		p.depth.Set(int64(len(p.queue)))
-		p.waits.Observe(float64(time.Since(t.enq)) / float64(time.Millisecond))
+		wait := time.Since(t.enq)
+		p.waits.Observe(float64(wait) / float64(time.Millisecond))
+		obs.RequestFromContext(t.ctx).AddPhase(obs.PhaseQueue, wait)
 		if t.ctx.Err() == nil {
 			p.busy.Add(1)
 			p.runTask(t)

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"cqp"
+	"cqp/internal/obs"
 	"cqp/internal/resilience"
 )
 
@@ -111,7 +112,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: batch of %d items exceeds the %d-item cap", len(req.Items), s.cfg.BatchMaxItems))
 		return
 	}
-	ctx, cancel, _ := s.requestContext(r, req.TimeoutMS, false, "batch")
+	rec := obs.RequestFromContext(r.Context())
+	lp := startLaps(rec)
+	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, "batch")
 	defer cancel()
 
 	results := make([]batchItemJSON, len(req.Items))
@@ -144,6 +147,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			idx: i, q: q, prob: prob, prof: prof, version: version, cacheable: cacheable,
 		})
 	}
+	lp.lap(obs.PhaseParse)
 
 	var wg sync.WaitGroup
 	for _, u := range units {
@@ -163,6 +167,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			duplicates++
 		}
 	}
+	tr.End()
 	writeJSON(w, http.StatusOK, batchResponse{
 		Results: results, Distinct: len(units), Duplicates: duplicates,
 	})
@@ -200,9 +205,13 @@ func (s *Server) personalizeUnit(ctx context.Context, u batchUnit, item personal
 		rungs = append(rungs, s.step("tight-cmax", build(tp, "D_HeurDoi")))
 	}
 	o, leader := s.runPipeline(ctx, "personalize", key, staleKey, build(u.prob, item.Algorithm), rungs...)
+	if o.degraded != "" {
+		obs.RequestFromContext(ctx).SetRung(o.degraded)
+	}
 	if o.admitErr != nil {
 		if v, ok := s.cache.GetStale(staleKey); ok {
 			s.reg.Counter("server_degraded_total", "endpoint", "personalize", "rung", "stale").Inc()
+			obs.RequestFromContext(ctx).SetRung("stale")
 			resp := markStale(v).(personalizeResponse)
 			return batchItemJSON{personalizeResponse: &resp}
 		}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
+	"cqp/internal/obs"
 	"cqp/internal/resilience"
 )
 
@@ -109,14 +111,17 @@ func (s *Server) runPipeline(ctx context.Context, endpoint, key, staleKey string
 		// channel closed: reading o is ordered.
 		return o
 	}
+	rec := obs.RequestFromContext(ctx)
 	if key == "" || s.cfg.NoCoalesce {
 		// Uncacheable (inline-profile or no_cache) requests have no
 		// identity to coalesce on; they always pay their own run.
+		rec.SetRole("solo")
 		return run(), true
 	}
 	for {
 		f, leader := s.flights.join(key)
 		if leader {
+			rec.SetRole("leader")
 			s.reg.Counter("coalesce_leaders_total", "endpoint", endpoint).Inc()
 			s.reg.Gauge("coalesce_inflight").Add(1)
 			o := run()
@@ -124,9 +129,12 @@ func (s *Server) runPipeline(ctx context.Context, endpoint, key, staleKey string
 			s.reg.Gauge("coalesce_inflight").Add(-1)
 			return o, true
 		}
+		rec.SetRole("follower")
 		s.reg.Counter("coalesce_followers_total", "endpoint", endpoint).Inc()
+		wait := time.Now()
 		select {
 		case <-f.done:
+			rec.AddPhase(obs.PhaseCoalesce, time.Since(wait))
 			if f.outcome.leaderSpecific() && ctx.Err() == nil {
 				continue // the leader died of its own deadline; try again
 			}
@@ -134,6 +142,7 @@ func (s *Server) runPipeline(ctx context.Context, endpoint, key, staleKey string
 		case <-ctx.Done():
 			// This waiter's own deadline fired; detach without touching
 			// the leader, answering with the waiter's error.
+			rec.AddPhase(obs.PhaseCoalesce, time.Since(wait))
 			return flightOutcome{perr: ctx.Err()}, false
 		}
 	}

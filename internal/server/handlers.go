@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -79,6 +80,13 @@ type personalizeResponse struct {
 	// "tight-cmax"); empty for a full-fidelity answer.
 	Degraded string `json:"degraded,omitempty"`
 	Trace    string `json:"trace,omitempty"`
+	// RequestID and AttributionUS ride along when the request asked for the
+	// trace (body trace:true or ?trace=1): the request's ID — the handle
+	// into /debug/requests/{id} — and the per-phase latency attribution in
+	// microseconds, with the wall time so far under the reserved "total"
+	// key.
+	RequestID     string           `json:"request_id,omitempty"`
+	AttributionUS map[string]int64 `json:"attribution_us,omitempty"`
 }
 
 // rowJSON is one ranked answer row.
@@ -111,6 +119,7 @@ type frontRequest struct {
 	Budget    int     `json:"budget"` // per-solve state budget; exhausting it sets truncated
 	TimeoutMS int     `json:"timeout_ms"`
 	NoCache   bool    `json:"no_cache"`
+	Trace     bool    `json:"trace"`
 }
 
 type frontPointJSON struct {
@@ -125,9 +134,12 @@ type frontResponse struct {
 	Points []frontPointJSON `json:"points"`
 	// Truncated reports that the frontier search hit its state budget —
 	// the menu is best-found, not proven complete.
-	Truncated bool   `json:"truncated,omitempty"`
-	Cached    bool   `json:"cached"`
-	Degraded  string `json:"degraded,omitempty"`
+	Truncated     bool             `json:"truncated,omitempty"`
+	Cached        bool             `json:"cached"`
+	Degraded      string           `json:"degraded,omitempty"`
+	Trace         string           `json:"trace,omitempty"`
+	RequestID     string           `json:"request_id,omitempty"`
+	AttributionUS map[string]int64 `json:"attribution_us,omitempty"`
 }
 
 // topkRequest is the body of POST /topk.
@@ -140,12 +152,16 @@ type topkRequest struct {
 	MaxK      int     `json:"max_k"` // preferences considered
 	TimeoutMS int     `json:"timeout_ms"`
 	NoCache   bool    `json:"no_cache"`
+	Trace     bool    `json:"trace"`
 }
 
 type topkResponse struct {
-	Answers  []rowJSON `json:"answers"`
-	Cached   bool      `json:"cached"`
-	Degraded string    `json:"degraded,omitempty"`
+	Answers       []rowJSON        `json:"answers"`
+	Cached        bool             `json:"cached"`
+	Degraded      string           `json:"degraded,omitempty"`
+	Trace         string           `json:"trace,omitempty"`
+	RequestID     string           `json:"request_id,omitempty"`
+	AttributionUS map[string]int64 `json:"attribution_us,omitempty"`
 }
 
 // errorBody is the one error envelope every endpoint speaks:
@@ -166,49 +182,180 @@ type errorResponse struct {
 // cache or dereference the nil response that state leaves behind.
 var errDeadlineSkipped = fmt.Errorf("server: deadline expired before the pipeline ran: %w", context.DeadlineExceeded)
 
-// statusWriter captures the response code for per-endpoint metrics and
-// whether the header went out (panic recovery must not write a second one).
+// statusWriter captures the response code for per-endpoint metrics, whether
+// the header went out (panic recovery must not write a second one), when the
+// first byte went out (everything after it is the encode phase), and the
+// error message the handler answered with (writeError records it for the
+// flight recorder).
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
 	wrote bool
+	first time.Time
+	err   string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.first = time.Now()
+	}
 	w.code = code
 	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.first = time.Now()
+	}
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument wraps a handler with the per-endpoint latency histogram and
-// request counter, plus panic recovery: a panic that escapes the handler —
-// the server.cache injection point's panic mode fires on this goroutine —
-// becomes a counted 500 instead of a torn connection with no metrics.
+// instrument wraps a handler with the full request observability surface:
+// request-ID minting (honoring a sanitized incoming X-Request-ID, echoed on
+// the response), a flight record carried through the context, per-endpoint
+// and per-phase latency histograms, the rolling SLO window, the structured
+// request log, the slow-query log, and panic recovery — a panic that
+// escapes the handler (the server.cache injection point's panic mode fires
+// on this goroutine) becomes a counted 500 instead of a torn connection
+// with no metrics.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		id := obs.SanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := obs.NewRequest(endpoint, id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		r = r.WithContext(obs.ContextWithRequest(r.Context(), rec))
 		defer func() {
-			if rec := recover(); rec != nil {
+			if rc := recover(); rc != nil {
 				s.reg.Counter("server_panics_total", "endpoint", endpoint).Inc()
 				if !sw.wrote {
 					sw.code = http.StatusInternalServerError
 					writeError(sw, http.StatusInternalServerError, "internal",
-						fmt.Sprintf("server: recovered panic: %v", rec))
+						fmt.Sprintf("server: recovered panic: %v", rc))
+				}
+				if sw.err == "" {
+					sw.err = fmt.Sprintf("server: recovered panic: %v", rc)
 				}
 			}
-			s.reg.Counter("server_requests_total",
-				"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
-			s.reg.Histogram("server_request_ms", obs.DurationBucketsMS, "endpoint", endpoint).
-				Observe(float64(time.Since(start)) / float64(time.Millisecond))
+			if !sw.first.IsZero() {
+				rec.AddPhase(obs.PhaseEncode, time.Since(sw.first))
+			}
+			rec.Trace().End()
+			rec.Finish(sw.code, sw.err)
+			s.finishRequest(endpoint, rec)
 		}()
 		h(sw, r)
 	}
+}
+
+// finishRequest fans a sealed flight record out to every observability
+// sink: request and per-phase histograms, the SLO window, the flight
+// recorder, the request log, and the slow-query log.
+func (s *Server) finishRequest(endpoint string, rec *obs.Request) {
+	snap := rec.Snapshot()
+	total := time.Duration(snap.TotalUS) * time.Microsecond
+	s.reg.Counter("server_requests_total",
+		"endpoint", endpoint, "code", strconv.Itoa(snap.Status)).Inc()
+	s.reg.Histogram("server_request_ms", obs.DurationBucketsMS, "endpoint", endpoint).
+		Observe(float64(total) / float64(time.Millisecond))
+	for phase, us := range snap.PhasesUS {
+		s.reg.Histogram("server_phase_ms", obs.DurationBucketsMS,
+			"endpoint", endpoint, "phase", phase).Observe(float64(us) / 1000)
+	}
+	s.slo.Record(endpoint, total, snap.Status, snap.Role, snap.Rung)
+	s.flight.Add(rec)
+	if s.log == nil {
+		return
+	}
+	level := slog.LevelInfo
+	if snap.Status >= 500 {
+		level = slog.LevelError
+	}
+	attrs := []slog.Attr{
+		slog.String("id", snap.ID),
+		slog.String("endpoint", endpoint),
+		slog.Int("status", snap.Status),
+		slog.Float64("total_ms", float64(snap.TotalUS)/1000),
+	}
+	if snap.Profile != "" {
+		attrs = append(attrs, slog.String("profile", snap.Profile))
+	}
+	if snap.Role != "" {
+		attrs = append(attrs, slog.String("role", snap.Role))
+	}
+	if snap.Rung != "" {
+		attrs = append(attrs, slog.String("rung", snap.Rung))
+	}
+	if snap.Error != "" {
+		attrs = append(attrs, slog.String("error", snap.Error))
+	}
+	s.log.LogAttrs(context.Background(), level, "request", attrs...)
+	if s.cfg.SlowLog > 0 && total >= s.cfg.SlowLog {
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+			slog.String("id", snap.ID),
+			slog.String("endpoint", endpoint),
+			slog.Float64("total_ms", float64(snap.TotalUS)/1000),
+			slog.Any("phases_us", snap.PhasesUS))
+	}
+}
+
+// laps charges wall time between handler checkpoints to named attribution
+// phases. The first lap starts at the flight record's birth, so the parse
+// phase covers body decode from the instrument preamble on.
+type laps struct {
+	rec  *obs.Request
+	last time.Time
+}
+
+func startLaps(rec *obs.Request) *laps {
+	l := &laps{rec: rec, last: time.Now()}
+	if rec != nil {
+		l.last = rec.Start()
+	}
+	return l
+}
+
+// lap closes the current interval under the given phase and starts the next.
+func (l *laps) lap(phase string) {
+	now := time.Now()
+	l.rec.AddPhase(phase, now.Sub(l.last))
+	l.last = now
+}
+
+// wantTrace reports whether the request asked for the trace and attribution
+// payload — via the body's trace flag or the ?trace=1 query knob.
+func wantTrace(r *http.Request, body bool) bool {
+	return body || r.URL.Query().Get("trace") == "1"
+}
+
+// profileLabel renders the profile identity a flight record carries.
+func profileLabel(id string, version uint64) string {
+	if id == "" {
+		return "inline"
+	}
+	return fmt.Sprintf("%s@%d", id, version)
+}
+
+// attribution renders a flight record's response-embedded view: the request
+// ID and the per-phase microsecond map, with the wall time so far under the
+// reserved "total" key. Built before the response is encoded, so the encode
+// phase appears only in the final flight record.
+func attribution(rec *obs.Request) (string, map[string]int64) {
+	if rec == nil {
+		return "", nil
+	}
+	id, total, phases := rec.Attribution()
+	out := make(map[string]int64, len(phases)+1)
+	for name, d := range phases {
+		out[name] = d.Microseconds()
+	}
+	out["total"] = total.Microseconds()
+	return id, out
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -244,8 +391,12 @@ func classFor(code int) string {
 	}
 }
 
-// writeError emits the error envelope.
+// writeError emits the error envelope. When the writer is the instrumented
+// statusWriter the message is kept for the request's flight record.
 func writeError(w http.ResponseWriter, code int, class, msg string) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.err = msg
+	}
 	writeJSON(w, code, errorResponse{Error: errorBody{Class: class, Message: msg}})
 }
 
@@ -340,8 +491,12 @@ func (s *Server) resolveProfile(id, inline string) (prof *cqp.Profile, version u
 }
 
 // requestContext derives the per-request deadline (request value, capped by
-// the server max; the server default when absent) and, when asked, a trace.
-func (s *Server) requestContext(r *http.Request, timeoutMS int, trace bool, name string) (context.Context, context.CancelFunc, *cqp.Trace) {
+// the server max; the server default when absent) and the request's trace.
+// Tracing is always on — latency attribution needs the span tree whether or
+// not the caller asked to see it — and the root span is attached to the
+// flight record so /debug/requests/{id} serves the very tree the response
+// rendered.
+func (s *Server) requestContext(r *http.Request, timeoutMS int, name string) (context.Context, context.CancelFunc, *cqp.Trace) {
 	d := s.cfg.DefaultTimeout
 	if timeoutMS > 0 {
 		d = time.Duration(timeoutMS) * time.Millisecond
@@ -350,10 +505,8 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int, trace bool, name
 		d = s.cfg.MaxTimeout
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
-	var tr *cqp.Trace
-	if trace {
-		ctx, tr = cqp.StartTrace(ctx, name)
-	}
+	ctx, tr := cqp.StartTrace(ctx, name)
+	obs.RequestFromContext(r.Context()).SetTrace(tr)
 	return ctx, cancel, tr
 }
 
@@ -388,13 +541,15 @@ func (s *Server) cacheKey(endpoint string, q *cqp.Query, profileID string, versi
 		endpoint, q.Fingerprint(), profileID, version, s.p.Generation(), extra)
 }
 
-// cacheHitTrace renders the trace of a warm request: a lone cache_hit span,
-// no pipeline phases.
-func cacheHitTrace(name string) string {
+// cacheHitTrace builds the trace of a warm request — a lone cache_hit span,
+// no pipeline phases — and attaches it to the flight record so the debug
+// endpoint serves the same tree.
+func cacheHitTrace(rec *obs.Request, name string) *obs.Span {
 	tr := obs.NewTrace(name)
 	tr.AddChild("cache_hit", 0)
 	tr.End()
-	return tr.Tree()
+	rec.SetTrace(tr)
+	return tr
 }
 
 func solutionFrom(res *cqp.Result) solutionJSON {
@@ -425,6 +580,8 @@ func personalizeResponseFrom(res *cqp.Result, profileID string, version uint64) 
 // execution, under admission control, with a warm path that answers from
 // the result cache without entering the pipeline at all.
 func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
+	rec := obs.RequestFromContext(r.Context())
+	lp := startLaps(rec)
 	var req personalizeRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -445,23 +602,30 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, err)
 		return
 	}
+	rec.SetProfile(profileLabel(req.ProfileID, version))
+	trace := wantTrace(r, req.Trace)
+	lp.lap(obs.PhaseParse)
 	key, staleKey := "", ""
 	if cacheable && !req.NoCache {
 		extra := fmt.Sprintf("%s|a=%s k=%d b=%d any=%v merge=%v",
 			prob, req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge)
 		key = s.cacheKey("personalize", q, req.ProfileID, version, extra)
 		staleKey = s.staleKey("personalize", q, req.ProfileID, extra)
-		if v, ok := s.cacheGet(key); ok {
+		v, ok := s.cacheGet(key)
+		lp.lap(obs.PhaseCache)
+		if ok {
+			rec.SetRole("hit")
 			resp := *v.(*personalizeResponse)
 			resp.Cached = true
-			if req.Trace {
-				resp.Trace = cacheHitTrace("personalize")
+			if trace {
+				resp.Trace = cacheHitTrace(rec, "personalize").Tree()
+				resp.RequestID, resp.AttributionUS = attribution(rec)
 			}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 	}
-	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, req.Trace, "personalize")
+	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, "personalize")
 	defer cancel()
 	build := func(prob cqp.Problem, alg string) func(context.Context) (any, error) {
 		return func(ctx context.Context) (any, error) {
@@ -479,7 +643,7 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 	}
 	o, leader := s.runPipeline(ctx, "personalize", key, staleKey, build(prob, req.Algorithm), rungs...)
 	if o.admitErr != nil {
-		s.shedOrStale(w, "personalize", staleKey, o.admitErr)
+		s.shedOrStale(w, rec, "personalize", staleKey, o.admitErr)
 		return
 	}
 	if o.perr != nil {
@@ -492,14 +656,16 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := *o.out.(*personalizeResponse)
 	resp.Degraded = o.degraded
+	rec.SetRung(o.degraded)
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, req.ProfileID, o.out)
 	} else if o.degraded == "stale" {
 		resp.Cached = true
 	}
-	if tr != nil {
-		tr.End()
+	tr.End()
+	if trace {
 		resp.Trace = tr.Tree()
+		resp.RequestID, resp.AttributionUS = attribution(rec)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -508,6 +674,8 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 // query, returning ranked rows. Results are cached like /personalize, with
 // the row limit part of the key.
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	rec := obs.RequestFromContext(r.Context())
+	lp := startLaps(rec)
 	var req personalizeRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -528,6 +696,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, err)
 		return
 	}
+	rec.SetProfile(profileLabel(req.ProfileID, version))
+	trace := wantTrace(r, req.Trace)
+	lp.lap(obs.PhaseParse)
 	limit := req.Limit
 	if limit <= 0 {
 		limit = s.cfg.MaxRows
@@ -538,17 +709,21 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			prob, req.Algorithm, req.K, req.Budget, req.AnyMatch, req.Merge, limit)
 		key = s.cacheKey("execute", q, req.ProfileID, version, extra)
 		staleKey = s.staleKey("execute", q, req.ProfileID, extra)
-		if v, ok := s.cacheGet(key); ok {
+		v, ok := s.cacheGet(key)
+		lp.lap(obs.PhaseCache)
+		if ok {
+			rec.SetRole("hit")
 			resp := *v.(*executeResponse)
 			resp.Cached = true
-			if req.Trace {
-				resp.Trace = cacheHitTrace("execute")
+			if trace {
+				resp.Trace = cacheHitTrace(rec, "execute").Tree()
+				resp.RequestID, resp.AttributionUS = attribution(rec)
 			}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 	}
-	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, req.Trace, "execute")
+	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, "execute")
 	defer cancel()
 	build := func(prob cqp.Problem, alg string) func(context.Context) (any, error) {
 		return func(ctx context.Context) (any, error) {
@@ -587,7 +762,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	o, leader := s.runPipeline(ctx, "execute", key, staleKey, build(prob, req.Algorithm), rungs...)
 	if o.admitErr != nil {
-		s.shedOrStale(w, "execute", staleKey, o.admitErr)
+		s.shedOrStale(w, rec, "execute", staleKey, o.admitErr)
 		return
 	}
 	if o.perr != nil {
@@ -600,14 +775,16 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := *o.out.(*executeResponse)
 	resp.Degraded = o.degraded
+	rec.SetRung(o.degraded)
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, req.ProfileID, o.out)
 	} else if o.degraded == "stale" {
 		resp.Cached = true
 	}
-	if tr != nil {
-		tr.End()
+	tr.End()
+	if trace {
 		resp.Trace = tr.Tree()
+		resp.RequestID, resp.AttributionUS = attribution(rec)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -617,6 +794,8 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 // sweep — so after stale it goes straight to a tightened cmax (a smaller
 // frontier is still a truthful menu, just a shorter one).
 func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
+	rec := obs.RequestFromContext(r.Context())
+	lp := startLaps(rec)
 	var req frontRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -632,19 +811,29 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, err)
 		return
 	}
+	rec.SetProfile(profileLabel(req.ProfileID, version))
+	trace := wantTrace(r, req.Trace)
+	lp.lap(obs.PhaseParse)
 	key, staleKey := "", ""
 	if cacheable && !req.NoCache {
 		extra := fmt.Sprintf("c=%g s=[%g,%g] n=%d k=%d b=%d", req.CmaxMS, req.Smin, req.Smax, req.MaxPoints, req.K, req.Budget)
 		key = s.cacheKey("front", q, req.ProfileID, version, extra)
 		staleKey = s.staleKey("front", q, req.ProfileID, extra)
-		if v, ok := s.cacheGet(key); ok {
+		v, ok := s.cacheGet(key)
+		lp.lap(obs.PhaseCache)
+		if ok {
+			rec.SetRole("hit")
 			resp := *v.(*frontResponse)
 			resp.Cached = true
+			if trace {
+				resp.Trace = cacheHitTrace(rec, "front").Tree()
+				resp.RequestID, resp.AttributionUS = attribution(rec)
+			}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 	}
-	ctx, cancel, _ := s.requestContext(r, req.TimeoutMS, false, "front")
+	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, "front")
 	defer cancel()
 	build := func(cmax float64) func(context.Context) (any, error) {
 		return func(ctx context.Context) (any, error) {
@@ -674,7 +863,7 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	}
 	o, leader := s.runPipeline(ctx, "front", key, staleKey, build(req.CmaxMS), rungs...)
 	if o.admitErr != nil {
-		s.shedOrStale(w, "front", staleKey, o.admitErr)
+		s.shedOrStale(w, rec, "front", staleKey, o.admitErr)
 		return
 	}
 	if o.perr != nil {
@@ -687,10 +876,16 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := *o.out.(*frontResponse)
 	resp.Degraded = o.degraded
+	rec.SetRung(o.degraded)
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, req.ProfileID, o.out)
 	} else if o.degraded == "stale" {
 		resp.Cached = true
+	}
+	tr.End()
+	if trace {
+		resp.Trace = tr.Tree()
+		resp.RequestID, resp.AttributionUS = attribution(rec)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -699,6 +894,8 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 // /front, its ladder degrades by tightening cmax — fewer union branches
 // execute, the answers that do come back are still genuinely top-interest.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	rec := obs.RequestFromContext(r.Context())
+	lp := startLaps(rec)
 	var req topkRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -714,6 +911,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, err)
 		return
 	}
+	rec.SetProfile(profileLabel(req.ProfileID, version))
+	trace := wantTrace(r, req.Trace)
+	lp.lap(obs.PhaseParse)
 	if req.K <= 0 {
 		req.K = 10
 	}
@@ -725,14 +925,21 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		extra := fmt.Sprintf("c=%g k=%d maxk=%d", req.CmaxMS, req.K, req.MaxK)
 		key = s.cacheKey("topk", q, req.ProfileID, version, extra)
 		staleKey = s.staleKey("topk", q, req.ProfileID, extra)
-		if v, ok := s.cacheGet(key); ok {
+		v, ok := s.cacheGet(key)
+		lp.lap(obs.PhaseCache)
+		if ok {
+			rec.SetRole("hit")
 			resp := *v.(*topkResponse)
 			resp.Cached = true
+			if trace {
+				resp.Trace = cacheHitTrace(rec, "topk").Tree()
+				resp.RequestID, resp.AttributionUS = attribution(rec)
+			}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 	}
-	ctx, cancel, _ := s.requestContext(r, req.TimeoutMS, false, "topk")
+	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, "topk")
 	defer cancel()
 	build := func(cmax float64) func(context.Context) (any, error) {
 		return func(ctx context.Context) (any, error) {
@@ -740,21 +947,21 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			tr := &topkResponse{Answers: make([]rowJSON, 0, len(answers))}
+			out := &topkResponse{Answers: make([]rowJSON, 0, len(answers))}
 			for _, a := range answers {
 				vals := make([]string, len(a.Row))
 				for j, v := range a.Row {
 					vals[j] = v.String()
 				}
-				tr.Answers = append(tr.Answers, rowJSON{Values: vals, Doi: a.Doi, Matched: a.Matched})
+				out.Answers = append(out.Answers, rowJSON{Values: vals, Doi: a.Doi, Matched: a.Matched})
 			}
-			return tr, nil
+			return out, nil
 		}
 	}
 	rungs := []resilience.Step{s.step("tight-cmax", build(req.CmaxMS*s.cfg.TightenFactor))}
 	o, leader := s.runPipeline(ctx, "topk", key, staleKey, build(req.CmaxMS), rungs...)
 	if o.admitErr != nil {
-		s.shedOrStale(w, "topk", staleKey, o.admitErr)
+		s.shedOrStale(w, rec, "topk", staleKey, o.admitErr)
 		return
 	}
 	if o.perr != nil {
@@ -767,10 +974,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := *o.out.(*topkResponse)
 	resp.Degraded = o.degraded
+	rec.SetRung(o.degraded)
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, req.ProfileID, o.out)
 	} else if o.degraded == "stale" {
 		resp.Cached = true
+	}
+	tr.End()
+	if trace {
+		resp.Trace = tr.Tree()
+		resp.RequestID, resp.AttributionUS = attribution(rec)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

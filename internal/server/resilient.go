@@ -8,6 +8,7 @@ import (
 
 	"cqp"
 	"cqp/internal/fault"
+	"cqp/internal/obs"
 	"cqp/internal/resilience"
 )
 
@@ -126,6 +127,11 @@ func (s *Server) runResilient(ctx context.Context, endpoint, staleKey string, pr
 	steps = append(steps, rungs...)
 	v, rung, err := resilience.Walk(ctx, permanentErr, steps...)
 	if err != nil {
+		// The ladder ran dry: every rung was unavailable or failed. Counted
+		// under its own rung so the degradation spectrum (stale → heuristic →
+		// tight-cmax → unavailable) reads off one metric.
+		s.reg.Counter("server_degraded_total", "endpoint", endpoint, "rung", "unavailable").Inc()
+		obs.RequestFromContext(ctx).SetRung("unavailable")
 		return nil, "", err
 	}
 	s.reg.Counter("server_degraded_total", "endpoint", endpoint, "rung", rung).Inc()
@@ -136,9 +142,10 @@ func (s *Server) runResilient(ctx context.Context, endpoint, staleKey string, pr
 // queued-deadline skip): the last good stale answer when one exists —
 // shedding quality instead of the request — otherwise the admission error
 // itself.
-func (s *Server) shedOrStale(w http.ResponseWriter, endpoint, staleKey string, admitErr error) {
+func (s *Server) shedOrStale(w http.ResponseWriter, rec *obs.Request, endpoint, staleKey string, admitErr error) {
 	if v, ok := s.cache.GetStale(staleKey); ok {
 		s.reg.Counter("server_degraded_total", "endpoint", endpoint, "rung", "stale").Inc()
+		rec.SetRung("stale")
 		writeJSON(w, http.StatusOK, markStale(v))
 		return
 	}

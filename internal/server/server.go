@@ -4,6 +4,7 @@ import (
 	"context"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -60,6 +61,19 @@ type Config struct {
 	// pipeline requests. The zero value (coalescing on) is the right
 	// default; the knob exists for A/B benchmarking and incident bisection.
 	NoCoalesce bool
+
+	// Logger receives the per-request structured log lines (one per
+	// finished request, plus slow-query lines). Nil disables request
+	// logging entirely — metrics, the flight recorder and /slo still run —
+	// which is the disarmed path benchmarks measure.
+	Logger *slog.Logger
+	// SlowLog, when positive, additionally logs the full per-phase latency
+	// attribution of every request at least this slow. Zero disables the
+	// slow-query log.
+	SlowLog time.Duration
+	// FlightRecords sizes the flight recorder's ring of recent requests
+	// (default 256; negative disables retention).
+	FlightRecords int
 	// BatchMaxItems caps the items one POST /personalize/batch may carry
 	// (default 64).
 	BatchMaxItems int
@@ -119,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchMaxItems <= 0 {
 		c.BatchMaxItems = 64
 	}
+	if c.FlightRecords == 0 {
+		c.FlightRecords = 256
+	}
 	return c
 }
 
@@ -133,6 +150,9 @@ type Server struct {
 	cache    *Cache
 	pool     *Pool
 	flights  *flightTable
+	flight   *obs.Flight
+	slo      *obs.SLO
+	log      *slog.Logger
 	breaker  *resilience.Breaker
 	mux      *http.ServeMux
 	start    time.Time
@@ -166,6 +186,9 @@ func New(db *cqp.DB, cfg Config) (*Server, error) {
 		cache:   NewCache(cfg.CacheEntries, reg),
 		pool:    NewPool(cfg.Workers, cfg.QueueDepth, reg),
 		flights: newFlightTable(),
+		flight:  obs.NewFlight(cfg.FlightRecords),
+		slo:     obs.NewSLO(0, 0, nil),
+		log:     cfg.Logger,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
@@ -220,6 +243,12 @@ func (s *Server) Profiles() *ProfileStore { return s.store }
 // ResultCache returns the daemon's LRU result cache.
 func (s *Server) ResultCache() *Cache { return s.cache }
 
+// FlightRecorder returns the daemon's request flight recorder.
+func (s *Server) FlightRecorder() *obs.Flight { return s.flight }
+
+// SLO returns the daemon's rolling SLO tracker.
+func (s *Server) SLO() *obs.SLO { return s.slo }
+
 // routes mounts every endpoint on the daemon's mux.
 func (s *Server) routes() {
 	// Pipeline endpoints run through admission control.
@@ -238,6 +267,9 @@ func (s *Server) routes() {
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /slo", s.handleSLO)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequest)
 	s.reg.PublishExpvar("cqp")
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
