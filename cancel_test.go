@@ -109,3 +109,45 @@ func TestPipelineCancelledAtEveryPhase(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelineCancelledInIteratorTree aims the countdown fuse at the
+// streaming executor: a join query over a larger database forces the
+// iterator tree through scan, join-build, probe, distinct and union
+// grouping checkpoints (one poll every few dozen rows), and every sampled
+// fuse must abort with ctx.Err() rather than finish on a dead context.
+func TestPipelineCancelledInIteratorTree(t *testing.T) {
+	db := cqp.SyntheticMovieDB(600, 4)
+	p := cqp.NewPersonalizer(db)
+	u := cqp.SyntheticProfile(12, 5)
+	q, err := cqp.ParseQuery(db.Schema(),
+		"SELECT title FROM MOVIE, DIRECTOR WHERE MOVIE.did = DIRECTOR.did")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := newCountdownCtx(1 << 30)
+	if err := runPipeline(probe, p, q, u); err != nil {
+		t.Fatalf("probe run failed: %v", err)
+	}
+	checkpoints := probe.calls.Load()
+	// The streaming executor polls inside row loops, so a join over 600
+	// movies must cross far more checkpoints than the phase boundaries.
+	if checkpoints < 20 {
+		t.Fatalf("iterator tree crossed only %d checkpoints", checkpoints)
+	}
+	step := checkpoints / 60
+	if step == 0 {
+		step = 1
+	}
+	for n := int64(0); n < checkpoints; n += step {
+		ctx := newCountdownCtx(n)
+		start := time.Now()
+		err := runPipeline(ctx, p, q, u)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("checkpoint %d/%d: err = %v, want context.Canceled", n, checkpoints, err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Errorf("checkpoint %d/%d: took %v to honor cancellation", n, checkpoints, d)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 //	cqpbench -faults 'exec.union:lat:0.1:20ms'   # run the figures under injected faults
 //	cqpbench -herd 64 -bursts 8 -gate -json BENCH_5.json   # thundering-herd serving benchmark
 //	cqpbench -batch 32                                     # /personalize/batch vs singleton requests
+//	cqpbench -spillbench 6000 -spillbudget 262144 -gate    # union-all peak heap, unbounded vs spilled
 package main
 
 import (
@@ -57,12 +58,20 @@ func main() {
 		herd      = flag.Int("herd", 0, "serving benchmark: this many concurrent duplicate requests per burst, with and without coalescing (0 = off)")
 		bursts    = flag.Int("bursts", 8, "herd mode: distinct cache-miss bursts to fire")
 		batchN    = flag.Int("batch", 0, "serving benchmark: one /personalize/batch of this many items vs the same items as singletons (0 = off)")
-		gate      = flag.Bool("gate", false, "herd mode: exit non-zero when coalescing loses to the no-coalesce baseline")
+		gate      = flag.Bool("gate", false, "herd mode: exit non-zero when coalescing loses to the no-coalesce baseline; spillbench mode: when spilling fails to cut peak heap")
+		spillN    = flag.Int("spillbench", 0, "executor benchmark: union-all over this many movies, unbounded vs spill-budgeted (0 = off)")
+		spillBudg = flag.Int64("spillbudget", 256<<10, "spillbench mode: per-run executor memory budget in bytes")
 	)
 	flag.Parse()
 
 	if *herd > 0 || *batchN > 0 {
 		if err := runServeBench(*movies, *seed, *herd, *bursts, *batchN, *jsonPath, *gate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *spillN > 0 {
+		if err := runSpillBench(*spillN, *seed, *spillBudg, *jsonPath, *gate); err != nil {
 			fatal(err)
 		}
 		return

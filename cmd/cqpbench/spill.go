@@ -1,0 +1,248 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"cqp/internal/exec"
+	"cqp/internal/iter"
+	"cqp/internal/query"
+	"cqp/internal/sqlparse"
+	"cqp/internal/workload"
+)
+
+// The spill benchmark (-spillbench) measures the executor's memory budget:
+// the same union-all personalized query is evaluated unbounded and under a
+// tight iter.Budget, and the two runs are compared on peak heap, wall time
+// and — bit for bit — their ranked answers. The budgeted run must spill
+// (Grace-partitioned join build sides, distinct sets and the union group
+// table all move to temp files) yet return the identical ranking; the
+// report records how much working memory that bought.
+
+// spillModeStats is one mode's view of the run.
+type spillModeStats struct {
+	WallMS        float64 `json:"wall_ms"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	// WorkingSetBytes is the peak live heap (bytes surviving GC marks,
+	// per /gc/heap/live:bytes) minus the pre-run baseline — the
+	// executor's own state on top of the resident database, which is
+	// what the spill budget governs. Unlike HeapAlloc it excludes
+	// not-yet-collected garbage, so runs with different allocation rates
+	// compare fairly.
+	WorkingSetBytes uint64 `json:"working_set_bytes"`
+	AllocBytes      uint64 `json:"alloc_bytes"`
+	SpillRuns       int64  `json:"spill_runs"`
+	SpillRows       int64  `json:"spill_rows"`
+	SpillFileBytes  int64  `json:"spill_file_bytes"`
+	Rows            int    `json:"rows"`
+	BlockReads      int64  `json:"block_reads"`
+}
+
+type spillReport struct {
+	Movies      int                       `json:"movies"`
+	Subqueries  int                       `json:"subqueries"`
+	BudgetBytes int64                     `json:"budget_bytes"`
+	Modes       map[string]spillModeStats `json:"modes"`
+	// WorkingSetReduction is the unbounded run's peak working set over
+	// the budgeted run's; > 1 means the budget genuinely shrank the
+	// executor's memory footprint.
+	WorkingSetReduction float64 `json:"working_set_reduction"`
+	Identical           bool    `json:"identical_answers"`
+}
+
+// runSpillBench evaluates a union-all over a movies-sized database with and
+// without a spill budget and writes the comparison (optionally as JSON).
+func runSpillBench(movies int, seed int64, budget int64, jsonPath string, gate bool) error {
+	if budget <= 0 {
+		return fmt.Errorf("-spillbudget must be positive, got %d", budget)
+	}
+	db := workload.GenerateDB(workload.DBConfig{Movies: movies, Seed: seed})
+	var subs []*query.Query
+	var dois []float64
+	const nsubs = 8
+	// Each sub-query forces a full CAST build side (the actor selection
+	// pushes down to ACTOR, not CAST), so the executor's budget-governed
+	// state — hash-join build tables — dominates the unbounded run's
+	// memory while the final answer stays small.
+	for i := 0; i < nsubs; i++ {
+		subs = append(subs, sqlparse.MustParse(db.Schema(), fmt.Sprintf(
+			`SELECT title FROM MOVIE, CAST, ACTOR
+			 WHERE MOVIE.mid = CAST.mid AND CAST.aid = ACTOR.aid AND ACTOR.name = 'Actor %05d'`,
+			i+1)))
+		dois = append(dois, 1-float64(i)/nsubs)
+	}
+	fmt.Printf("spill benchmark: %d movies, %d-way union-all, budget %d bytes\n",
+		movies, nsubs, budget)
+
+	spillDir, err := os.MkdirTemp("", "cqpbench-spill")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(spillDir)
+
+	run := func(ctx context.Context) (*exec.UnionResult, spillModeStats, error) {
+		var st spillModeStats
+		runs0, rows0, bytes0 := iter.SpillStats()
+		// Keep GC close on the heels of the live set so the sampled peak
+		// measures working state, not accumulated garbage.
+		defer debug.SetGCPercent(debug.SetGCPercent(20))
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		alloc0 := ms.TotalAlloc
+		peakHeap := ms.HeapAlloc
+		live0 := liveHeap()
+		peakLive := live0
+		// Sample while the query runs; the peak live heap is the
+		// executor's working set on top of the resident database.
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					var s runtime.MemStats
+					runtime.ReadMemStats(&s)
+					if s.HeapAlloc > peakHeap {
+						peakHeap = s.HeapAlloc
+					}
+					if l := liveHeap(); l > peakLive {
+						peakLive = l
+					}
+				}
+			}
+		}()
+		start := time.Now()
+		res, err := exec.EvalUnionContext(ctx, db, subs, dois, 1)
+		st.WallMS = float64(time.Since(start).Microseconds()) / 1000
+		close(done)
+		wg.Wait()
+		if err != nil {
+			return nil, st, err
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peakHeap {
+			peakHeap = ms.HeapAlloc
+		}
+		if l := liveHeap(); l > peakLive {
+			peakLive = l
+		}
+		st.PeakHeapBytes = peakHeap
+		if peakLive > live0 {
+			st.WorkingSetBytes = peakLive - live0
+		}
+		st.AllocBytes = ms.TotalAlloc - alloc0
+		runs1, rows1, bytes1 := iter.SpillStats()
+		st.SpillRuns, st.SpillRows, st.SpillFileBytes = runs1-runs0, rows1-rows0, bytes1-bytes0
+		st.Rows = len(res.Rows)
+		st.BlockReads = res.BlockReads
+		return res, st, nil
+	}
+
+	full, fullStats, err := run(context.Background())
+	if err != nil {
+		return err
+	}
+	ctx := iter.WithBudget(context.Background(), iter.Budget{Bytes: budget, Dir: spillDir})
+	tight, tightStats, err := run(ctx)
+	if err != nil {
+		return err
+	}
+
+	rep := spillReport{
+		Movies:      movies,
+		Subqueries:  nsubs,
+		BudgetBytes: budget,
+		Modes: map[string]spillModeStats{
+			"unbounded": fullStats,
+			"budget":    tightStats,
+		},
+		Identical: sameRanking(full, tight),
+	}
+	if tightStats.WorkingSetBytes > 0 {
+		rep.WorkingSetReduction = float64(fullStats.WorkingSetBytes) / float64(tightStats.WorkingSetBytes)
+	}
+
+	for _, m := range []string{"unbounded", "budget"} {
+		s := rep.Modes[m]
+		fmt.Printf("%-10s %8.1f ms  working set %6.1f MiB (peak heap %6.1f MiB)  alloc %6.1f MiB  rows %d  spill runs %d (%d rows, %.1f MiB)\n",
+			m, s.WallMS, mib(s.WorkingSetBytes), mib(s.PeakHeapBytes), mib(s.AllocBytes), s.Rows,
+			s.SpillRuns, s.SpillRows, mib(uint64(s.SpillFileBytes)))
+	}
+	fmt.Printf("working-set reduction: %.2fx  identical answers: %v\n",
+		rep.WorkingSetReduction, rep.Identical)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	if !rep.Identical {
+		return fmt.Errorf("budgeted run changed the ranked answer")
+	}
+	if tightStats.SpillRuns == 0 {
+		return fmt.Errorf("budget %d did not engage spilling; lower -spillbudget or raise -spillbench", budget)
+	}
+	if gate && rep.WorkingSetReduction <= 1 {
+		return fmt.Errorf("gate: spilling did not reduce the peak working set (%.2fx)", rep.WorkingSetReduction)
+	}
+	return nil
+}
+
+// sameRanking reports whether two union evaluations ranked the same rows in
+// the same order with the same dois.
+func sameRanking(a, b *exec.UnionResult) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Doi != b.Rows[i].Doi || len(a.Rows[i].Key) != len(b.Rows[i].Key) {
+			return false
+		}
+		for j := range a.Rows[i].Key {
+			if a.Rows[i].Key[j].Compare(b.Rows[i].Key[j]) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// liveHeap reads the runtime's live-heap estimate: bytes that survived the
+// latest GC mark phase, i.e. actually reachable state.
+func liveHeap() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/live:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}
+
+func mib(b uint64) float64 { return float64(b) / (1 << 20) }

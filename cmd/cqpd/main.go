@@ -8,6 +8,9 @@
 //	cqpd                              # :8344 over a 4000-movie synthetic DB
 //	cqpd -addr :9000 -movies 20000
 //	cqpd -csv out/                    # load datagen CSVs instead
+//	cqpd -backend disk -dbdir db/     # serve a persistent block-store DB
+//	                                  # (ingests -csv or synthesizes when empty)
+//	cqpd -spill 67108864              # cap executor state at 64 MiB per request
 //	cqpd -data state/                 # durable profiles: WAL + snapshots
 //	cqpd -data state/ -fsync interval -snapshot-every 256
 //	cqpd -workers 8 -queue 128 -cache 4096 -timeout 10s -maxtimeout 1m
@@ -36,8 +39,10 @@ import (
 	"time"
 
 	"cqp"
+	"cqp/internal/blockstore"
 	"cqp/internal/fault"
 	"cqp/internal/server"
+	"cqp/internal/workload"
 )
 
 func main() {
@@ -46,6 +51,10 @@ func main() {
 		movies    = flag.Int("movies", 4000, "synthetic database size")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		csvDir    = flag.String("csv", "", "directory of relation CSVs (from datagen) to load instead of generating")
+		backend   = flag.String("backend", "mem", "table backend: mem (in-memory heap files) or disk (persistent block store)")
+		dbDir     = flag.String("dbdir", "cqpdb", "block-store database directory for -backend disk")
+		spill     = flag.Int64("spill", 0, "per-request executor memory budget in bytes; past it joins and union group tables spill to temp files (0 = unlimited)")
+		spillDir  = flag.String("spilldir", "", "directory for executor spill files (empty = OS temp dir)")
 		dataDir   = flag.String("data", "", "durable profile-store directory (write-ahead log + snapshots); empty = in-memory")
 		fsync     = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
 		snapEvery = flag.Int("snapshot-every", 1024, "logged mutations between snapshots (negative disables)")
@@ -91,7 +100,7 @@ func main() {
 		fmt.Printf("cqpd: fault plan armed: %s (seed %d)\n", plan, *faultSeed)
 	}
 
-	db, err := buildDB(*csvDir, *movies, *seed)
+	db, store, err := buildDB(*backend, *dbDir, *csvDir, *movies, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,9 +120,16 @@ func main() {
 		Logger:         logger,
 		SlowLog:        slowThreshold,
 		FlightRecords:  *flightN,
+		SpillBytes:     *spill,
+		SpillDir:       *spillDir,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if store != nil {
+		store.Observe(srv.Registry())
+		fmt.Printf("cqpd: block store %s: %d rows across %d tables\n",
+			*dbDir, store.Rows(), len(db.Schema().RelationNames()))
 	}
 	if rec := srv.Recovery(); rec != nil {
 		fmt.Printf("cqpd: recovered %d profiles (clock %d, %d log records, %d torn bytes truncated) in %s from %s\n",
@@ -151,6 +167,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if store != nil {
+			if err := store.Close(); err != nil {
+				fatal(err)
+			}
+		}
 		if p := fault.Armed(); p != nil {
 			fmt.Printf("cqpd: fault report:\n%s", p.Report())
 		}
@@ -158,26 +179,70 @@ func main() {
 	}
 }
 
-// buildDB loads datagen CSVs from dir (-csv), or generates the synthetic
-// movie database when dir is empty.
-func buildDB(dir string, movies int, seed int64) (*cqp.DB, error) {
-	if dir == "" {
-		return cqp.SyntheticMovieDB(movies, seed), nil
+// buildDB assembles the serving database. With -backend mem it loads
+// datagen CSVs from csvDir (-csv), or generates the synthetic movie
+// database when csvDir is empty. With -backend disk it opens (or creates)
+// a persistent block store under dbDir; an empty store is seeded once —
+// from the CSVs when given, synthetically otherwise — and every later
+// start serves the same on-disk pages. The returned store is non-nil only
+// for the disk backend; the caller owns its Close.
+func buildDB(backend, dbDir, csvDir string, movies int, seed int64) (*cqp.DB, *blockstore.Store, error) {
+	switch backend {
+	case "mem":
+		if csvDir == "" {
+			return cqp.SyntheticMovieDB(movies, seed), nil, nil
+		}
+		db := cqp.NewDB(cqp.MovieSchema(), 0)
+		if err := loadCSVDir(db, csvDir); err != nil {
+			return nil, nil, err
+		}
+		return db, nil, nil
+	case "disk":
+		st, err := blockstore.Open(dbDir, cqp.MovieSchema(), 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		db, err := st.DB()
+		if err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+		if st.Empty() {
+			if csvDir != "" {
+				err = loadCSVDir(db, csvDir)
+			} else {
+				workload.GenerateInto(db, workload.DBConfig{Movies: movies, Seed: seed})
+			}
+			if err == nil {
+				err = st.Sync()
+			}
+			if err != nil {
+				st.Close()
+				return nil, nil, err
+			}
+			fmt.Printf("cqpd: seeded block store %s (%d rows)\n", dbDir, st.Rows())
+		}
+		return db, st, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -backend %q (want mem or disk)", backend)
 	}
-	db := cqp.NewDB(cqp.MovieSchema(), 0)
+}
+
+// loadCSVDir ingests one datagen CSV per schema relation from dir.
+func loadCSVDir(db *cqp.DB, dir string) error {
 	for _, rel := range db.Schema().RelationNames() {
 		path := dir + "/" + strings.ToLower(rel) + ".csv"
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, err = cqp.LoadCSV(db, rel, f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", path, err)
+			return fmt.Errorf("%s: %v", path, err)
 		}
 	}
-	return db, nil
+	return nil
 }
 
 // preloadProfile stores a synthetic profile under the ID "default" so a

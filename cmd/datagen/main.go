@@ -1,6 +1,9 @@
 // Command datagen materializes the synthetic evaluation workload to disk
 // for inspection or use by external tools: one CSV file per relation plus
 // generated profile files in the text format of the paper's Figure 1.
+// With -blockstore it instead writes a ready-to-serve persistent
+// block-store database (one page file per relation plus a manifest) that
+// cqpd -backend disk opens directly.
 package main
 
 import (
@@ -10,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"cqp/internal/blockstore"
 	"cqp/internal/workload"
 )
 
@@ -19,13 +23,53 @@ func main() {
 		movies   = flag.Int("movies", 4000, "number of movies")
 		profiles = flag.Int("profiles", 20, "number of profiles")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		bstore   = flag.Bool("blockstore", false, "write a persistent block-store database instead of CSVs")
+		pageSize = flag.Int("pagesize", 0, "block-store page size in bytes (0 = default)")
 	)
 	flag.Parse()
 
-	if err := run(*out, *movies, *profiles, *seed); err != nil {
+	var err error
+	if *bstore {
+		err = runBlockstore(*out, *movies, *profiles, *seed, *pageSize)
+	} else {
+		err = run(*out, *movies, *profiles, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
+}
+
+// runBlockstore generates the workload straight into a persistent block
+// store: rows stream onto fixed-size CRC-framed pages as they are
+// generated, so the dataset never has to fit in memory.
+func runBlockstore(out string, movies, profiles int, seed int64, pageSize int) error {
+	st, err := blockstore.Open(out, workload.Schema(), pageSize)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if !st.Empty() {
+		return fmt.Errorf("%s already holds a populated block store", out)
+	}
+	db, err := st.DB()
+	if err != nil {
+		return err
+	}
+	workload.GenerateInto(db, workload.DBConfig{Movies: movies, Seed: seed})
+	if err := st.Sync(); err != nil {
+		return err
+	}
+	for _, rel := range db.Schema().Relations() {
+		t := db.MustTable(rel.Name)
+		fmt.Printf("%s: %d rows, %d blocks\n",
+			filepath.Join(out, strings.ToLower(rel.Name)+".tbl"), t.RowCount(), t.Blocks())
+	}
+	if err := writeProfiles(out, profiles, seed); err != nil {
+		return err
+	}
+	fmt.Printf("%d profiles written to %s\n", profiles, out)
+	return nil
 }
 
 func run(out string, movies, profiles int, seed int64) error {
@@ -49,6 +93,14 @@ func run(out string, movies, profiles int, seed int64) error {
 		}
 		fmt.Printf("%s: %d rows, %d blocks\n", path, t.RowCount(), t.Blocks())
 	}
+	if err := writeProfiles(out, profiles, seed); err != nil {
+		return err
+	}
+	fmt.Printf("%d profiles written to %s\n", profiles, out)
+	return nil
+}
+
+func writeProfiles(out string, profiles int, seed int64) error {
 	for i := 0; i < profiles; i++ {
 		p := workload.GenerateProfile(workload.ProfileConfig{Seed: seed + int64(i)*7919})
 		path := filepath.Join(out, fmt.Sprintf("profile%02d.txt", i))
@@ -56,6 +108,5 @@ func run(out string, movies, profiles int, seed int64) error {
 			return err
 		}
 	}
-	fmt.Printf("%d profiles written to %s\n", profiles, out)
 	return nil
 }

@@ -1,0 +1,144 @@
+package blockstore
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqp/internal/storage"
+	"cqp/internal/value"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Null(),
+		value.Int(0), value.Int(1), value.Int(-1),
+		value.Int(math.MinInt64), value.Int(math.MaxInt64),
+		value.Float(0), value.Float(-0.0), value.Float(3.25), value.Float(-1e300),
+		value.Float(math.Inf(1)), value.Float(math.Inf(-1)),
+		value.Str(""), value.Str("plain"), value.Str("with\x00nul\x00bytes"),
+		value.Str("trailing\x00"), value.Str(string([]byte{0x00, 0xFF, 0x00})),
+		value.Bool(true), value.Bool(false),
+	}
+	for _, v := range vals {
+		enc := AppendValue(nil, v)
+		got, rest, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", v.SQL(), err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode %s left %d bytes", v.SQL(), len(rest))
+		}
+		if got.Compare(v) != 0 || got.Kind() != v.Kind() {
+			t.Fatalf("round trip %s -> %s", v.SQL(), got.SQL())
+		}
+	}
+}
+
+// TestEncodingPreservesOrder is the property the codec exists for:
+// bytes.Compare on same-kind encodings must order exactly like
+// value.Compare.
+func TestEncodingPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randStr := func() string {
+		n := rng.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256)) // includes 0x00 and 0xFF
+		}
+		return string(b)
+	}
+	groups := map[string]func() value.Value{
+		"int":    func() value.Value { return value.Int(rng.Int63() - rng.Int63()) },
+		"float":  func() value.Value { return value.Float((rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(40)-20))) },
+		"string": func() value.Value { return value.Str(randStr()) },
+		"bool":   func() value.Value { return value.Bool(rng.Intn(2) == 0) },
+	}
+	for name, gen := range groups {
+		for i := 0; i < 2000; i++ {
+			a, b := gen(), gen()
+			ea, eb := AppendValue(nil, a), AppendValue(nil, b)
+			want := a.Compare(b)
+			got := bytes.Compare(ea, eb)
+			if sign(got) != sign(want) {
+				t.Fatalf("%s: order broken: %s vs %s: value.Compare=%d bytes.Compare=%d",
+					name, a.SQL(), b.SQL(), want, got)
+			}
+		}
+		// NULL sorts before every non-NULL value of the group.
+		null := AppendValue(nil, value.Null())
+		if v := gen(); bytes.Compare(null, AppendValue(nil, v)) >= 0 {
+			t.Fatalf("%s: NULL does not sort first against %s", name, v.SQL())
+		}
+	}
+}
+
+// Strings that are prefixes of each other must still order correctly
+// despite the escape/terminator scheme.
+func TestStringPrefixOrder(t *testing.T) {
+	pairs := [][2]string{
+		{"a", "ab"},
+		{"a\x00", "a\x00b"},
+		{"a", "a\x00"},
+		{"", "\x00"},
+	}
+	for _, p := range pairs {
+		ea := AppendValue(nil, value.Str(p[0]))
+		eb := AppendValue(nil, value.Str(p[1]))
+		if bytes.Compare(ea, eb) >= 0 {
+			t.Fatalf("%q must encode before %q", p[0], p[1])
+		}
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	rows := []storage.Row{
+		{},
+		{value.Int(1)},
+		{value.Int(42), value.Str("x\x00y"), value.Float(-2.5), value.Bool(true), value.Null()},
+	}
+	var buf []byte
+	for _, r := range rows {
+		buf = AppendRow(buf, r)
+	}
+	rest := buf
+	for _, want := range rows {
+		var got storage.Row
+		var err error
+		got, rest, err = DecodeRow(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("arity %d != %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Compare(want[i]) != 0 {
+				t.Fatalf("col %d: %s != %s", i, got[i].SQL(), want[i].SQL())
+			}
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := AppendRow(nil, storage.Row{value.Int(7), value.Str("hello"), value.Float(1.5)})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeRow(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(full))
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}

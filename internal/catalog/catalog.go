@@ -47,8 +47,11 @@ type Catalog struct {
 }
 
 // Build scans the database (without I/O accounting: statistics are catalog
-// metadata, not query work) and computes statistics for every table.
-func Build(db *storage.DB) *Catalog {
+// metadata, not query work) and computes statistics for every table. The
+// scan runs through each backend's cursor in one streaming pass per table,
+// so statistics build without materializing any table — including tables
+// served by the persistent block store that never fit in memory.
+func Build(db *storage.DB) (*Catalog, error) {
 	c := &Catalog{tables: make(map[string]*TableStats)}
 	for _, rel := range db.Schema().Relations() {
 		tbl := db.MustTable(rel.Name)
@@ -57,15 +60,20 @@ func Build(db *storage.DB) *Catalog {
 			Blocks:   tbl.Blocks(),
 			Columns:  make(map[string]*ColumnStats, len(rel.Columns)),
 		}
+		cols := make([]*ColumnStats, len(rel.Columns))
+		numeric := make([]bool, len(rel.Columns))
+		numVals := make([][]float64, len(rel.Columns))
 		for i, col := range rel.Columns {
-			cs := &ColumnStats{freq: make(map[uint64]int)}
-			numeric := col.Type == value.KindInt || col.Type == value.KindFloat
-			var numVals []float64
-			for _, row := range tbl.Rows() {
-				v := row[i]
+			cols[i] = &ColumnStats{freq: make(map[uint64]int)}
+			numeric[i] = col.Type == value.KindInt || col.Type == value.KindFloat
+			ts.Columns[col.Name] = cols[i]
+		}
+		err := storage.ScanRaw(tbl, func(row storage.Row) bool {
+			for i, v := range row {
 				if v.IsNull() {
 					continue
 				}
+				cs := cols[i]
 				cs.NonNull++
 				h := v.Hash()
 				if cs.freq[h] == 0 {
@@ -78,18 +86,23 @@ func Build(db *storage.DB) *Catalog {
 				if cs.Max.IsNull() || cs.Max.Less(v) {
 					cs.Max = v
 				}
-				if numeric {
-					numVals = append(numVals, v.AsFloat())
+				if numeric[i] {
+					numVals[i] = append(numVals[i], v.AsFloat())
 				}
 			}
-			if numeric {
-				cs.Hist = buildHistogram(numVals, DefaultHistogramBuckets)
+			return true
+		})
+		if err != nil {
+			return nil, fmt.Errorf("catalog: scan %s: %w", rel.Name, err)
+		}
+		for i := range rel.Columns {
+			if numeric[i] {
+				cols[i].Hist = buildHistogram(numVals[i], DefaultHistogramBuckets)
 			}
-			ts.Columns[col.Name] = cs
 		}
 		c.tables[rel.Name] = ts
 	}
-	return c
+	return c, nil
 }
 
 // Table returns statistics for the relation, or an error.
@@ -246,4 +259,14 @@ func (c *Catalog) JoinSelectivity(left, right schema.AttrRef) float64 {
 		return 0.01
 	}
 	return 1 / float64(d)
+}
+
+// MustBuild is Build panicking on a failed statistics scan — for
+// in-memory databases (whose maintenance scans cannot fail) and tests.
+func MustBuild(db *storage.DB) *Catalog {
+	c, err := Build(db)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

@@ -13,7 +13,7 @@ import (
 
 func buildTestCatalog(t *testing.T) *Catalog {
 	t.Helper()
-	return Build(testutil.MovieDB(0))
+	return MustBuild(testutil.MovieDB(0))
 }
 
 func TestTableStats(t *testing.T) {
@@ -155,7 +155,7 @@ func TestSingleValuedColumnRange(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		tb.MustInsert(value.Int(7))
 	}
-	c := Build(db)
+	c := MustBuild(db)
 	x := schema.AttrRef{Relation: "R", Attr: "x"}
 	cases := []struct {
 		op   Op
@@ -180,7 +180,7 @@ func TestAllNullColumn(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		tb.MustInsert(value.Null())
 	}
-	c := Build(db)
+	c := MustBuild(db)
 	x := schema.AttrRef{Relation: "R", Attr: "x"}
 	if got := c.Selectivity(x, OpLt, value.Int(5)); got != 0 {
 		t.Errorf("all-null range sel = %g, want 0", got)
@@ -194,7 +194,7 @@ func TestEmptyTableSelectivity(t *testing.T) {
 	s := schema.New()
 	s.MustAddRelation("R", "", schema.Column{Name: "x", Type: value.KindInt})
 	db := storageNew(s)
-	c := Build(db)
+	c := MustBuild(db)
 	x := schema.AttrRef{Relation: "R", Attr: "x"}
 	// Empty tables fall back to defaults (rowcount 0).
 	if got := c.Selectivity(x, OpEq, value.Int(1)); got != 0.1 {
@@ -221,4 +221,4 @@ func TestJoinSelectivityAsymmetricDistincts(t *testing.T) {
 // helpers bridging to storage without importing it at top level twice.
 func storageNew(s *schema.Schema) *storage.DB { return storage.NewDB(s, 256) }
 
-func dbTable(db *storage.DB, name string) *storage.Table { return db.MustTable(name) }
+func dbTable(db *storage.DB, name string) *storage.Table { return db.MustTable(name).(*storage.Table) }

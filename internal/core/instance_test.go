@@ -126,7 +126,7 @@ func TestSolutionString(t *testing.T) {
 func TestFromSpace(t *testing.T) {
 	// Build through the real pipeline to cover FromSpace.
 	db := testutil.MovieDB(256)
-	est := estimate.New(catalog.Build(db), 1)
+	est := estimate.New(catalog.MustBuild(db), 1)
 	profile, err := prefs.ParseProfile(`
 doi(MOVIE.mid = GENRE.mid) = 0.9
 doi(GENRE.genre = 'comedy') = 0.7

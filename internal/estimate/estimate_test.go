@@ -14,7 +14,7 @@ import (
 
 func TestDefaults(t *testing.T) {
 	db := testutil.MovieDB(256)
-	e := New(catalog.Build(db), 0)
+	e := New(catalog.MustBuild(db), 0)
 	if e.BlockMillis != DefaultBlockMillis {
 		t.Errorf("BlockMillis = %g", e.BlockMillis)
 	}
@@ -25,7 +25,7 @@ func TestDefaults(t *testing.T) {
 
 func TestQueryCostMatchesExecutorIO(t *testing.T) {
 	db := testutil.MovieDB(256)
-	e := New(catalog.Build(db), 1)
+	e := New(catalog.MustBuild(db), 1)
 	for _, sql := range []string{
 		"SELECT title FROM MOVIE",
 		"SELECT title FROM MOVIE, DIRECTOR WHERE MOVIE.did = DIRECTOR.did",
@@ -46,7 +46,7 @@ func TestQueryCostMatchesExecutorIO(t *testing.T) {
 
 func TestQuerySizeExactOnEquality(t *testing.T) {
 	db := testutil.MovieDB(256)
-	e := New(catalog.Build(db), 1)
+	e := New(catalog.MustBuild(db), 1)
 	// Single-table equality: exact thanks to exact frequencies.
 	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE WHERE year = 1979")
 	if got := e.QuerySize(q); math.Abs(got-1) > 1e-9 {
@@ -82,7 +82,7 @@ func prefOf(t *testing.T, profileLine string, pathLines ...string) prefs.Implici
 
 func TestSubQueryCost(t *testing.T) {
 	db := testutil.MovieDB(256)
-	cat := catalog.Build(db)
+	cat := catalog.MustBuild(db)
 	e := New(cat, 1)
 	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
 	atomic := prefOf(t, "doi(MOVIE.year >= 1990) = 0.5")
@@ -104,7 +104,7 @@ func TestSubQueryCost(t *testing.T) {
 
 func TestShrinkMatchesTruth(t *testing.T) {
 	db := testutil.MovieDB(256)
-	e := New(catalog.Build(db), 1)
+	e := New(catalog.MustBuild(db), 1)
 	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
 	// W. Allen directs 3 of 6 movies; the model predicts
 	// |D|(=3) × joinsel(1/3) × sel(name)(1/3) = 1/3. Truth is 3/6 = 1/2 —
@@ -121,7 +121,7 @@ func TestShrinkMatchesTruth(t *testing.T) {
 
 func TestStateAggregation(t *testing.T) {
 	db := testutil.MovieDB(256)
-	e := New(catalog.Build(db), 1)
+	e := New(catalog.MustBuild(db), 1)
 	empty := e.State(10, 100, nil, nil, nil)
 	if empty.Doi != 0 || empty.Cost != 10 || empty.Size != 100 {
 		t.Errorf("empty state = %+v", empty)
@@ -145,7 +145,7 @@ func TestStateAggregation(t *testing.T) {
 // monotone partial orders the search algorithms depend on.
 func TestPartialOrders(t *testing.T) {
 	db := testutil.MovieDB(256)
-	e := New(catalog.Build(db), 1)
+	e := New(catalog.MustBuild(db), 1)
 	rng := rand.New(rand.NewSource(42))
 	n := 8
 	dois := make([]float64, n)

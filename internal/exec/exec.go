@@ -1,16 +1,28 @@
 // Package exec evaluates conjunctive queries and personalized union queries
-// against the in-memory store, with block-granular I/O accounting.
+// against a storage backend, with block-granular I/O accounting.
 //
 // The executor deliberately mirrors the paper's cost-model assumptions
 // (Section 7.1): every relation in a (sub-)query is read from disk exactly
-// once via a full scan (no indexes), all intermediate results stay in
-// memory, and a personalized query executes its sub-queries independently,
-// so a relation shared by two sub-queries is charged twice — exactly as
-// Formula 6 sums per-sub-query costs. Figure 15's "real" execution time is
-// the counter's block total times b plus the measured in-memory CPU time.
+// once via a full scan (no indexes) and charged its full block count, and a
+// personalized query executes its sub-queries independently, so a relation
+// shared by two sub-queries is charged twice — exactly as Formula 6 sums
+// per-sub-query costs. Figure 15's "real" execution time is the counter's
+// block total times b plus the measured in-memory CPU time.
+//
+// Since the streaming rewrite, evaluation is a thin driver over an
+// internal/iter operator tree: scans stream rows from backend cursors
+// through filters, hash joins, projection and dedup, polling the context
+// inside every loop. Intermediate results no longer materialize per
+// stage — the stateful operators (join builds, DISTINCT sets, the union's
+// group table) hold working state only, and spill it to temp-file
+// partitions when a per-query budget (iter.WithBudget) says so. The block
+// charge is unchanged by any of this: a scan pays its relation's full
+// logical block count at open, even if a LIMIT stops pulling early,
+// because that is the cost model the estimator mirrors.
 package exec
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"runtime"
@@ -19,6 +31,7 @@ import (
 	"time"
 
 	"cqp/internal/fault"
+	"cqp/internal/iter"
 	"cqp/internal/obs"
 	"cqp/internal/prefs"
 	"cqp/internal/query"
@@ -44,9 +57,9 @@ func Eval(db *storage.DB, q *query.Query) (*Result, error) {
 	return EvalContext(context.Background(), db, q)
 }
 
-// EvalContext is Eval honoring cancellation: the context is checked before
-// the evaluation starts and between relation scans, so an expired deadline
-// stops a multi-relation join before it reads the next heap file.
+// EvalContext is Eval honoring cancellation: the context is polled before
+// the evaluation starts and inside every operator loop of the iterator
+// tree, so an expired deadline stops a scan or a join build mid-stream.
 func EvalContext(ctx context.Context, db *storage.DB, q *query.Query) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -56,16 +69,32 @@ func EvalContext(ctx context.Context, db *storage.DB, q *query.Query) (*Result, 
 	}
 	start := time.Now()
 	var io storage.IOCounter
-	rows, cols, err := evalJoinTree(ctx, db, &io, q)
+	tree, cols, err := buildJoinTree(ctx, db, &io, q)
 	if err != nil {
 		return nil, err
 	}
-	out := project(rows, cols, q.Project, q.Distinct)
+	idx := make([]int, len(q.Project))
+	for i, p := range q.Project {
+		idx[i] = cols[p]
+	}
+	tree = iter.Project(tree, idx)
+	if q.Distinct {
+		tree = iter.Distinct(ctx, tree)
+	}
+	if q.Limit > 0 && len(q.OrderBy) == 0 {
+		// Without ORDER BY the limit pushes into the tree: operators below
+		// never produce rows the consumer won't take.
+		tree = iter.Limit(tree, q.Limit)
+	}
+	out, err := iter.Collect(tree)
+	if err != nil {
+		return nil, err
+	}
 	if len(q.OrderBy) > 0 {
 		orderRows(out, q)
-	}
-	if q.Limit > 0 && len(out) > q.Limit {
-		out = out[:q.Limit]
+		if q.Limit > 0 && len(out) > q.Limit {
+			out = out[:q.Limit]
+		}
 	}
 	return &Result{
 		Columns:    q.Project,
@@ -105,55 +134,74 @@ func orderRows(rows []storage.Row, q *query.Query) {
 // colIndex maps attribute references to positions in an intermediate tuple.
 type colIndex map[schema.AttrRef]int
 
-// evalJoinTree scans, filters, and joins all relations of the query,
-// returning wide tuples and a column index over them.
-func evalJoinTree(ctx context.Context, db *storage.DB, io *storage.IOCounter, q *query.Query) ([]storage.Row, colIndex, error) {
+// buildJoinTree assembles the iterator tree that scans, filters, and joins
+// all relations of the query, returning a stream of wide tuples and a
+// column index over them. Every relation's scan is opened (and its full
+// block count charged) here, up front — the paper's model charges a query
+// for each heap file it touches regardless of how much of the stream the
+// consumer pulls.
+func buildJoinTree(ctx context.Context, db *storage.DB, io *storage.IOCounter, q *query.Query) (iter.Iterator, colIndex, error) {
 	// Per-relation pushed-down selections.
 	selsFor := make(map[string][]query.Selection)
 	for _, s := range q.Selections {
 		selsFor[s.Attr.Relation] = append(selsFor[s.Attr.Relation], s)
 	}
-	// Scan and filter each relation once.
-	filtered := make(map[string][]storage.Row, len(q.From))
-	for _, rel := range q.From {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+	var opened []iter.Iterator
+	fail := func(err error) (iter.Iterator, colIndex, error) {
+		for _, it := range opened {
+			it.Close()
 		}
+		return nil, nil, err
+	}
+	// openRel opens a filtered scan of one relation.
+	openRel := func(rel string) (iter.Iterator, error) {
 		t, err := db.Table(rel)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
+		cur, err := t.Open(io)
+		if err != nil {
+			return nil, err
+		}
+		src := iter.FromCursor(ctx, cur)
 		sels := selsFor[rel]
-		var rows []storage.Row
-		err = t.Scan(io, func(r storage.Row) bool {
-			for _, s := range sels {
-				i := t.Relation().ColumnIndex(s.Attr.Attr)
-				if !s.Op.Eval(r[i], s.Value) {
-					return true
+		if len(sels) == 0 {
+			return src, nil
+		}
+		idx := make([]int, len(sels))
+		for i, s := range sels {
+			idx[i] = t.Relation().ColumnIndex(s.Attr.Attr)
+		}
+		return iter.Filter(src, func(r storage.Row) bool {
+			for i, s := range sels {
+				if !s.Op.Eval(r[idx[i]], s.Value) {
+					return false
 				}
 			}
-			rows = append(rows, r)
 			return true
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		filtered[rel] = rows
+		}), nil
 	}
 
-	// Seed the join with the first relation.
+	// Seed with the first relation.
+	current, err := openRel(q.From[0])
+	if err != nil {
+		return fail(err)
+	}
+	opened = append(opened, current)
 	joined := map[string]bool{q.From[0]: true}
 	cols := make(colIndex)
 	rel0 := db.MustTable(q.From[0]).Relation()
 	for i, c := range rel0.Columns {
 		cols[schema.AttrRef{Relation: rel0.Name, Attr: c.Name}] = i
 	}
-	current := filtered[q.From[0]]
 	width := len(rel0.Columns)
 
 	remaining := len(q.From) - 1
 	usedJoin := make([]bool, len(q.Joins))
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 		// Find a relation connected to the joined set.
 		next, conds := pickNext(q, joined, usedJoin)
 		if next == "" {
@@ -165,29 +213,48 @@ func evalJoinTree(ctx context.Context, db *storage.DB, io *storage.IOCounter, q 
 				}
 			}
 		}
+		build, err := openRel(next)
+		if err != nil {
+			return fail(err)
+		}
+		opened = append(opened, build)
 		nrel := db.MustTable(next).Relation()
 		// Extend the column index.
 		for i, c := range nrel.Columns {
 			cols[schema.AttrRef{Relation: next, Attr: c.Name}] = width + i
 		}
-		current = hashJoin(current, filtered[next], cols, conds, width, len(nrel.Columns))
+		if len(conds) == 0 {
+			current = iter.Cross(ctx, current, build, width, len(nrel.Columns))
+		} else {
+			probeIdx := make([]int, len(conds))
+			buildIdx := make([]int, len(conds))
+			for i, c := range conds {
+				probeIdx[i] = cols[c.Left]
+				// Right columns sit at cols[right] - width within the new row.
+				buildIdx[i] = cols[c.Right] - width
+			}
+			current = iter.HashJoin(ctx, current, build, probeIdx, buildIdx, width, len(nrel.Columns))
+		}
 		width += len(nrel.Columns)
 		joined[next] = true
 		remaining--
 	}
 	// Residual joins (both sides already joined — cycles) act as filters.
+	var residual []query.Join
 	for ji, j := range q.Joins {
-		if usedJoin[ji] {
-			continue
+		if !usedJoin[ji] {
+			residual = append(residual, j)
 		}
-		li, ri := cols[j.Left], cols[j.Right]
-		var kept []storage.Row
-		for _, r := range current {
-			if query.OpEq.Eval(r[li], r[ri]) {
-				kept = append(kept, r)
+	}
+	if len(residual) > 0 {
+		current = iter.Filter(current, func(r storage.Row) bool {
+			for _, j := range residual {
+				if r[cols[j.Left]].Compare(r[cols[j.Right]]) != 0 {
+					return false
+				}
 			}
-		}
-		current = kept
+			return true
+		})
 	}
 	return current, cols, nil
 }
@@ -229,105 +296,27 @@ func pickNext(q *query.Query, joined map[string]bool, usedJoin []bool) (string, 
 	return next, conds
 }
 
-// hashJoin joins the current wide tuples with a new relation's rows on the
-// given equi-join conditions (left attrs resolve through cols; right attrs
-// belong to the new relation, whose columns start at offset width).
-func hashJoin(current []storage.Row, newRows []storage.Row, cols colIndex, conds []query.Join, width, newWidth int) []storage.Row {
-	if len(conds) == 0 {
-		// Cartesian product.
-		out := make([]storage.Row, 0, len(current)*len(newRows))
-		for _, l := range current {
-			for _, r := range newRows {
-				out = append(out, concatRows(l, r, width, newWidth))
+// compareRows orders rows positionwise by each value's SQL rendering — the
+// deterministic tie-break for equal-doi results. (For equal-arity rows
+// this reproduces the ordering of the seed's concatenated string keys
+// without materializing them.)
+func compareRows(a, b storage.Row) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		sa, sb := a[i].SQL(), b[i].SQL()
+		if sa != sb {
+			if sa < sb {
+				return -1
 			}
-		}
-		return out
-	}
-	rightIdx := make([]int, len(conds))
-	leftIdx := make([]int, len(conds))
-	for i, c := range conds {
-		leftIdx[i] = cols[c.Left]
-		// Right columns sit at cols[right] - width within the new row.
-		rightIdx[i] = cols[c.Right] - width
-	}
-	// Build on the new relation.
-	build := make(map[uint64][]storage.Row, len(newRows))
-	for _, r := range newRows {
-		build[hashKeyAt(r, rightIdx)] = append(build[hashKeyAt(r, rightIdx)], r)
-	}
-	var out []storage.Row
-	for _, l := range current {
-		h := hashKeyIdx(l, leftIdx)
-		for _, r := range build[h] {
-			if equalOn(l, r, leftIdx, rightIdx) {
-				out = append(out, concatRows(l, r, width, newWidth))
-			}
+			return 1
 		}
 	}
-	return out
-}
-
-func concatRows(l, r storage.Row, width, newWidth int) storage.Row {
-	row := make(storage.Row, width+newWidth)
-	copy(row, l[:width])
-	copy(row[width:], r)
-	return row
-}
-
-func hashKeyAt(r storage.Row, idx []int) uint64 {
-	var h uint64 = 1469598103934665603
-	for _, i := range idx {
-		h = (h ^ r[i].Hash()) * 1099511628211
+	if len(a) < len(b) {
+		return -1
 	}
-	return h
-}
-
-func hashKeyIdx(r storage.Row, idx []int) uint64 { return hashKeyAt(r, idx) }
-
-func equalOn(l, r storage.Row, li, ri []int) bool {
-	for k := range li {
-		if !query.OpEq.Eval(l[li[k]], r[ri[k]]) {
-			return false
-		}
-	}
-	return true
-}
-
-// project extracts the projection attributes, optionally deduplicating.
-func project(rows []storage.Row, cols colIndex, proj []schema.AttrRef, distinct bool) []storage.Row {
-	idx := make([]int, len(proj))
-	for i, p := range proj {
-		idx[i] = cols[p]
-	}
-	out := make([]storage.Row, 0, len(rows))
-	var seen map[string]bool
-	if distinct {
-		seen = make(map[string]bool, len(rows))
-	}
-	for _, r := range rows {
-		t := make(storage.Row, len(idx))
-		for i, j := range idx {
-			t[i] = r[j]
-		}
-		if distinct {
-			k := rowKey(t)
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-		}
-		out = append(out, t)
-	}
-	return out
-}
-
-// rowKey builds a canonical string key for grouping.
-func rowKey(r storage.Row) string {
-	s := ""
-	for _, v := range r {
-		s += v.SQL() + "\x00"
-	}
-	return s
+	return 0
 }
 
 // RankedRow is one tuple of a personalized query's answer together with the
@@ -376,11 +365,26 @@ func EvalUnion(db *storage.DB, subs []*query.Query, dois []float64, minMatches i
 	return EvalUnionContext(context.Background(), db, subs, dois, minMatches)
 }
 
-// EvalUnionContext is EvalUnion honoring cancellation: each sub-query checks
-// the context before it starts and between its relation scans. It also hosts
-// the fault harness's exec.union injection point, standing in for executor
-// failures (spilled hash tables, cancelled cursors) of a real engine.
+// EvalUnionContext is EvalUnion honoring cancellation: each sub-query polls
+// the context inside its operator loops. It also hosts the fault harness's
+// exec.union injection point, standing in for executor failures of a real
+// engine.
 func EvalUnionContext(ctx context.Context, db *storage.DB, subs []*query.Query, dois []float64, minMatches int) (*UnionResult, error) {
+	return evalUnion(ctx, db, subs, dois, minMatches, 0)
+}
+
+// EvalUnionTopK is EvalUnionContext keeping only the k best-ranked rows,
+// maintained in a bounded heap while groups stream out of the group table:
+// the full ranked result never materializes, so a top-k request over a
+// huge union costs O(groups·log k) time and O(k) result memory.
+func EvalUnionTopK(ctx context.Context, db *storage.DB, subs []*query.Query, dois []float64, minMatches, k int) (*UnionResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("exec: top-k needs k > 0")
+	}
+	return evalUnion(ctx, db, subs, dois, minMatches, k)
+}
+
+func evalUnion(ctx context.Context, db *storage.DB, subs []*query.Query, dois []float64, minMatches, k int) (*UnionResult, error) {
 	if len(subs) == 0 {
 		return nil, fmt.Errorf("exec: union of zero sub-queries")
 	}
@@ -416,12 +420,9 @@ func EvalUnionContext(ctx context.Context, db *storage.DB, subs []*query.Query, 
 	wg.Wait()
 
 	var io int64
-	type group struct {
-		key     storage.Row
-		matched []int
-	}
+	grouper := iter.NewGrouper(ctx)
+	defer grouper.Close()
 	subs2 := make([]SubQueryStat, len(results))
-	groups := make(map[string]*group)
 	for i, res := range results {
 		if errs[i] != nil {
 			// %w: the cause's class (injected fault, context death) must
@@ -431,36 +432,51 @@ func EvalUnionContext(ctx context.Context, db *storage.DB, subs []*query.Query, 
 		io += res.BlockReads
 		subs2[i] = SubQueryStat{Rows: len(res.Rows), BlockReads: res.BlockReads, Elapsed: res.Elapsed}
 		for _, r := range res.Rows {
-			k := rowKey(r)
-			g, ok := groups[k]
-			if !ok {
-				g = &group{key: r}
-				groups[k] = g
+			if err := grouper.Add(r, i); err != nil {
+				return nil, fmt.Errorf("exec: union group: %w", err)
 			}
-			g.matched = append(g.matched, i)
 		}
 	}
 	out := &UnionResult{Columns: subs[0].Project, BlockReads: io, Subs: subs2}
-	for _, g := range groups {
-		if len(g.matched) < minMatches {
-			continue
-		}
-		doi := 0.0
+	emit := func(row storage.Row, tags []int) RankedRow {
+		rr := RankedRow{Key: row, Matched: append([]int(nil), tags...)}
 		if dois != nil {
-			ds := make([]float64, len(g.matched))
-			for i, m := range g.matched {
+			ds := make([]float64, len(rr.Matched))
+			for i, m := range rr.Matched {
 				ds[i] = dois[m]
 			}
-			doi = prefs.Conjunction(ds...)
+			rr.Doi = prefs.Conjunction(ds...)
 		}
-		out.Rows = append(out.Rows, RankedRow{Key: g.key, Matched: g.matched, Doi: doi})
+		return rr
 	}
-	sort.Slice(out.Rows, func(i, j int) bool {
-		if out.Rows[i].Doi != out.Rows[j].Doi {
-			return out.Rows[i].Doi > out.Rows[j].Doi
+	if k > 0 {
+		h := &topKHeap{k: k}
+		err := grouper.Each(func(row storage.Row, tags []int) error {
+			if len(tags) < minMatches {
+				return nil
+			}
+			h.offer(emit(row, tags))
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exec: union group: %w", err)
 		}
-		return rowKey(out.Rows[i].Key) < rowKey(out.Rows[j].Key)
-	})
+		out.Rows = h.ranked()
+	} else {
+		err := grouper.Each(func(row storage.Row, tags []int) error {
+			if len(tags) < minMatches {
+				return nil
+			}
+			out.Rows = append(out.Rows, emit(row, tags))
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exec: union group: %w", err)
+		}
+		sort.Slice(out.Rows, func(i, j int) bool {
+			return rankLess(out.Rows[i], out.Rows[j])
+		})
+	}
 	out.Elapsed = time.Since(start)
 	if reg := db.Metrics(); reg != nil {
 		reg.Counter("exec_unions_total").Inc()
@@ -475,6 +491,47 @@ func EvalUnionContext(ctx context.Context, db *storage.DB, subs []*query.Query, 
 		}
 	}
 	return out, nil
+}
+
+// rankLess orders ranked rows: higher doi first, key tie-break.
+func rankLess(a, b RankedRow) bool {
+	if a.Doi != b.Doi {
+		return a.Doi > b.Doi
+	}
+	return compareRows(a.Key, b.Key) < 0
+}
+
+// topKHeap keeps the k best-ranked rows; the root is the worst kept row,
+// evicted when a better candidate arrives.
+type topKHeap struct {
+	rows []RankedRow
+	k    int
+}
+
+func (h *topKHeap) Len() int           { return len(h.rows) }
+func (h *topKHeap) Less(i, j int) bool { return rankLess(h.rows[j], h.rows[i]) }
+func (h *topKHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topKHeap) Push(x any)         { h.rows = append(h.rows, x.(RankedRow)) }
+func (h *topKHeap) Pop() any           { r := h.rows[len(h.rows)-1]; h.rows = h.rows[:len(h.rows)-1]; return r }
+
+func (h *topKHeap) offer(r RankedRow) {
+	if len(h.rows) < h.k {
+		heap.Push(h, r)
+		return
+	}
+	if rankLess(r, h.rows[0]) {
+		h.rows[0] = r
+		heap.Fix(h, 0)
+	}
+}
+
+// ranked drains the heap into best-first order.
+func (h *topKHeap) ranked() []RankedRow {
+	out := make([]RankedRow, len(h.rows))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(RankedRow)
+	}
+	return out
 }
 
 // RealCost converts an evaluation into the paper's "Real Query Exec. Time"

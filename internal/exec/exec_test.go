@@ -135,11 +135,19 @@ func TestJoinAgainstNestedLoopOracle(t *testing.T) {
 	// Naive oracle.
 	var want []string
 	mt, gt := db.MustTable("MOVIE"), db.MustTable("GENRE")
-	for _, m := range mt.Rows() {
+	mrows, err := storage.AllRows(mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grows, err := storage.AllRows(gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mrows {
 		if m[2].AsInt() < 1960 {
 			continue
 		}
-		for _, g := range gt.Rows() {
+		for _, g := range grows {
 			if m[0].Equal(g[0]) {
 				want = append(want, m[1].String()+"/"+g[1].String())
 			}

@@ -49,11 +49,18 @@ const (
 	// WALFsync fires before every log fsync, modeling a device that
 	// accepts writes but fails to make them durable.
 	WALFsync Point = "wal.fsync"
+	// BlockstoreRead fires on every physical page read of the persistent
+	// block-store backend, standing in for media errors and torn pages.
+	BlockstoreRead Point = "blockstore.read"
+	// IterSpill fires when a streaming operator spills state to temp-file
+	// partitions (hash-join builds, oversized dedup sets), standing in for
+	// a full or failing scratch disk.
+	IterSpill Point = "iter.spill"
 )
 
 // Points returns the injection-point catalog in stable order.
 func Points() []Point {
-	return []Point{StorageScan, ExecUnion, EstimateHistogram, SearchExpand, ServerCache, WALAppend, WALFsync}
+	return []Point{StorageScan, ExecUnion, EstimateHistogram, SearchExpand, ServerCache, WALAppend, WALFsync, BlockstoreRead, IterSpill}
 }
 
 func validPoint(p Point) bool {

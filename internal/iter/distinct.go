@@ -1,0 +1,169 @@
+package iter
+
+import (
+	"context"
+
+	"cqp/internal/storage"
+)
+
+// markers for distinct spill frames: a row the operator already emitted
+// downstream (it must suppress later duplicates but never re-emit) versus
+// a row still awaiting its verdict.
+const (
+	markEmitted byte = 1
+	markPending byte = 0
+)
+
+// Distinct emits each distinct row once, in first-appearance order while
+// the seen-set fits the context budget. If the set outgrows the budget,
+// the operator spills: every already-emitted row goes to its hash
+// partition flagged markEmitted, the rest of the input streams to
+// partitions flagged markPending, and partitions then resolve
+// independently — each rebuilds only its own slice of the seen-set, so
+// memory is bounded by the largest partition, not the input.
+func Distinct(ctx context.Context, src Iterator) Iterator {
+	return &distinctIter{ctx: ctx, src: src, budget: BudgetFromContext(ctx), set: NewRowSet()}
+}
+
+type distinctIter struct {
+	ctx    context.Context
+	src    Iterator
+	budget Budget
+	set    *RowSet
+
+	spilled bool
+	run     *spillRun
+	part    int
+	pr      *spillReader
+
+	n    int
+	done bool
+}
+
+func (it *distinctIter) checkCtx() error {
+	it.n++
+	if it.n%checkEvery == 0 {
+		return it.ctx.Err()
+	}
+	return nil
+}
+
+func (it *distinctIter) Next() (storage.Row, bool, error) {
+	if it.done {
+		return nil, false, nil
+	}
+	row, ok, err := it.next()
+	if err != nil || !ok {
+		it.done = true
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+func (it *distinctIter) next() (storage.Row, bool, error) {
+	// Streaming mode: emit first-seen rows as they arrive.
+	for !it.spilled {
+		if err := it.checkCtx(); err != nil {
+			return nil, false, err
+		}
+		r, ok, err := it.src.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		if !it.set.Add(r) {
+			continue
+		}
+		if it.budget.Bytes > 0 && it.set.Bytes() > it.budget.Bytes {
+			if err := it.spill(); err != nil {
+				return nil, false, err
+			}
+			// r itself was just emitted-to-be: it is in the set, hence
+			// spilled as markEmitted — but the caller has not seen it
+			// yet. Emit it now; the spill marked it so partitions will
+			// not emit it again.
+			return r, true, nil
+		}
+		return r, true, nil
+	}
+	// Partition drain mode.
+	for {
+		if it.pr != nil {
+			for {
+				if err := it.checkCtx(); err != nil {
+					return nil, false, err
+				}
+				marker, row, ok, err := it.pr.next()
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					break
+				}
+				if marker == markEmitted {
+					it.set.Add(row)
+					continue
+				}
+				if it.set.Add(row) {
+					return row, true, nil
+				}
+			}
+		}
+		it.part++
+		if it.part >= spillFanout {
+			return nil, false, nil
+		}
+		it.set = NewRowSet()
+		it.pr = it.run.reader(it.part)
+	}
+}
+
+// spill flushes the seen-set (all already emitted) to partitions and
+// routes the rest of the input after it, then readies partition drain.
+func (it *distinctIter) spill() error {
+	run, err := newSpillRun(it.budget.Dir)
+	if err != nil {
+		return err
+	}
+	it.run = run
+	for _, r := range it.set.Rows() {
+		if err := it.run.write(HashRow(r), markEmitted, r); err != nil {
+			return err
+		}
+	}
+	it.set = nil
+	for {
+		if err := it.checkCtx(); err != nil {
+			return err
+		}
+		r, ok, err := it.src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := it.run.write(HashRow(r), markPending, r); err != nil {
+			return err
+		}
+	}
+	if err := it.run.finish(); err != nil {
+		return err
+	}
+	it.spilled = true
+	it.part = -1
+	it.pr = nil
+	return nil
+}
+
+func (it *distinctIter) Close() error {
+	err := it.src.Close()
+	if it.run != nil {
+		if e := it.run.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}

@@ -1,0 +1,173 @@
+package iter
+
+import (
+	"context"
+	"fmt"
+
+	"cqp/internal/storage"
+	"cqp/internal/value"
+)
+
+// Grouper is the personalized union's GROUP BY operator: it accumulates
+// (row, tag) pairs — tag being the index of the sub-query that produced
+// the row — and yields each distinct row with the sorted set of tags that
+// matched it. Rows are bucketed by 64-bit hash with equality-checked
+// buckets (no string keys). When the table outgrows the context budget
+// the grouper spills pairs to hash partitions (the tag rides along as one
+// extra encoded column) and regroups partition by partition at drain
+// time, bounding memory by the largest partition.
+type Grouper struct {
+	ctx    context.Context
+	budget Budget
+
+	m     map[uint64][]*group
+	bytes int64
+	n     int
+
+	spilled bool
+	run     *spillRun
+
+	polls int
+}
+
+type group struct {
+	row  storage.Row
+	tags []int
+}
+
+// NewGrouper returns an empty grouper under ctx's budget.
+func NewGrouper(ctx context.Context) *Grouper {
+	return &Grouper{ctx: ctx, budget: BudgetFromContext(ctx), m: make(map[uint64][]*group)}
+}
+
+func (g *Grouper) checkCtx() error {
+	g.polls++
+	if g.polls%checkEvery == 0 {
+		return g.ctx.Err()
+	}
+	return nil
+}
+
+// Add records that sub-query tag produced row. Duplicate (row, tag) pairs
+// collapse.
+func (g *Grouper) Add(row storage.Row, tag int) error {
+	if err := g.checkCtx(); err != nil {
+		return err
+	}
+	if g.spilled {
+		return g.run.write(HashRow(row), 0, append(row[:len(row):len(row)], value.Int(int64(tag))))
+	}
+	g.add(row, tag)
+	if g.budget.Bytes > 0 && g.bytes > g.budget.Bytes {
+		return g.spill()
+	}
+	return nil
+}
+
+func (g *Grouper) add(row storage.Row, tag int) {
+	h := HashRow(row)
+	for _, grp := range g.m[h] {
+		if EqualRows(grp.row, row) {
+			for _, t := range grp.tags {
+				if t == tag {
+					return
+				}
+			}
+			grp.tags = append(grp.tags, tag)
+			g.bytes += 8
+			return
+		}
+	}
+	g.m[h] = append(g.m[h], &group{row: row, tags: []int{tag}})
+	g.n++
+	g.bytes += rowBytes(row) + 24
+}
+
+// spill converts the in-memory table into partitioned (row, tag) frames.
+func (g *Grouper) spill() error {
+	run, err := newSpillRun(g.budget.Dir)
+	if err != nil {
+		return err
+	}
+	g.run = run
+	for h, bucket := range g.m {
+		for _, grp := range bucket {
+			for _, tag := range grp.tags {
+				wide := append(grp.row[:len(grp.row):len(grp.row)], value.Int(int64(tag)))
+				if err := g.run.write(h, 0, wide); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	g.m = nil
+	g.spilled = true
+	return nil
+}
+
+// Len returns the number of distinct rows seen so far (pre-spill only;
+// after a spill the count is known only after Each).
+func (g *Grouper) Len() int { return g.n }
+
+// Each yields every (row, tags) group once; tags are in insertion order
+// (ascending sub index when Add is called per sub in order). Group order
+// is unspecified — callers rank or sort above. Each may be called once.
+func (g *Grouper) Each(fn func(row storage.Row, tags []int) error) error {
+	if !g.spilled {
+		for _, bucket := range g.m {
+			for _, grp := range bucket {
+				if err := g.checkCtx(); err != nil {
+					return err
+				}
+				if err := fn(grp.row, grp.tags); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := g.run.finish(); err != nil {
+		return err
+	}
+	for p := 0; p < spillFanout; p++ {
+		g.m = make(map[uint64][]*group)
+		r := g.run.reader(p)
+		for {
+			if err := g.checkCtx(); err != nil {
+				return err
+			}
+			_, wide, ok, err := r.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if len(wide) == 0 {
+				return fmt.Errorf("iter: group spill frame with no tag column")
+			}
+			row, tag := wide[:len(wide)-1], int(wide[len(wide)-1].AsInt())
+			g.add(row, tag)
+		}
+		for _, bucket := range g.m {
+			for _, grp := range bucket {
+				if err := g.checkCtx(); err != nil {
+					return err
+				}
+				if err := fn(grp.row, grp.tags); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases spill state.
+func (g *Grouper) Close() error {
+	g.m = nil
+	if g.run != nil {
+		return g.run.Close()
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package iter
+
+import (
+	"context"
+
+	"cqp/internal/storage"
+)
+
+// HashJoin equi-joins probe rows against build rows: output rows are
+// probe[:probeWidth] ++ build (the probe side's column layout first,
+// matching the executor's left-deep join trees). The build side is
+// drained on the first Next; the probe side streams, so output arrives in
+// probe order while the build fits in memory.
+//
+// When the build table exceeds the context budget (WithBudget), the join
+// switches to Grace mode: build rows are hash-partitioned to spill files,
+// the probe side is partitioned the same way, and partitions join
+// pairwise — each pass holds only ~1/spillFanout of the build side.
+// Output order then follows partition order; callers that need a total
+// order sort above the join (the personalized union ranks by doi anyway).
+func HashJoin(ctx context.Context, probe, build Iterator, probeIdx, buildIdx []int, probeWidth, buildWidth int) Iterator {
+	return &hashJoinIter{
+		ctx: ctx, probe: probe, build: build,
+		pIdx: probeIdx, bIdx: buildIdx,
+		pWidth: probeWidth, bWidth: buildWidth,
+		budget: BudgetFromContext(ctx),
+	}
+}
+
+type hashJoinIter struct {
+	ctx          context.Context
+	probe, build Iterator
+	pIdx, bIdx   []int
+	pWidth       int
+	bWidth       int
+	budget       Budget
+
+	inited bool
+	table  map[uint64][]storage.Row
+
+	spilled  bool
+	buildRun *spillRun
+	probeRun *spillRun
+	part     int
+	pr       *spillReader
+
+	cur    storage.Row
+	bucket []storage.Row
+	bi     int
+	n      int
+	done   bool
+}
+
+func (it *hashJoinIter) checkCtx() error {
+	it.n++
+	if it.n%checkEvery == 0 {
+		return it.ctx.Err()
+	}
+	return nil
+}
+
+// init drains the build side, spilling to partitions if it outgrows the
+// budget, and in that case also partitions the entire probe side.
+func (it *hashJoinIter) init() error {
+	it.inited = true
+	it.table = make(map[uint64][]storage.Row)
+	var bytes int64
+	for {
+		if err := it.checkCtx(); err != nil {
+			return err
+		}
+		r, ok, err := it.build.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h := Hash(r, it.bIdx)
+		if it.spilled {
+			if err := it.buildRun.write(h, 0, r); err != nil {
+				return err
+			}
+			continue
+		}
+		it.table[h] = append(it.table[h], r)
+		bytes += rowBytes(r)
+		if it.budget.Bytes > 0 && bytes > it.budget.Bytes {
+			if err := it.startSpill(); err != nil {
+				return err
+			}
+		}
+	}
+	if !it.spilled {
+		return nil
+	}
+	// Partition the probe side the same way.
+	run, err := newSpillRun(it.budget.Dir)
+	if err != nil {
+		return err
+	}
+	it.probeRun = run
+	for {
+		if err := it.checkCtx(); err != nil {
+			return err
+		}
+		r, ok, err := it.probe.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := it.probeRun.write(Hash(r, it.pIdx), 0, r); err != nil {
+			return err
+		}
+	}
+	if err := it.buildRun.finish(); err != nil {
+		return err
+	}
+	if err := it.probeRun.finish(); err != nil {
+		return err
+	}
+	it.part = -1
+	return nil
+}
+
+// startSpill converts the in-memory build table into partition files.
+func (it *hashJoinIter) startSpill() error {
+	run, err := newSpillRun(it.budget.Dir)
+	if err != nil {
+		return err
+	}
+	it.buildRun = run
+	for h, bucket := range it.table {
+		for _, r := range bucket {
+			if err := it.buildRun.write(h, 0, r); err != nil {
+				return err
+			}
+		}
+	}
+	it.table = nil
+	it.spilled = true
+	return nil
+}
+
+func (it *hashJoinIter) equalOn(l, r storage.Row) bool {
+	for k := range it.pIdx {
+		if l[it.pIdx[k]].Compare(r[it.bIdx[k]]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (it *hashJoinIter) emit(r storage.Row) storage.Row {
+	out := make(storage.Row, it.pWidth+it.bWidth)
+	copy(out, it.cur[:it.pWidth])
+	copy(out[it.pWidth:], r)
+	return out
+}
+
+func (it *hashJoinIter) Next() (storage.Row, bool, error) {
+	if it.done {
+		return nil, false, nil
+	}
+	if !it.inited {
+		if err := it.init(); err != nil {
+			it.done = true
+			return nil, false, err
+		}
+	}
+	for {
+		if err := it.checkCtx(); err != nil {
+			it.done = true
+			return nil, false, err
+		}
+		// Drain the current probe row's candidate bucket.
+		for it.bi < len(it.bucket) {
+			r := it.bucket[it.bi]
+			it.bi++
+			if it.equalOn(it.cur, r) {
+				return it.emit(r), true, nil
+			}
+		}
+		// Advance to the next probe row.
+		var row storage.Row
+		var ok bool
+		var err error
+		if it.spilled {
+			row, ok, err = it.nextSpilledProbe()
+		} else {
+			row, ok, err = it.probe.Next()
+		}
+		if err != nil {
+			it.done = true
+			return nil, false, err
+		}
+		if !ok {
+			it.done = true
+			return nil, false, nil
+		}
+		it.cur = row
+		it.bucket = it.table[Hash(row, it.pIdx)]
+		it.bi = 0
+	}
+}
+
+// nextSpilledProbe streams probe partitions, (re)building the matching
+// build partition's table at each partition boundary.
+func (it *hashJoinIter) nextSpilledProbe() (storage.Row, bool, error) {
+	for {
+		if it.pr != nil {
+			_, row, ok, err := it.pr.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return row, true, nil
+			}
+		}
+		it.part++
+		if it.part >= spillFanout {
+			return nil, false, nil
+		}
+		// Load this partition's build side.
+		it.table = make(map[uint64][]storage.Row)
+		br := it.buildRun.reader(it.part)
+		for {
+			if err := it.checkCtx(); err != nil {
+				return nil, false, err
+			}
+			_, row, ok, err := br.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			it.table[Hash(row, it.bIdx)] = append(it.table[Hash(row, it.bIdx)], row)
+		}
+		it.pr = it.probeRun.reader(it.part)
+	}
+}
+
+func (it *hashJoinIter) Close() error {
+	err := it.probe.Close()
+	if e := it.build.Close(); e != nil && err == nil {
+		err = e
+	}
+	if it.buildRun != nil {
+		if e := it.buildRun.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	if it.probeRun != nil {
+		if e := it.probeRun.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Cross emits the cartesian product probe × build (the executor's
+// fallback for disconnected queries). The build side is materialized —
+// disconnected products are degenerate plans over small inputs, so no
+// spill path exists here.
+func Cross(ctx context.Context, probe, build Iterator, probeWidth, buildWidth int) Iterator {
+	return &crossIter{ctx: ctx, probe: probe, build: build, pWidth: probeWidth, bWidth: buildWidth}
+}
+
+type crossIter struct {
+	ctx          context.Context
+	probe, build Iterator
+	pWidth       int
+	bWidth       int
+
+	inited bool
+	rows   []storage.Row
+	cur    storage.Row
+	i      int
+	n      int
+	done   bool
+}
+
+func (it *crossIter) Next() (storage.Row, bool, error) {
+	if it.done {
+		return nil, false, nil
+	}
+	if !it.inited {
+		it.inited = true
+		var err error
+		it.rows, err = collectKeepOpen(it.ctx, it.build)
+		if err != nil {
+			it.done = true
+			return nil, false, err
+		}
+		it.i = len(it.rows) // force a probe pull
+	}
+	for {
+		it.n++
+		if it.n%checkEvery == 0 {
+			if err := it.ctx.Err(); err != nil {
+				it.done = true
+				return nil, false, err
+			}
+		}
+		if it.i < len(it.rows) {
+			r := it.rows[it.i]
+			it.i++
+			out := make(storage.Row, it.pWidth+it.bWidth)
+			copy(out, it.cur[:it.pWidth])
+			copy(out[it.pWidth:], r)
+			return out, true, nil
+		}
+		row, ok, err := it.probe.Next()
+		if err != nil || !ok {
+			it.done = true
+			return nil, false, err
+		}
+		it.cur = row
+		it.i = 0
+	}
+}
+
+func (it *crossIter) Close() error {
+	err := it.probe.Close()
+	if e := it.build.Close(); e != nil && err == nil {
+		err = e
+	}
+	return err
+}
+
+// collectKeepOpen drains src without closing it (the owner closes).
+func collectKeepOpen(ctx context.Context, src Iterator) ([]storage.Row, error) {
+	var rows []storage.Row
+	for {
+		if len(rows)%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		r, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, r)
+	}
+}

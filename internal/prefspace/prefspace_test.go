@@ -20,7 +20,7 @@ import (
 func figure1Setup(t *testing.T) (*estimate.Estimator, *prefs.Profile, *Space) {
 	t.Helper()
 	db := testutil.MovieDB(256) // small blocks so every table has >0 blocks
-	est := estimate.New(catalog.Build(db), 1)
+	est := estimate.New(catalog.MustBuild(db), 1)
 	profile, err := prefs.ParseProfile(`
 doi(GENRE.genre = 'musical') = 0.5
 doi(MOVIE.mid = GENRE.mid) = 0.9
@@ -99,7 +99,7 @@ func TestVectorsTable2(t *testing.T) {
 
 func TestCostMaxPruning(t *testing.T) {
 	db := testutil.MovieDB(256)
-	est := estimate.New(catalog.Build(db), 1)
+	est := estimate.New(catalog.MustBuild(db), 1)
 	profile, _ := prefs.ParseProfile(`
 doi(MOVIE.year >= 1990) = 0.9
 doi(MOVIE.mid = GENRE.mid) = 0.8
@@ -121,7 +121,7 @@ doi(GENRE.genre = 'comedy') = 0.7
 func TestMaxKCap(t *testing.T) {
 	_, profile, _ := figure1Setup(t)
 	db := testutil.MovieDB(256)
-	est := estimate.New(catalog.Build(db), 1)
+	est := estimate.New(catalog.MustBuild(db), 1)
 	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
 	sp, err := Build(q, profile, est, Options{MaxK: 1})
 	if err != nil {
@@ -138,7 +138,7 @@ func TestMaxKCap(t *testing.T) {
 
 func TestSkipVectors(t *testing.T) {
 	db := testutil.MovieDB(256)
-	est := estimate.New(catalog.Build(db), 1)
+	est := estimate.New(catalog.MustBuild(db), 1)
 	profile, _ := prefs.ParseProfile(`doi(MOVIE.year >= 1990) = 0.9`)
 	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
 	sp, err := Build(q, profile, est, Options{SkipCostVector: true, SkipSizeVector: true})
@@ -177,7 +177,7 @@ func TestAccessors(t *testing.T) {
 
 func TestIrrelevantPreferencesIgnored(t *testing.T) {
 	db := testutil.MovieDB(256)
-	est := estimate.New(catalog.Build(db), 1)
+	est := estimate.New(catalog.MustBuild(db), 1)
 	// Preferences anchored at DIRECTOR are unrelated to a GENRE-only query.
 	profile, _ := prefs.ParseProfile(`
 doi(DIRECTOR.name = 'W. Allen') = 0.8
@@ -195,7 +195,7 @@ doi(GENRE.genre = 'comedy') = 0.3
 
 func TestAcyclicTraversalTerminates(t *testing.T) {
 	db := testutil.MovieDB(256)
-	est := estimate.New(catalog.Build(db), 1)
+	est := estimate.New(catalog.MustBuild(db), 1)
 	// Bidirectional join preferences form a cycle in the personalization
 	// graph; acyclicity of paths must keep the traversal finite.
 	profile, _ := prefs.ParseProfile(`
@@ -244,7 +244,7 @@ func TestDoiMonotoneAlongPaths(t *testing.T) {
 
 func TestEmptyQueryFails(t *testing.T) {
 	db := testutil.MovieDB(256)
-	est := estimate.New(catalog.Build(db), 1)
+	est := estimate.New(catalog.MustBuild(db), 1)
 	profile := prefs.NewProfile()
 	if _, err := Build(&query.Query{}, profile, est, Options{}); err == nil {
 		t.Error("empty query must fail")
@@ -323,7 +323,7 @@ func TestLongerPathsViaCast(t *testing.T) {
 	db2.MustTable("ACTOR").MustInsert(value.Int(1), value.Str("A. Actor"))
 	db2.MustTable("CAST").MustInsert(value.Int(1), value.Int(1))
 	db2.MustTable("MOVIE").MustInsert(value.Int(1), value.Str("M"), value.Int(2000), value.Int(90), value.Int(1))
-	est := estimate.New(catalog.Build(db2), 1)
+	est := estimate.New(catalog.MustBuild(db2), 1)
 	profile, err := prefs.ParseProfile(`
 doi(MOVIE.mid = CAST.mid) = 0.9
 doi(CAST.aid = ACTOR.aid) = 0.9

@@ -20,7 +20,7 @@ import (
 func mergeSetup(t *testing.T) (*storage.DB, *prefspace.Space) {
 	t.Helper()
 	db := testutil.MovieDB(256)
-	est := estimate.New(catalog.Build(db), 1)
+	est := estimate.New(catalog.MustBuild(db), 1)
 	profile, err := prefs.ParseProfile(`
 doi(MOVIE.mid = GENRE.mid) = 0.95
 doi(MOVIE.did = DIRECTOR.did) = 0.9

@@ -131,3 +131,15 @@ func (p *Personalized) ExecuteContext(ctx context.Context, db *storage.DB) (*exe
 	}
 	return exec.EvalUnionContext(ctx, db, p.Subs, dois, p.MinMatches())
 }
+
+// ExecuteTopKContext evaluates the personalized query keeping only the k
+// best-ranked rows: the executor maintains a bounded heap while groups
+// stream out of the union's group table, so the full ranked answer never
+// materializes.
+func (p *Personalized) ExecuteTopKContext(ctx context.Context, db *storage.DB, k int) (*exec.UnionResult, error) {
+	dois := p.Dois
+	if len(dois) == 0 {
+		dois = nil
+	}
+	return exec.EvalUnionTopK(ctx, db, p.Subs, dois, p.MinMatches(), k)
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cqp"
+	"cqp/internal/iter"
 	"cqp/internal/obs"
 	"cqp/internal/resilience"
 )
@@ -505,6 +506,9 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int, name string) (co
 		d = s.cfg.MaxTimeout
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
+	if s.cfg.SpillBytes > 0 {
+		ctx = iter.WithBudget(ctx, iter.Budget{Bytes: s.cfg.SpillBytes, Dir: s.cfg.SpillDir})
+	}
 	ctx, tr := cqp.StartTrace(ctx, name)
 	obs.RequestFromContext(r.Context()).SetTrace(tr)
 	return ctx, cancel, tr
@@ -1065,7 +1069,13 @@ func (s *Server) handleProfileList(w http.ResponseWriter, _ *http.Request) {
 // bulk load and purge every cached result (the statistics generation in
 // the cache key makes stale entries unreachable; the purge reclaims them).
 func (s *Server) handleRefresh(w http.ResponseWriter, _ *http.Request) {
-	s.p.Refresh()
+	if err := s.p.Refresh(); err != nil {
+		// A failed statistics scan (persistent backend read error) leaves
+		// the previous statistics serving; surface the failure instead of
+		// pretending the generation advanced.
+		writeError(w, http.StatusInternalServerError, "refresh_failed", err.Error())
+		return
+	}
 	s.cache.Purge()
 	writeJSON(w, http.StatusOK, map[string]any{"generation": s.p.Generation()})
 }

@@ -94,6 +94,15 @@ type Config struct {
 	// log truncation (default 1024; negative disables automatic
 	// snapshots).
 	SnapshotEvery int
+
+	// SpillBytes bounds each request's in-memory executor working state
+	// (join build sides, DISTINCT sets, union group tables); past it the
+	// executor spills to partitioned temp files under SpillDir and merges.
+	// Zero keeps everything in memory.
+	SpillBytes int64
+	// SpillDir is where spill partitions live (default: the OS temp dir).
+	// Files are unlinked at creation, so a crash leaks nothing.
+	SpillDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -176,7 +185,10 @@ type Server struct {
 func New(db *cqp.DB, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := cqp.NewMetrics()
-	p := cqp.NewPersonalizer(db)
+	p, err := cqp.NewPersonalizerWith(db)
+	if err != nil {
+		return nil, err
+	}
 	p.Observe(reg)
 	s := &Server{
 		cfg:     cfg,

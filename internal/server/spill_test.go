@@ -1,0 +1,50 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"cqp/internal/iter"
+)
+
+// A daemon under a tight spill budget must serve the same personalized
+// answers as an unconstrained one — the budget moves executor state to
+// temp files, never changes results — and the budget must actually engage
+// on the request path.
+func TestSpillBudgetServesIdenticalAnswers(t *testing.T) {
+	answers := func(cfg Config) string {
+		_, ts := newTestServer(t, cfg)
+		putProfile(t, ts.URL, "alice", testProfileText())
+		body := map[string]any{
+			"sql":        "SELECT title, name FROM MOVIE, DIRECTOR WHERE MOVIE.did = DIRECTOR.did",
+			"profile_id": "alice",
+			"cmax_ms":    10000,
+			"k":          50,
+		}
+		resp, data := doJSON(t, http.MethodPost, ts.URL+"/topk", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("topk: %d: %s", resp.StatusCode, data)
+		}
+		var out struct {
+			Answers json.RawMessage `json:"answers"`
+		}
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Answers) == 0 {
+			t.Fatalf("no answers in %s", data)
+		}
+		return string(out.Answers)
+	}
+
+	plain := answers(Config{})
+	r0, _, _ := iter.SpillStats()
+	tight := answers(Config{SpillBytes: 2048, SpillDir: t.TempDir()})
+	if r1, _, _ := iter.SpillStats(); r1 == r0 {
+		t.Fatal("a 2 KiB server budget never spilled — the budget is not reaching the executor")
+	}
+	if plain != tight {
+		t.Fatalf("spill budget changed served results:\nplain: %s\ntight: %s", plain, tight)
+	}
+}

@@ -9,20 +9,22 @@ import (
 	"cqp/internal/value"
 )
 
-// WriteCSV dumps the table as CSV with a header row of column names.
-// Values render with Value.String (unquoted strings; encoding/csv adds
-// quoting as needed).
-func (t *Table) WriteCSV(w io.Writer) error {
+// WriteCSVTo dumps any backend as CSV with a header row of column names,
+// scanning without I/O accounting (CSV export is an offline operation, not
+// query work). Values render with Value.String (unquoted strings;
+// encoding/csv adds quoting as needed).
+func WriteCSVTo(b Backend, w io.Writer) error {
+	rel := b.Relation()
 	cw := csv.NewWriter(w)
-	header := make([]string, len(t.rel.Columns))
-	for i, c := range t.rel.Columns {
+	header := make([]string, len(rel.Columns))
+	for i, c := range rel.Columns {
 		header[i] = c.Name
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("storage: csv header: %v", err)
 	}
 	record := make([]string, len(header))
-	for _, row := range t.rows {
+	err := ScanRaw(b, func(row Row) bool {
 		for i, v := range row {
 			if v.IsNull() {
 				record[i] = "" // NULL round-trips as the empty field
@@ -31,50 +33,42 @@ func (t *Table) WriteCSV(w io.Writer) error {
 			record[i] = v.String()
 		}
 		if err := cw.Write(record); err != nil {
-			return fmt.Errorf("storage: csv row: %v", err)
+			return false
 		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("storage: csv scan: %v", err)
 	}
 	cw.Flush()
 	return cw.Error()
 }
 
-// ReadCSV bulk-loads CSV data into the table. The first record must be a
-// header naming a subset ordering of the relation's columns (all columns
-// required). Fields parse according to the declared column types; empty
-// fields load as NULL.
-//
-// The load is atomic: on any error — malformed header, short record, type
-// mismatch mid-file — the table rolls back to its pre-call state, so a
-// failed load never leaves partial rows (or their block accounting)
-// visible to scans.
-func (t *Table) ReadCSV(r io.Reader) (n int, err error) {
-	// Snapshot the heap-file state; Insert only appends, so truncating the
-	// row slice and restoring the block cursor is a complete rollback.
-	snapRows, snapBlocks, snapUsed := len(t.rows), t.blocks, t.curBlockUsed
-	defer func() {
-		if err != nil {
-			t.rows = t.rows[:snapRows]
-			t.blocks, t.curBlockUsed = snapBlocks, snapUsed
-			n = 0
-		}
-	}()
+// WriteCSV dumps the table as CSV with a header row of column names.
+func (t *Table) WriteCSV(w io.Writer) error { return WriteCSVTo(t, w) }
+
+// ReadCSVInto is the shared CSV-ingest loop: header validation, column
+// permutation, typed field parsing, one Insert call per record. Backends
+// wrap it with their own rollback to make loads atomic.
+func ReadCSVInto(b Backend, r io.Reader) (int, error) {
+	rel := b.Relation()
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return 0, fmt.Errorf("storage: csv header: %v", err)
 	}
-	if len(header) != len(t.rel.Columns) {
+	if len(header) != len(rel.Columns) {
 		return 0, fmt.Errorf("storage: csv header has %d columns, relation %s has %d",
-			len(header), t.rel.Name, len(t.rel.Columns))
+			len(header), rel.Name, len(rel.Columns))
 	}
 	// Map CSV positions onto relation positions.
 	perm := make([]int, len(header))
 	seen := make(map[string]bool, len(header))
 	for i, name := range header {
-		idx := t.rel.ColumnIndex(name)
+		idx := rel.ColumnIndex(name)
 		if idx < 0 {
-			return 0, fmt.Errorf("storage: csv column %q not in relation %s", name, t.rel.Name)
+			return 0, fmt.Errorf("storage: csv column %q not in relation %s", name, rel.Name)
 		}
 		if seen[name] {
 			return 0, fmt.Errorf("storage: duplicate csv column %q", name)
@@ -91,20 +85,43 @@ func (t *Table) ReadCSV(r io.Reader) (n int, err error) {
 		if err != nil {
 			return loaded, fmt.Errorf("storage: csv line %d: %v", line, err)
 		}
-		row := make(Row, len(t.rel.Columns))
+		row := make(Row, len(rel.Columns))
 		for i, field := range record {
-			v, err := parseCSVField(field, t.rel.Columns[perm[i]].Type)
+			v, err := parseCSVField(field, rel.Columns[perm[i]].Type)
 			if err != nil {
 				return loaded, fmt.Errorf("storage: csv line %d, column %s: %v",
 					line, header[i], err)
 			}
 			row[perm[i]] = v
 		}
-		if err := t.Insert(row); err != nil {
+		if err := b.Insert(row); err != nil {
 			return loaded, fmt.Errorf("storage: csv line %d: %v", line, err)
 		}
 		loaded++
 	}
+}
+
+// ReadCSV bulk-loads CSV data into the table. The first record must be a
+// header naming a permutation of the relation's columns (all columns
+// required). Fields parse according to the declared column types; empty
+// fields load as NULL.
+//
+// The load is atomic: on any error — malformed header, short record, type
+// mismatch mid-file — the table rolls back to its pre-call state, so a
+// failed load never leaves partial rows (or their block accounting)
+// visible to scans.
+func (t *Table) ReadCSV(r io.Reader) (n int, err error) {
+	// Snapshot the heap-file state; Insert only appends, so truncating the
+	// row slice and restoring the block cursor is a complete rollback.
+	snapRows, snapTally := len(t.rows), t.tally
+	defer func() {
+		if err != nil {
+			t.rows = t.rows[:snapRows]
+			t.tally = snapTally
+			n = 0
+		}
+	}()
+	return ReadCSVInto(t, r)
 }
 
 // parseCSVField converts one CSV field to a value of the column's kind.

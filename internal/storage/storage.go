@@ -1,16 +1,21 @@
-// Package storage implements the in-memory relational store that substitutes
-// for the paper's Oracle 9i substrate.
+// Package storage defines the relational storage layer: the Backend
+// interface every table engine implements, the in-memory heap table that
+// substitutes for the paper's Oracle 9i substrate, and the DB that binds a
+// schema to per-relation backends.
 //
 // The paper's cost model (Section 7.1) charges b milliseconds per disk block
 // read, assumes full scans with no indexes, and keeps intermediate results in
-// memory. This store implements exactly that model: tables are heap files of
-// rows packed into fixed-size blocks, scans account block reads against an
-// IOCounter, and everything else is memory-resident. "Real" execution cost in
-// Figure 15 is the counter's block total multiplied by b.
+// memory. Every backend implements exactly that model: tables are heap files
+// of rows packed into fixed-size blocks, scans account block reads against an
+// IOCounter, and the block arithmetic (BlockTally) is shared so the in-memory
+// and persistent backends report identical block counts for identical data —
+// the paper's cost metrics stay backend-independent. The persistent
+// block-store backend lives in internal/blockstore.
 package storage
 
 import (
 	"fmt"
+	"io"
 
 	"cqp/internal/fault"
 	"cqp/internal/obs"
@@ -59,16 +64,156 @@ func (c *IOCounter) Add(n int64) {
 	}
 }
 
-// Table is a heap file: rows packed into blocks in insertion order.
+// BlockTally tracks the logical heap-file geometry of a table under the
+// paper's block model: rows packed into fixed-size blocks in insertion
+// order, each charged Row.Width bytes. Both the in-memory and the
+// persistent backends advance a BlockTally identically, so Blocks() — the
+// quantity the estimator and the cost model consume — is
+// backend-independent by construction.
+type BlockTally struct {
+	BlockSize int
+	// Blocks is the number of (virtual) blocks occupied so far.
+	Blocks int64
+	// Used is the number of bytes used in the last block.
+	Used int
+}
+
+// Add appends one row of the given width, opening a new block when the
+// current one cannot hold it.
+func (t *BlockTally) Add(width int) {
+	if t.Blocks == 0 || t.Used+width > t.BlockSize {
+		t.Blocks++
+		t.Used = 0
+	}
+	t.Used += width
+}
+
+// Cursor is a pull cursor over a table's rows in insertion order. The
+// returned row slice is only valid until the next call to Next unless the
+// caller clones it (values themselves are immutable and safe to share).
+type Cursor interface {
+	// Next returns the next row. ok is false once the cursor is exhausted.
+	Next() (row Row, ok bool, err error)
+	// Close releases the cursor. Backends may recycle closed cursors.
+	Close() error
+}
+
+// Backend is one relation's storage engine: the in-memory heap table here,
+// or the persistent block store in internal/blockstore. Backends are safe
+// for concurrent reads; mutation (Insert, ReadCSV) must not race with open
+// cursors.
+type Backend interface {
+	// Relation returns the table's relation definition.
+	Relation() *schema.Relation
+	// RowCount returns the number of stored tuples.
+	RowCount() int
+	// Blocks returns the number of logical blocks the table occupies under
+	// the paper's block model (identical across backends for the same data).
+	Blocks() int64
+	// BlockSize returns the block size in bytes.
+	BlockSize() int
+	// Insert validates a tuple against the relation and appends it.
+	Insert(Row) error
+	// MustInsert is Insert panicking on error; for generators and tests.
+	MustInsert(vals ...value.Value)
+	// Open starts a full-table scan, charging the table's logical block
+	// count to io up front (the model has no indexes: a scan pays for the
+	// whole heap file even if the consumer stops early).
+	Open(io *IOCounter) (Cursor, error)
+	// OpenRaw starts a maintenance scan: no I/O accounting, no scan
+	// metrics, and exempt from the storage.scan query-path fault point
+	// (statistics builds and CSV exports are catalog work, not query
+	// work). Physical read failures of persistent backends still surface.
+	OpenRaw() (Cursor, error)
+	// Scan is a convenience full scan driving fn over Open/Next/Close.
+	// Returning false from fn stops the scan early.
+	Scan(io *IOCounter, fn func(Row) bool) error
+	// ReadCSV bulk-loads CSV data (see package docs); the load is atomic.
+	ReadCSV(r io.Reader) (int, error)
+	// WriteCSV dumps the table as CSV with a header row of column names.
+	WriteCSV(w io.Writer) error
+	// SetMetrics attaches per-table scan instruments (nil counters detach).
+	SetMetrics(scans, blockReads, rowsScanned *obs.Counter)
+	// Close releases backend resources (a no-op for the in-memory table).
+	Close() error
+}
+
+// PrepareRow validates a tuple against the relation, coercing values to the
+// declared column types, and returns the coerced row and its logical width.
+// Shared by every backend's Insert.
+func PrepareRow(rel *schema.Relation, r Row, blockSize int) (Row, int, error) {
+	if len(r) != len(rel.Columns) {
+		return nil, 0, fmt.Errorf("storage: %s expects %d values, got %d",
+			rel.Name, len(rel.Columns), len(r))
+	}
+	row := make(Row, len(r))
+	for i, v := range r {
+		cv, err := v.CoerceTo(rel.Columns[i].Type)
+		if err != nil {
+			return nil, 0, fmt.Errorf("storage: %s.%s: %v", rel.Name, rel.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	w := row.Width()
+	if w > blockSize {
+		return nil, 0, fmt.Errorf("storage: row of %d bytes exceeds block size %d", w, blockSize)
+	}
+	return row, w, nil
+}
+
+// ScanBackend drives fn over a full scan of b, for backends implementing
+// Scan in terms of Open.
+func ScanBackend(b Backend, io *IOCounter, fn func(Row) bool) error {
+	cur, err := b.Open(io)
+	if err != nil {
+		return err
+	}
+	return drainCursor(cur, fn)
+}
+
+// ScanRaw drives fn over a maintenance scan of b (see Backend.OpenRaw).
+func ScanRaw(b Backend, fn func(Row) bool) error {
+	cur, err := b.OpenRaw()
+	if err != nil {
+		return err
+	}
+	return drainCursor(cur, fn)
+}
+
+func drainCursor(cur Cursor, fn func(Row) bool) error {
+	defer cur.Close()
+	for {
+		row, ok, err := cur.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if !fn(row) {
+			return nil
+		}
+	}
+}
+
+// AllRows materializes a maintenance scan of b, cloning each row. For
+// statistics builders and tests.
+func AllRows(b Backend) ([]Row, error) {
+	var out []Row
+	err := ScanRaw(b, func(r Row) bool {
+		out = append(out, r.Clone())
+		return true
+	})
+	return out, err
+}
+
+// Table is the in-memory heap file: rows packed into blocks in insertion
+// order. It implements Backend.
 type Table struct {
 	rel       *schema.Relation
 	rows      []Row
 	blockSize int
-
-	// curBlockUsed tracks bytes used in the (virtual) last block so Blocks()
-	// is O(1) and insertion-order dependent, like a real heap file.
-	blocks       int64
-	curBlockUsed int
+	tally     BlockTally
 
 	// Per-table scan instruments, cached once by DB.SetMetrics so the scan
 	// loop records with a single atomic add (nil — a no-op — until then).
@@ -82,7 +227,7 @@ func NewTable(rel *schema.Relation, blockSize int) *Table {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	return &Table{rel: rel, blockSize: blockSize}
+	return &Table{rel: rel, blockSize: blockSize, tally: BlockTally{BlockSize: blockSize}}
 }
 
 // Relation returns the table's relation definition.
@@ -92,7 +237,7 @@ func (t *Table) Relation() *schema.Relation { return t.rel }
 func (t *Table) RowCount() int { return len(t.rows) }
 
 // Blocks returns the number of blocks the heap file occupies.
-func (t *Table) Blocks() int64 { return t.blocks }
+func (t *Table) Blocks() int64 { return t.tally.Blocks }
 
 // BlockSize returns the block size in bytes.
 func (t *Table) BlockSize() int { return t.blockSize }
@@ -100,27 +245,11 @@ func (t *Table) BlockSize() int { return t.blockSize }
 // Insert validates a tuple against the relation and appends it.
 // Values are coerced to the declared column types where possible.
 func (t *Table) Insert(r Row) error {
-	if len(r) != len(t.rel.Columns) {
-		return fmt.Errorf("storage: %s expects %d values, got %d",
-			t.rel.Name, len(t.rel.Columns), len(r))
+	row, w, err := PrepareRow(t.rel, r, t.blockSize)
+	if err != nil {
+		return err
 	}
-	row := make(Row, len(r))
-	for i, v := range r {
-		cv, err := v.CoerceTo(t.rel.Columns[i].Type)
-		if err != nil {
-			return fmt.Errorf("storage: %s.%s: %v", t.rel.Name, t.rel.Columns[i].Name, err)
-		}
-		row[i] = cv
-	}
-	w := row.Width()
-	if w > t.blockSize {
-		return fmt.Errorf("storage: row of %d bytes exceeds block size %d", w, t.blockSize)
-	}
-	if t.blocks == 0 || t.curBlockUsed+w > t.blockSize {
-		t.blocks++
-		t.curBlockUsed = 0
-	}
-	t.curBlockUsed += w
+	t.tally.Add(w)
 	t.rows = append(t.rows, row)
 	return nil
 }
@@ -141,32 +270,69 @@ func (t *Table) MustInsert(vals ...value.Value) {
 // point injects here, standing in for the disk and page-cache errors a real
 // heap file would surface.
 func (t *Table) Scan(io *IOCounter, fn func(Row) bool) error {
+	return ScanBackend(t, io, fn)
+}
+
+// Open starts a full scan. The block charge and the storage.scan fault
+// point fire at open, mirroring the old eager Scan: a query pays for every
+// relation it opens even if the iterator tree never drains it.
+func (t *Table) Open(io *IOCounter) (Cursor, error) {
 	if err := fault.Inject(fault.StorageScan); err != nil {
-		return fmt.Errorf("storage: scan %s: %w", t.rel.Name, err)
+		return nil, fmt.Errorf("storage: scan %s: %w", t.rel.Name, err)
 	}
-	io.Add(t.blocks)
+	io.Add(t.tally.Blocks)
 	t.mScans.Inc()
-	t.mBlockReads.Add(t.blocks)
-	scanned := 0
-	for _, r := range t.rows {
-		scanned++
-		if !fn(r) {
-			break
-		}
+	t.mBlockReads.Add(t.tally.Blocks)
+	return &memCursor{t: t, metered: true}, nil
+}
+
+// OpenRaw starts a maintenance scan: no fault point, no charge, no metrics.
+func (t *Table) OpenRaw() (Cursor, error) {
+	return &memCursor{t: t}, nil
+}
+
+// memCursor iterates the heap table's row slice.
+type memCursor struct {
+	t       *Table
+	i       int
+	scanned int64
+	metered bool
+}
+
+func (c *memCursor) Next() (Row, bool, error) {
+	if c.i >= len(c.t.rows) {
+		return nil, false, nil
 	}
-	t.mRowsScanned.Add(int64(scanned))
+	r := c.t.rows[c.i]
+	c.i++
+	c.scanned++
+	return r, true, nil
+}
+
+func (c *memCursor) Close() error {
+	if c.metered {
+		c.t.mRowsScanned.Add(c.scanned)
+	}
+	c.scanned = 0
 	return nil
 }
 
 // Rows returns the backing row slice for read-only access without I/O
-// accounting. Used by statistics builders, which model catalog metadata
-// maintained outside query execution.
+// accounting. Used by tests; backend-independent callers use AllRows.
 func (t *Table) Rows() []Row { return t.rows }
 
-// DB binds a schema to its tables.
+// SetMetrics attaches per-table scan instruments.
+func (t *Table) SetMetrics(scans, blockReads, rowsScanned *obs.Counter) {
+	t.mScans, t.mBlockReads, t.mRowsScanned = scans, blockReads, rowsScanned
+}
+
+// Close is a no-op for the in-memory table.
+func (t *Table) Close() error { return nil }
+
+// DB binds a schema to its per-relation backends.
 type DB struct {
 	schema    *schema.Schema
-	tables    map[string]*Table
+	tables    map[string]Backend
 	blockSize int
 	metrics   *obs.Registry
 }
@@ -178,29 +344,49 @@ func (db *DB) SetMetrics(reg *obs.Registry) {
 	db.metrics = reg
 	for name, t := range db.tables {
 		if reg == nil {
-			t.mScans, t.mBlockReads, t.mRowsScanned = nil, nil, nil
+			t.SetMetrics(nil, nil, nil)
 			continue
 		}
-		t.mScans = reg.Counter("storage_scans_total", "table", name)
-		t.mBlockReads = reg.Counter("storage_block_reads_total", "table", name)
-		t.mRowsScanned = reg.Counter("storage_rows_scanned_total", "table", name)
+		t.SetMetrics(
+			reg.Counter("storage_scans_total", "table", name),
+			reg.Counter("storage_block_reads_total", "table", name),
+			reg.Counter("storage_rows_scanned_total", "table", name))
 	}
 }
 
 // Metrics returns the attached registry (nil when observability is off).
 func (db *DB) Metrics() *obs.Registry { return db.metrics }
 
-// NewDB creates an empty database over the schema with one table per
-// relation.
+// NewDB creates an empty in-memory database over the schema with one heap
+// table per relation.
 func NewDB(s *schema.Schema, blockSize int) *DB {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	db := &DB{schema: s, tables: make(map[string]*Table), blockSize: blockSize}
+	db := &DB{schema: s, tables: make(map[string]Backend), blockSize: blockSize}
 	for _, r := range s.Relations() {
 		db.tables[r.Name] = NewTable(r, blockSize)
 	}
 	return db
+}
+
+// NewDBWith creates a database whose per-relation backends come from open —
+// how the persistent block store plugs in underneath the executor. On error
+// the backends opened so far are closed.
+func NewDBWith(s *schema.Schema, blockSize int, open func(*schema.Relation) (Backend, error)) (*DB, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	db := &DB{schema: s, tables: make(map[string]Backend), blockSize: blockSize}
+	for _, r := range s.Relations() {
+		b, err := open(r)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		db.tables[r.Name] = b
+	}
+	return db, nil
 }
 
 // Schema returns the database schema.
@@ -209,8 +395,8 @@ func (db *DB) Schema() *schema.Schema { return db.schema }
 // BlockSize returns the database block size in bytes.
 func (db *DB) BlockSize() int { return db.blockSize }
 
-// Table returns the heap table for the relation, or an error.
-func (db *DB) Table(name string) (*Table, error) {
+// Table returns the backend for the relation, or an error.
+func (db *DB) Table(name string) (Backend, error) {
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("storage: no table %s", name)
@@ -218,8 +404,8 @@ func (db *DB) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// MustTable returns the table or panics; for generators and tests.
-func (db *DB) MustTable(name string) *Table {
+// MustTable returns the backend or panics; for generators and tests.
+func (db *DB) MustTable(name string) Backend {
 	t, err := db.Table(name)
 	if err != nil {
 		panic(err)
@@ -231,7 +417,18 @@ func (db *DB) MustTable(name string) *Table {
 func (db *DB) TotalBlocks() int64 {
 	var n int64
 	for _, t := range db.tables {
-		n += t.blocks
+		n += t.Blocks()
 	}
 	return n
+}
+
+// Close closes every backend, returning the first error.
+func (db *DB) Close() error {
+	var first error
+	for _, t := range db.tables {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

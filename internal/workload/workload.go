@@ -85,12 +85,23 @@ func Schema() *schema.Schema {
 	return s
 }
 
-// GenerateDB populates a database under the config. Genre and director
-// popularity are Zipf-skewed, mirroring real catalog data.
+// GenerateDB populates an in-memory database under the config. Genre and
+// director popularity are Zipf-skewed, mirroring real catalog data.
 func GenerateDB(cfg DBConfig) *storage.DB {
 	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	db := storage.NewDB(Schema(), cfg.BlockSize)
+	GenerateInto(db, cfg)
+	return db
+}
+
+// GenerateInto fills an existing (empty) database with the synthetic
+// workload. The database may sit on any storage backend — the persistent
+// block store uses this to materialize datasets directly on disk — but its
+// schema must be Schema(). Generation is deterministic in cfg.Seed
+// regardless of backend.
+func GenerateInto(db *storage.DB, cfg DBConfig) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	directors := db.MustTable("DIRECTOR")
 	for d := 1; d <= cfg.Directors; d++ {
@@ -141,7 +152,6 @@ func GenerateDB(cfg DBConfig) *storage.DB {
 				value.Str(roles[rng.Intn(len(roles))]))
 		}
 	}
-	return db
 }
 
 // GenreName names the synthetic genre with the given index.
@@ -159,7 +169,12 @@ type Env struct {
 // bMillis ≤ 0 selects the paper's 1 ms per block.
 func NewEnv(cfg DBConfig, bMillis float64) *Env {
 	db := GenerateDB(cfg)
-	cat := catalog.Build(db)
+	// Generated databases are in-memory; their maintenance scans cannot
+	// fail.
+	cat, err := catalog.Build(db)
+	if err != nil {
+		panic(err)
+	}
 	return &Env{DB: db, Cat: cat, Est: estimate.New(cat, bMillis)}
 }
 

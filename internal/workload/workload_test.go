@@ -5,6 +5,7 @@ import (
 
 	"cqp/internal/core"
 	"cqp/internal/prefspace"
+	"cqp/internal/storage"
 )
 
 func smallCfg() DBConfig {
@@ -54,7 +55,11 @@ func TestZipfSkew(t *testing.T) {
 	db := GenerateDB(smallCfg())
 	// The most popular director should direct far more than the average.
 	counts := map[int64]int{}
-	for _, r := range db.MustTable("MOVIE").Rows() {
+	mrows, err := storage.AllRows(db.MustTable("MOVIE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range mrows {
 		counts[r[4].AsInt()]++
 	}
 	max := 0

@@ -45,19 +45,41 @@ type Personalizer struct {
 }
 
 // NewPersonalizer builds a personalizer over the database, collecting
-// statistics immediately. Call Refresh after bulk-loading more data.
+// statistics immediately. Call Refresh after bulk-loading more data. It
+// panics if the statistics scan fails, which only a persistent backend can
+// make happen — serving daemons use NewPersonalizerWith and handle the
+// error instead.
 func NewPersonalizer(db *DB) *Personalizer {
-	p := &Personalizer{db: db}
-	p.Refresh()
+	p, err := NewPersonalizerWith(db)
+	if err != nil {
+		panic(err)
+	}
 	return p
+}
+
+// NewPersonalizerWith is NewPersonalizer surfacing statistics-scan
+// failures (possible when the database is served by the persistent
+// block-store backend) instead of panicking.
+func NewPersonalizerWith(db *DB) (*Personalizer, error) {
+	p := &Personalizer{db: db}
+	if err := p.Refresh(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Refresh rebuilds catalog statistics (cardinalities, block counts, value
 // frequencies) from the current table contents and advances Generation.
 // Safe to call during live traffic: in-flight personalizations finish on
-// the statistics they started with.
-func (p *Personalizer) Refresh() {
-	est := estimate.New(catalog.Build(p.db), estimate.DefaultBlockMillis)
+// the statistics they started with. On a failed statistics scan (possible
+// only with a persistent backend) the previous estimator stays in place,
+// Generation does not advance, and the error is returned.
+func (p *Personalizer) Refresh() error {
+	cat, err := catalog.Build(p.db)
+	if err != nil {
+		return fmt.Errorf("cqp: refresh statistics: %w", err)
+	}
+	est := estimate.New(cat, estimate.DefaultBlockMillis)
 	p.mu.Lock()
 	p.est = est
 	if p.metrics != nil {
@@ -65,6 +87,7 @@ func (p *Personalizer) Refresh() {
 	}
 	p.mu.Unlock()
 	p.gen.Add(1)
+	return nil
 }
 
 // Generation returns the statistics generation: 1 after construction,
@@ -200,6 +223,28 @@ func (r *Result) ExecuteContext(ctx context.Context) (*exec.UnionResult, error) 
 			obs.Attr{Key: "rows", Value: fmt.Sprint(s.Rows)},
 			obs.Attr{Key: "blocks", Value: fmt.Sprint(s.BlockReads)})
 	}
+	b := time.Duration(r.blockMillis * float64(time.Millisecond))
+	actMS := float64(exec.RealCost(res.BlockReads, res.Elapsed, b)) / float64(time.Millisecond)
+	r.acc.Record(r.Solution.Cost, actMS, r.Solution.Size, float64(len(res.Rows)))
+	return res, nil
+}
+
+// ExecuteTopKContext is ExecuteContext keeping only the k best-ranked
+// rows via the executor's bounded heap — the full ranked answer never
+// materializes. The accuracy tracker records the kept rows against the
+// estimate, so top-k executions still feed Figure 15's comparison.
+func (r *Result) ExecuteTopKContext(ctx context.Context, k int) (*exec.UnionResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cqp: execute: %w", err)
+	}
+	_, span := obs.StartSpan(ctx, "execute")
+	res, err := r.pq.ExecuteTopKContext(ctx, r.db, k)
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttr("rows", len(res.Rows))
+	span.SetAttr("blocks", res.BlockReads)
 	b := time.Duration(r.blockMillis * float64(time.Millisecond))
 	actMS := float64(exec.RealCost(res.BlockReads, res.Elapsed, b)) / float64(time.Millisecond)
 	r.acc.Record(r.Solution.Cost, actMS, r.Solution.Size, float64(len(res.Rows)))
@@ -521,15 +566,14 @@ func (p *Personalizer) PersonalizeTopKContext(ctx context.Context, q *Query, u *
 	if err != nil {
 		return nil, err
 	}
-	rows, err := res.ExecuteContext(ctx)
+	// The bounded-heap execution path: the executor keeps the k best rows
+	// as groups stream by and never materializes the full ranked answer.
+	rows, err := res.ExecuteTopKContext(ctx, k)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]RankedAnswer, 0, k)
-	for i, r := range rows.Rows {
-		if i >= k {
-			break
-		}
+	for _, r := range rows.Rows {
 		out = append(out, RankedAnswer{Row: r.Key, Doi: r.Doi, Matched: len(r.Matched)})
 	}
 	return out, nil
