@@ -1,0 +1,457 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cqp"
+)
+
+// The cluster drill is the repo's kill -9 acceptance test as a benchmark:
+// boot a 3-node replicated cqpd cluster as real OS processes, write
+// profiles through every node, SIGKILL the node owning a tracked profile,
+// and measure how long reads of that profile stay dark. The drill fails
+// (non-zero exit) when any acked mutation is lost — during the outage or
+// after the killed owner rejoins — or when failover never completes.
+
+const (
+	drillNodes       = 3
+	drillBootWait    = 30 * time.Second
+	drillDrainWait   = 15 * time.Second
+	drillFailoverCap = 10 * time.Second
+)
+
+// drillResult is the BENCH_8.json shape.
+type drillResult struct {
+	Nodes          int    `json:"nodes"`
+	Profiles       int    `json:"profiles"`
+	Victim         string `json:"victim"`
+	TrackedProfile string `json:"tracked_profile"`
+	// FailoverMS is kill -9 to the first successful read of the tracked
+	// profile through a surviving node.
+	FailoverMS float64 `json:"failover_ms"`
+	// OutageReads sweeps every acked profile through the survivors while
+	// the owner is dead; StaleReplicaServes counts the answers that came
+	// from the follower's replica.
+	OutageReads        int `json:"outage_reads"`
+	OutageReadErrors   int `json:"outage_read_errors"`
+	StaleReplicaServes int `json:"stale_replica_serves"`
+	// LostMutations counts acked PUTs that became unreadable or regressed
+	// to an older version at any point in the drill. The gate: must be 0.
+	LostMutations int     `json:"lost_mutations"`
+	CatchupMS     float64 `json:"catchup_ms"`
+	// RejoinListingOK: the restarted owner's /profiles listing holds every
+	// profile it owns at exactly the acked version.
+	RejoinListingOK bool `json:"rejoin_listing_ok"`
+}
+
+// drillNode is one cqpd process under the drill's control.
+type drillNode struct {
+	id   string
+	addr string // host:port
+	base string // http://host:port
+	args []string
+	cmd  *exec.Cmd
+	log  string // log file path
+}
+
+func (n *drillNode) start() error {
+	f, err := os.OpenFile(n.log, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(n.args[0], n.args[1:]...)
+	cmd.Stdout, cmd.Stderr = f, f
+	if err := cmd.Start(); err != nil {
+		f.Close()
+		return fmt.Errorf("starting %s: %v", n.id, err)
+	}
+	n.cmd = cmd
+	// Reap on exit so a killed node never lingers as a zombie; the file
+	// closes once the process (the only writer) is gone.
+	go func() { cmd.Wait(); f.Close() }()
+	return nil
+}
+
+// kill delivers SIGKILL — the drill's whole point is that the process gets
+// no chance to flush, drain, or say goodbye.
+func (n *drillNode) kill() {
+	if n.cmd != nil && n.cmd.Process != nil {
+		n.cmd.Process.Kill()
+	}
+}
+
+func (n *drillNode) tail() string {
+	b, err := os.ReadFile(n.log)
+	if err != nil {
+		return ""
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) > 12 {
+		lines = lines[len(lines)-12:]
+	}
+	return fmt.Sprintf("--- %s log tail ---\n%s\n", n.id, strings.Join(lines, "\n"))
+}
+
+// runClusterDrill builds (or takes) a cqpd binary, runs the kill-and-
+// recover drill, writes the result JSON, and fails on any acked loss.
+func runClusterDrill(cqpdBin string, nProfiles int, seed int64, jsonPath string) error {
+	tmp, err := os.MkdirTemp("", "cqp-drill-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	if cqpdBin == "" {
+		cqpdBin = filepath.Join(tmp, "cqpd")
+		fmt.Println("cluster drill: building cqpd...")
+		if out, err := exec.Command("go", "build", "-o", cqpdBin, "cqp/cmd/cqpd").CombinedOutput(); err != nil {
+			return fmt.Errorf("building cqpd: %v\n%s", err, out)
+		}
+	}
+
+	addrs, err := freeAddrs(drillNodes)
+	if err != nil {
+		return err
+	}
+	nodes := make([]*drillNode, drillNodes)
+	peerParts := make([]string, drillNodes)
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i+1)
+		peerParts[i] = id + "=http://" + addrs[i]
+		nodes[i] = &drillNode{id: id, addr: addrs[i], base: "http://" + addrs[i]}
+	}
+	peers := strings.Join(peerParts, ",")
+	for _, n := range nodes {
+		n.log = filepath.Join(tmp, n.id+".log")
+		n.args = []string{cqpdBin,
+			"-addr", n.addr,
+			"-movies", "300", "-seed", fmt.Sprint(seed),
+			"-data", filepath.Join(tmp, n.id),
+			"-node-id", n.id, "-peers", peers, "-replicate",
+			"-probe-interval", "100ms",
+		}
+		if err := n.start(); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.kill()
+		}
+	}()
+	fail := func(format string, a ...any) error {
+		for _, n := range nodes {
+			fmt.Fprint(os.Stderr, n.tail())
+		}
+		return fmt.Errorf(format, a...)
+	}
+
+	for _, n := range nodes {
+		if err := waitHealthy(n.base, drillBootWait); err != nil {
+			return fail("node %s never became healthy: %v", n.id, err)
+		}
+	}
+	fmt.Printf("cluster drill: %d nodes up (%s)\n", drillNodes, peers)
+
+	// Acked mutations: PUT through every node round-robin, so roughly two
+	// thirds of the writes prove owner-proxying on the way in.
+	text := cqp.SyntheticProfile(12, seed+1).String()
+	acked := make(map[string]uint64, nProfiles)
+	ids := make([]string, 0, nProfiles)
+	for i := 0; i < nProfiles; i++ {
+		id := fmt.Sprintf("user-%02d", i)
+		v, err := putDrillProfile(nodes[i%drillNodes].base, id, text)
+		if err != nil {
+			return fail("PUT %s: %v", id, err)
+		}
+		acked[id] = v
+		ids = append(ids, id)
+	}
+
+	owner := make(map[string]string, nProfiles)
+	follower := make(map[string]string, nProfiles)
+	for _, id := range ids {
+		var route struct {
+			Owner    string `json:"owner"`
+			Follower string `json:"follower"`
+		}
+		if _, err := drillGet(nodes[0].base+"/cluster/route/"+id, &route); err != nil {
+			return fail("route %s: %v", id, err)
+		}
+		owner[id], follower[id] = route.Owner, route.Follower
+	}
+
+	// Replication drain: every acked profile must sit in its follower's
+	// replica at the acked version before anything is killed — otherwise
+	// the drill would measure replication lag, not failover.
+	if err := waitReplicated(nodes, ids, acked, follower); err != nil {
+		return fail("replication never drained: %v", err)
+	}
+
+	tracked := ids[0]
+	var victim *drillNode
+	survivors := make([]*drillNode, 0, drillNodes-1)
+	for _, n := range nodes {
+		if n.id == owner[tracked] {
+			victim = n
+		} else {
+			survivors = append(survivors, n)
+		}
+	}
+	fmt.Printf("cluster drill: killing %s (owner of %s; follower %s) with SIGKILL\n",
+		victim.id, tracked, follower[tracked])
+	victim.kill()
+	killedAt := time.Now()
+
+	// Failover: hammer the tracked profile through a survivor until it
+	// answers. The first read already exercises the one-strike breaker.
+	res := drillResult{Nodes: drillNodes, Profiles: nProfiles,
+		Victim: victim.id, TrackedProfile: tracked}
+	for {
+		pj, code, err := getDrillProfile(survivors[0].base, tracked)
+		if err == nil && code == http.StatusOK && pj.Version == acked[tracked] {
+			res.FailoverMS = float64(time.Since(killedAt).Microseconds()) / 1000
+			break
+		}
+		if time.Since(killedAt) > drillFailoverCap {
+			return fail("no failover within %s (last: code=%d err=%v)", drillFailoverCap, code, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("cluster drill: failover in %.1fms\n", res.FailoverMS)
+
+	// Outage sweep: every acked profile stays readable through the
+	// survivors; the dead node's shard must come back stale from the
+	// follower's replica at exactly the acked version.
+	for i, id := range ids {
+		pj, code, err := getDrillProfile(survivors[i%len(survivors)].base, id)
+		res.OutageReads++
+		switch {
+		case err != nil || code != http.StatusOK:
+			res.OutageReadErrors++
+			if owner[id] == victim.id {
+				res.LostMutations++
+			}
+		case pj.Version != acked[id]:
+			res.LostMutations++
+		case pj.StaleReplica:
+			res.StaleReplicaServes++
+		}
+	}
+	fmt.Printf("cluster drill: outage sweep: %d reads, %d errors, %d stale-replica serves, %d lost\n",
+		res.OutageReads, res.OutageReadErrors, res.StaleReplicaServes, res.LostMutations)
+
+	// Rejoin: same binary, same flags, same data dir. The node must replay
+	// its WAL, catch up from peers, and only then report healthy.
+	restartAt := time.Now()
+	if err := victim.start(); err != nil {
+		return fail("restarting %s: %v", victim.id, err)
+	}
+	if err := waitHealthy(victim.base, drillBootWait); err != nil {
+		return fail("%s never rejoined: %v", victim.id, err)
+	}
+	res.CatchupMS = float64(time.Since(restartAt).Microseconds()) / 1000
+
+	// Zero acked loss, part two: the rejoined owner's own listing holds
+	// every profile it owns at exactly the acked version...
+	var listing struct {
+		Profiles []struct {
+			ID      string `json:"id"`
+			Version uint64 `json:"version"`
+		} `json:"profiles"`
+	}
+	if _, err := drillGet(victim.base+"/profiles", &listing); err != nil {
+		return fail("rejoined listing: %v", err)
+	}
+	recovered := make(map[string]uint64, len(listing.Profiles))
+	for _, p := range listing.Profiles {
+		recovered[p.ID] = p.Version
+	}
+	res.RejoinListingOK = true
+	for _, id := range ids {
+		if owner[id] != victim.id {
+			continue
+		}
+		if recovered[id] != acked[id] {
+			res.RejoinListingOK = false
+			res.LostMutations++
+		}
+	}
+	// ...and every profile reads back undegraded through the rejoined node.
+	for _, id := range ids {
+		pj, code, err := getDrillProfile(victim.base, id)
+		if err != nil || code != http.StatusOK || pj.Version != acked[id] || pj.StaleReplica {
+			res.LostMutations++
+		}
+	}
+	fmt.Printf("cluster drill: %s rejoined in %.0fms, listing ok=%v, lost=%d\n",
+		victim.id, res.CatchupMS, res.RejoinListingOK, res.LostMutations)
+
+	if jsonPath != "" {
+		if dir := filepath.Dir(jsonPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		b, _ := json.MarshalIndent(res, "", "  ")
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if res.LostMutations > 0 || res.OutageReadErrors > 0 || !res.RejoinListingOK {
+		return fail("drill failed: %d lost mutations, %d outage read errors, listing ok=%v",
+			res.LostMutations, res.OutageReadErrors, res.RejoinListingOK)
+	}
+	fmt.Println("cluster drill: PASS — zero acked mutations lost")
+	return nil
+}
+
+var drillClient = &http.Client{Timeout: 3 * time.Second}
+
+// freeAddrs reserves n distinct loopback ports by binding and releasing
+// them. The usual tiny race (another process grabbing a port between close
+// and cqpd's bind) surfaces as a node that never turns healthy.
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := drillClient.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("not healthy after %s", timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitReplicated polls each follower's /cluster/state until its replica
+// holds every profile it follows at the acked version.
+func waitReplicated(nodes []*drillNode, ids []string, acked map[string]uint64, follower map[string]string) error {
+	byBase := make(map[string]string, len(nodes))
+	for _, n := range nodes {
+		byBase[n.id] = n.base
+	}
+	deadline := time.Now().Add(drillDrainWait)
+	for {
+		missing := ""
+		replica := make(map[string]map[string]uint64, len(nodes))
+		for id, base := range byBase {
+			var state struct {
+				Replica []struct {
+					ID      string `json:"id"`
+					Version uint64 `json:"version"`
+				} `json:"replica"`
+			}
+			if _, err := drillGet(base+"/cluster/state", &state); err != nil {
+				return err
+			}
+			m := make(map[string]uint64, len(state.Replica))
+			for _, r := range state.Replica {
+				m[r.ID] = r.Version
+			}
+			replica[id] = m
+		}
+		for _, id := range ids {
+			if replica[follower[id]][id] != acked[id] {
+				missing = fmt.Sprintf("%s@%d not on %s", id, acked[id], follower[id])
+				break
+			}
+		}
+		if missing == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("after %s: %s", drillDrainWait, missing)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func drillGet(url string, out any) (int, error) {
+	resp, err := drillClient.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// drillProfile is the subset of the profile response the drill checks.
+type drillProfile struct {
+	ID           string `json:"id"`
+	Version      uint64 `json:"version"`
+	StaleReplica bool   `json:"stale_replica"`
+}
+
+func getDrillProfile(base, id string) (drillProfile, int, error) {
+	var pj drillProfile
+	resp, err := drillClient.Get(base + "/profiles/" + id)
+	if err != nil {
+		return pj, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return pj, resp.StatusCode, nil
+	}
+	return pj, resp.StatusCode, json.NewDecoder(resp.Body).Decode(&pj)
+}
+
+func putDrillProfile(base, id, text string) (uint64, error) {
+	req, err := http.NewRequest(http.MethodPut, base+"/profiles/"+id, strings.NewReader(text))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := drillClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return 0, fmt.Errorf("PUT %s: %d: %s", id, resp.StatusCode, b)
+	}
+	var pj drillProfile
+	if err := json.NewDecoder(resp.Body).Decode(&pj); err != nil {
+		return 0, err
+	}
+	return pj.Version, nil
+}

@@ -15,6 +15,7 @@
 //	cqpbench -herd 64 -bursts 8 -gate -json BENCH_5.json   # thundering-herd serving benchmark
 //	cqpbench -batch 32                                     # /personalize/batch vs singleton requests
 //	cqpbench -spillbench 6000 -spillbudget 262144 -gate    # union-all peak heap, unbounded vs spilled
+//	cqpbench -cluster-drill -json results/BENCH_8.json     # 3-node kill -9 failover drill
 package main
 
 import (
@@ -61,9 +62,25 @@ func main() {
 		gate      = flag.Bool("gate", false, "herd mode: exit non-zero when coalescing loses to the no-coalesce baseline; spillbench mode: when spilling fails to cut peak heap")
 		spillN    = flag.Int("spillbench", 0, "executor benchmark: union-all over this many movies, unbounded vs spill-budgeted (0 = off)")
 		spillBudg = flag.Int64("spillbudget", 256<<10, "spillbench mode: per-run executor memory budget in bytes")
+		drill     = flag.Bool("cluster-drill", false, "robustness drill: boot a 3-node replicated cqpd cluster, kill -9 a profile's owner, verify failover and zero acked-mutation loss")
+		cqpdBin   = flag.String("cqpd", "", "cluster-drill mode: path to a cqpd binary (empty = go build one)")
 	)
 	flag.Parse()
 
+	if *drill {
+		// The drill wants enough profiles that every node owns a few;
+		// -profiles' laptop default of 4 is too thin unless set explicitly.
+		nProf := 24
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "profiles" {
+				nProf = *profiles
+			}
+		})
+		if err := runClusterDrill(*cqpdBin, nProf, *seed, *jsonPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *herd > 0 || *batchN > 0 {
 		if err := runServeBench(*movies, *seed, *herd, *bursts, *batchN, *jsonPath, *gate); err != nil {
 			fatal(err)

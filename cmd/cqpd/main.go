@@ -19,6 +19,9 @@
 //	cqpd -faults 'storage.scan:err:0.05' -faultseed 42   # chaos run
 //	cqpd -slowlog 50ms -logjson       # attribute every request ≥ 50ms, JSON logs
 //	cqpd -flight 1024                 # retain more requests for /debug/requests
+//	cqpd -node-id n1 -data s1/ -replicate \
+//	     -peers 'n1=http://h1:8344,n2=http://h2:8344,n3=http://h3:8344'
+//	                                  # one member of a 3-node cluster
 //
 // Endpoints: POST /personalize, /personalize/batch, /execute, /front,
 // /topk; PUT/GET/DELETE
@@ -34,6 +37,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -74,8 +78,17 @@ func main() {
 		logJSON   = flag.Bool("logjson", false, "emit request logs as JSON instead of logfmt-style text")
 		slowLog   = flag.Duration("slowlog", -1, "log per-phase latency attribution for requests at least this slow (0 = every request; negative disables)")
 		flightN   = flag.Int("flight", 256, "flight-recorder ring size for /debug/requests (negative disables retention)")
+		nodeID    = flag.String("node-id", "", "this node's ID in a multi-node cluster (requires -peers)")
+		peersCSV  = flag.String("peers", "", "static cluster peer list: comma-separated id=url pairs including this node, e.g. 'n1=http://10.0.0.1:8344,n2=http://10.0.0.2:8344'")
+		replicate = flag.Bool("replicate", false, "ship acked WAL frames to followers so reads fail over when an owner dies (requires -peers and -data)")
+		probeIvl  = flag.Duration("probe-interval", 500*time.Millisecond, "cluster peer health-probe period (the failover detection bound)")
 	)
 	flag.Parse()
+
+	peers, err := validateStartup(*nodeID, *peersCSV, *replicate, *dataDir, *spill)
+	if err != nil {
+		fatal(err)
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -122,9 +135,17 @@ func main() {
 		FlightRecords:  *flightN,
 		SpillBytes:     *spill,
 		SpillDir:       *spillDir,
+		NodeID:         *nodeID,
+		ClusterPeers:   peers,
+		Replicate:      *replicate,
+		ProbeInterval:  *probeIvl,
+		Backend:        *backend,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *nodeID != "" {
+		fmt.Printf("cqpd: cluster node %s of %d peers (replicate=%v)\n", *nodeID, len(peers), *replicate)
 	}
 	if store != nil {
 		store.Observe(srv.Registry())
@@ -249,6 +270,71 @@ func loadCSVDir(db *cqp.DB, dir string) error {
 // fresh daemon answers personalize requests without a prior PUT.
 func preloadProfile(srv *server.Server, selections int, seed int64) (*server.StoredProfile, error) {
 	return srv.Profiles().Put("default", cqp.SyntheticProfile(selections, seed+1).String())
+}
+
+// parsePeers parses the -peers list: comma-separated id=url pairs. A URL
+// without a scheme gets http://; trailing slashes are trimmed so path
+// concatenation stays clean.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(ent, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=url; example: n1=http://10.0.0.1:8344", ent)
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("-peers lists node %q twice; every node needs a distinct ID", id)
+		}
+		peers[id] = strings.TrimRight(url, "/")
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is empty; pass comma-separated id=url pairs including this node")
+	}
+	return peers, nil
+}
+
+// validateStartup cross-checks the flag combinations that cannot work and
+// turns each into one actionable error before the daemon touches disk or
+// the network. Returns the parsed peer map (nil when standalone).
+func validateStartup(nodeID, peersCSV string, replicate bool, dataDir string, spill int64) (map[string]string, error) {
+	if spill < 0 {
+		return nil, fmt.Errorf("-spill must be ≥ 0 bytes (got %d); omit it for unlimited or pass a positive budget", spill)
+	}
+	if peersCSV == "" {
+		if nodeID != "" {
+			return nil, fmt.Errorf("-node-id %q needs -peers; pass the full id=url list, including this node", nodeID)
+		}
+		if replicate {
+			return nil, fmt.Errorf("-replicate needs a cluster; pass -node-id and -peers (and -data for the WAL it ships)")
+		}
+		return nil, nil
+	}
+	if nodeID == "" {
+		return nil, fmt.Errorf("-peers needs -node-id; name which entry of the peer list this process is")
+	}
+	peers, err := parsePeers(peersCSV)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := peers[nodeID]; !ok {
+		ids := make([]string, 0, len(peers))
+		for id := range peers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("-node-id %q is not in -peers (%s); every node must appear in its own peer list", nodeID, strings.Join(ids, ", "))
+	}
+	if replicate && dataDir == "" {
+		return nil, fmt.Errorf("-replicate needs -data; replication ships the write-ahead log, and a memory-only node has no log to ship")
+	}
+	return peers, nil
 }
 
 func fatal(err error) {

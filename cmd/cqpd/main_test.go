@@ -93,6 +93,79 @@ func TestBuildDBUnknownBackend(t *testing.T) {
 	}
 }
 
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("n1=http://10.0.0.1:8344, n2=10.0.0.2:8344 ,n3=http://h3:8344/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"n1": "http://10.0.0.1:8344",
+		"n2": "http://10.0.0.2:8344", // scheme defaulted
+		"n3": "http://h3:8344",       // trailing slash trimmed
+	}
+	if len(peers) != len(want) {
+		t.Fatalf("parsed %v, want %v", peers, want)
+	}
+	for id, url := range want {
+		if peers[id] != url {
+			t.Fatalf("peer %s = %q, want %q", id, peers[id], url)
+		}
+	}
+
+	for _, bad := range []string{"", "n1", "=http://x", "n1=", "n1=a,n1=b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Fatalf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestValidateStartup: every impossible flag combination dies with one
+// actionable line naming the flag to fix.
+func TestValidateStartup(t *testing.T) {
+	peers := "n1=http://h1:1,n2=http://h2:1"
+	cases := []struct {
+		name                string
+		nodeID, peers, data string
+		replicate           bool
+		spill               int64
+		wantErr             string
+	}{
+		{name: "standalone ok"},
+		{name: "cluster ok", nodeID: "n1", peers: peers, data: "d", replicate: true},
+		{name: "cluster without replication ok", nodeID: "n1", peers: peers},
+		{name: "negative spill", spill: -1, wantErr: "-spill"},
+		{name: "node-id without peers", nodeID: "n1", wantErr: "-peers"},
+		{name: "peers without node-id", peers: peers, wantErr: "-node-id"},
+		{name: "node-id not in peers", nodeID: "nx", peers: peers, wantErr: "not in -peers"},
+		{name: "replicate without peers", replicate: true, wantErr: "-replicate needs a cluster"},
+		{name: "replicate without data", nodeID: "n1", peers: peers, replicate: true, wantErr: "-replicate needs -data"},
+		{name: "malformed peers", nodeID: "n1", peers: "garbage", wantErr: "id=url"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := validateStartup(c.nodeID, c.peers, c.replicate, c.data, c.spill)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if c.peers != "" && len(got) != 2 {
+					t.Fatalf("peer map: %v", got)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+}
+
 func TestPreloadProfile(t *testing.T) {
 	srv, err := server.New(cqp.SyntheticMovieDB(100, 1), server.Config{})
 	if err != nil {

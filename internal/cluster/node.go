@@ -1,0 +1,452 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cqp/internal/obs"
+	"cqp/internal/resilience"
+	"cqp/internal/wal"
+)
+
+// Internal cluster paths, mounted by the server on every node.
+const (
+	PathPing      = "/cluster/ping"
+	PathReplicate = "/cluster/replicate"
+	PathSync      = "/cluster/sync"
+)
+
+// Config wires a Node into a static cluster.
+type Config struct {
+	// Self is this node's ID; it must appear in Peers.
+	Self string
+	// Peers maps every node ID (including Self) to its base URL, e.g.
+	// "n1" -> "http://10.0.0.1:8344".
+	Peers map[string]string
+	// VNodes is the virtual nodes per peer (0 = DefaultVirtualNodes).
+	VNodes int
+	// ProbeInterval is the peer health-probe period (default 500ms). It is
+	// also the failover detection bound: a dead peer is circuit-broken
+	// within one failed probe or one failed proxy attempt, whichever
+	// comes first.
+	ProbeInterval time.Duration
+	// Replicate enables WAL-frame shipping to followers. Routing (proxying
+	// to owners) works without it; failover reads do not.
+	Replicate bool
+	// SyncSource supplies the catch-up payload served to (and pushed at) a
+	// peer: this node's version clock and the live records it owns whose
+	// follower is that peer.
+	SyncSource func(peer string) (clock uint64, recs []wal.Record)
+	// Metrics receives the cluster gauges and counters (nil = none).
+	Metrics *obs.Registry
+	// Client overrides the HTTP client used for probes, replication and
+	// sync (tests inject httptest clients).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Self == "" {
+		return c, fmt.Errorf("cluster: config needs Self")
+	}
+	if _, ok := c.Peers[c.Self]; !ok {
+		return c, fmt.Errorf("cluster: self %q missing from peer list", c.Self)
+	}
+	for id, url := range c.Peers {
+		if url == "" {
+			return c, fmt.Errorf("cluster: peer %q has no URL", id)
+		}
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			// Replication and proxying reuse connections; the short dial
+			// timeout bounds failover latency when a peer host blackholes
+			// instead of refusing.
+			DialContext:         (&net.Dialer{Timeout: time.Second}).DialContext,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return c, nil
+}
+
+// Node is one cluster member's local view: the shared ring, per-peer
+// health (a one-strike circuit breaker per peer, settled by both the
+// background prober and live proxy attempts), the replication senders,
+// and the replica store for the shards this node follows.
+type Node struct {
+	cfg     Config
+	ring    *Ring
+	replica *ReplicaStore
+	peers   map[string]*peerState // every peer except self
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// peerState is this node's view of one remote peer.
+type peerState struct {
+	id, url string
+	// breaker is the peer's reachability state: one failed probe or proxy
+	// opens it (instant failover), a half-open probe success closes it.
+	breaker *resilience.Breaker
+	// sender state (Replicate only).
+	ch       chan wal.Record
+	needSync chan struct{} // capacity 1; a pending token forces a full sync
+	pending  chanCounter
+}
+
+// chanCounter is a tiny atomic counter for queue+in-flight lag.
+type chanCounter struct {
+	mu sync.Mutex
+	n  int64
+	// acked is the follower's last reported applied version.
+	acked uint64
+}
+
+func (c *chanCounter) add(d int64) {
+	c.mu.Lock()
+	c.n += d
+	if c.n < 0 {
+		c.n = 0
+	}
+	c.mu.Unlock()
+}
+
+func (c *chanCounter) get() (int64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n, c.acked
+}
+
+func (c *chanCounter) setAcked(v uint64) {
+	c.mu.Lock()
+	if v > c.acked {
+		c.acked = v
+	}
+	c.mu.Unlock()
+}
+
+// New validates the config and builds the node (ring, breakers, senders).
+// Call Start to begin probing and replicating, Close to stop.
+func New(cfg Config) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		ids = append(ids, id)
+	}
+	ring, err := NewRing(ids, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		ring:    ring,
+		replica: NewReplicaStore(),
+		peers:   make(map[string]*peerState),
+		stop:    make(chan struct{}),
+	}
+	for id, url := range cfg.Peers {
+		if id == cfg.Self {
+			continue
+		}
+		id := id
+		n.peers[id] = &peerState{
+			id:  id,
+			url: url,
+			breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				FailureThreshold: 1,
+				OpenTimeout:      cfg.ProbeInterval,
+				HalfOpenProbes:   1,
+				OnTransition: func(_, to resilience.BreakerState) {
+					up := int64(0)
+					if to != resilience.Open {
+						up = 1
+					}
+					n.gauge("cluster_peer_up", "peer", id).Set(up)
+				},
+			}),
+			ch:       make(chan wal.Record, 4096),
+			needSync: make(chan struct{}, 1),
+		}
+		n.gauge("cluster_peer_up", "peer", id).Set(1)
+	}
+	return n, nil
+}
+
+// Start launches the health prober and, when replication is enabled, one
+// sender per peer.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.probeLoop()
+	if n.cfg.Replicate {
+		for _, p := range n.peers {
+			n.wg.Add(1)
+			go n.sendLoop(p)
+		}
+	}
+}
+
+// Close stops the background loops and waits for them.
+func (n *Node) Close() {
+	n.once.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// Self returns this node's ID.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Ring returns the shared consistent-hash ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Replica returns the node's replica store.
+func (n *Node) Replica() *ReplicaStore { return n.replica }
+
+// Client returns the cluster's HTTP client (shared by the server's proxy).
+func (n *Node) Client() *http.Client { return n.cfg.Client }
+
+// Owner returns the node that owns id.
+func (n *Node) Owner(id string) string { return n.ring.Owner(id) }
+
+// Follower returns the replica holder for id ("" on a 1-node ring).
+func (n *Node) Follower(id string) string { return n.ring.Follower(id) }
+
+// IsOwner reports whether this node owns id.
+func (n *Node) IsOwner(id string) bool { return n.ring.Owner(id) == n.cfg.Self }
+
+// IsFollower reports whether this node is the replica holder for id.
+func (n *Node) IsFollower(id string) bool { return n.ring.Follower(id) == n.cfg.Self }
+
+// PeerURL returns the base URL for a peer ID ("" when unknown).
+func (n *Node) PeerURL(id string) string { return n.cfg.Peers[id] }
+
+// Replicating reports whether WAL-frame shipping is enabled.
+func (n *Node) Replicating() bool { return n.cfg.Replicate }
+
+// Up reports whether peer is believed reachable: its breaker is not open.
+// Half-open counts as up — the next request is the probe, and its outcome
+// settles the breaker.
+func (n *Node) Up(peer string) bool {
+	p, ok := n.peers[peer]
+	if !ok {
+		return peer == n.cfg.Self
+	}
+	return p.breaker.State() != resilience.Open
+}
+
+// ReportPeerFailure settles a live proxy attempt against peer as failed,
+// opening its breaker immediately — failover does not wait for the next
+// background probe.
+func (n *Node) ReportPeerFailure(peer string) {
+	if p, ok := n.peers[peer]; ok {
+		if p.breaker.Allow() {
+			p.breaker.Failure()
+		}
+		n.counter("cluster_peer_failures_total", "peer", peer).Inc()
+	}
+}
+
+// ReportPeerSuccess settles a live proxy attempt as successful.
+func (n *Node) ReportPeerSuccess(peer string) {
+	if p, ok := n.peers[peer]; ok {
+		if p.breaker.Allow() {
+			p.breaker.Success()
+		}
+	}
+}
+
+// PeerStatus is one peer's health and replication view for /healthz.
+type PeerStatus struct {
+	ID           string `json:"id"`
+	Up           bool   `json:"up"`
+	LagRecords   int64  `json:"lag_records"`
+	AckedVersion uint64 `json:"acked_version"`
+}
+
+// Status snapshots the node's cluster view for /healthz: per-peer
+// reachability and replication lag (queued + unacked records per
+// follower), plus replica occupancy. Peers are sorted by ID.
+type Status struct {
+	Self            string       `json:"node_id"`
+	Replicating     bool         `json:"replicating"`
+	ReplicaProfiles int          `json:"replica_profiles"`
+	Peers           []PeerStatus `json:"peers"`
+}
+
+func (n *Node) Status() Status {
+	st := Status{
+		Self:            n.cfg.Self,
+		Replicating:     n.cfg.Replicate,
+		ReplicaProfiles: n.replica.Len(),
+	}
+	for id, p := range n.peers {
+		lag, acked := p.pending.get()
+		n.gauge("cluster_replication_lag_records", "peer", id).Set(lag)
+		st.Peers = append(st.Peers, PeerStatus{
+			ID:           id,
+			Up:           n.Up(id),
+			LagRecords:   lag,
+			AckedVersion: acked,
+		})
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].ID < st.Peers[j].ID })
+	return st
+}
+
+// probeLoop pings every peer each interval, settling its breaker: a dead
+// peer opens within one interval; a recovered peer closes on the first
+// half-open probe success.
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			for _, p := range n.peers {
+				if !p.breaker.Allow() {
+					continue // open; wait out the timeout
+				}
+				if n.ping(p) {
+					p.breaker.Success()
+				} else {
+					p.breaker.Failure()
+					n.counter("cluster_probe_failures_total", "peer", p.id).Inc()
+				}
+			}
+		}
+	}
+}
+
+// ping checks one peer's readiness: 200 on /cluster/ping means recovered,
+// caught up, and serving.
+func (n *Node) ping(p *peerState) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*n.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+PathPing, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// CatchUp pulls a full sync from every peer: each peer returns its clock
+// and the live records it owns that this node follows, which replace the
+// local replica view of that peer's shards. Unreachable peers are skipped
+// after attempts tries — a cold-start cluster must not deadlock waiting
+// for peers that are themselves waiting — and the error reports them.
+func (n *Node) CatchUp(ctx context.Context, attempts int) error {
+	if attempts <= 0 {
+		attempts = 5
+	}
+	var unreachable []string
+	for id, p := range n.peers {
+		var err error
+		for try := 0; try < attempts; try++ {
+			if err = n.pullSync(ctx, p); err == nil {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+		if err != nil {
+			unreachable = append(unreachable, id)
+		} else {
+			n.counter("cluster_catchup_syncs_total", "peer", id).Inc()
+		}
+	}
+	if len(unreachable) > 0 {
+		sort.Strings(unreachable)
+		return fmt.Errorf("cluster: catch-up skipped unreachable peers %v", unreachable)
+	}
+	return nil
+}
+
+// pullSync fetches one peer's catch-up payload and applies it.
+func (n *Node) pullSync(ctx context.Context, p *peerState) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		p.url+PathSync+"?node="+n.cfg.Self, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: sync from %s: status %d", p.id, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	clock, recs, err := DecodeSyncPayload(body)
+	if err != nil {
+		return fmt.Errorf("cluster: sync from %s: %w", p.id, err)
+	}
+	owner := p.id
+	n.replica.FullSync(owner, clock, recs, func(id string) bool { return n.ring.Owner(id) == owner })
+	return nil
+}
+
+// EncodeSyncPayload frames a catch-up payload: the owner's version clock
+// followed by the live records as WAL frames.
+func EncodeSyncPayload(clock uint64, recs []wal.Record) []byte {
+	buf := make([]byte, 8, 8+len(recs)*64)
+	binary.LittleEndian.PutUint64(buf, clock)
+	for _, r := range recs {
+		buf = wal.EncodeFrame(buf, r)
+	}
+	return buf
+}
+
+// DecodeSyncPayload is EncodeSyncPayload's inverse.
+func DecodeSyncPayload(buf []byte) (clock uint64, recs []wal.Record, err error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("sync payload %d bytes, need 8-byte clock", len(buf))
+	}
+	clock = binary.LittleEndian.Uint64(buf)
+	recs, err = wal.DecodeFrames(buf[8:])
+	return clock, recs, err
+}
+
+func (n *Node) gauge(name string, labels ...string) *obs.Gauge {
+	if n.cfg.Metrics == nil {
+		return nil
+	}
+	return n.cfg.Metrics.Gauge(name, labels...)
+}
+
+func (n *Node) counter(name string, labels ...string) *obs.Counter {
+	if n.cfg.Metrics == nil {
+		return nil
+	}
+	return n.cfg.Metrics.Counter(name, labels...)
+}

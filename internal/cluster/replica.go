@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"cqp/internal/wal"
+)
+
+// ReplicaStore holds the version-guarded replica of every profile this
+// node follows. Entries are raw WAL records — text, version, timestamp —
+// exactly as the owner acked them; deletes are kept as tombstones so a
+// reordered older put can never resurrect a deleted profile (the same
+// rule WAL replay uses). All methods are safe for concurrent use.
+type ReplicaStore struct {
+	mu sync.RWMutex
+	m  map[string]wal.Record
+	// applied[owner] is the highest version applied from that owner's
+	// replication stream — the cumulative ack the follower returns, and
+	// the number lag is measured against. Per-peer streams deliver in
+	// append order, so highest == highest contiguous.
+	applied map[string]uint64
+}
+
+// NewReplicaStore builds an empty replica store.
+func NewReplicaStore() *ReplicaStore {
+	return &ReplicaStore{m: make(map[string]wal.Record), applied: make(map[string]uint64)}
+}
+
+// Apply merges one streamed record from owner under the version guard: it
+// takes effect only over a strictly older entry for the same ID.
+// Returns whether the record changed state (false = stale duplicate).
+func (rs *ReplicaStore) Apply(owner string, rec wal.Record) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rec.Version > rs.applied[owner] {
+		rs.applied[owner] = rec.Version
+	}
+	if cur, ok := rs.m[rec.ID]; ok && cur.Version >= rec.Version {
+		return false
+	}
+	rs.m[rec.ID] = rec
+	return true
+}
+
+// FullSync replaces this store's view of owner's shards with a snapshot:
+// recs is the owner's complete live state (for the keys this node
+// follows) captured at clock. Entries the snapshot does not contain, for
+// IDs the owner owns (per ownedBy), at versions the snapshot supersedes
+// (≤ clock), are deleted — that absence is how a full sync carries
+// deletions. Entries newer than clock (streamed concurrently with the
+// snapshot capture) are kept; the version guard makes overlap idempotent.
+func (rs *ReplicaStore) FullSync(owner string, clock uint64, recs []wal.Record, ownedBy func(id string) bool) {
+	incoming := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		incoming[r.ID] = true
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for id, cur := range rs.m {
+		if !incoming[id] && cur.Version <= clock && ownedBy(id) {
+			delete(rs.m, id)
+		}
+	}
+	for _, rec := range recs {
+		if cur, ok := rs.m[rec.ID]; ok && cur.Version >= rec.Version {
+			continue
+		}
+		rs.m[rec.ID] = rec
+	}
+	if clock > rs.applied[owner] {
+		rs.applied[owner] = clock
+	}
+}
+
+// Get returns the live replica record for id (tombstones read as absent).
+func (rs *ReplicaStore) Get(id string) (wal.Record, bool) {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	rec, ok := rs.m[id]
+	if !ok || rec.Op != wal.OpPut {
+		return wal.Record{}, false
+	}
+	return rec, true
+}
+
+// Applied returns the highest version applied from owner's stream.
+func (rs *ReplicaStore) Applied(owner string) uint64 {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return rs.applied[owner]
+}
+
+// Len counts live replica profiles (tombstones excluded).
+func (rs *ReplicaStore) Len() int {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	n := 0
+	for _, rec := range rs.m {
+		if rec.Op == wal.OpPut {
+			n++
+		}
+	}
+	return n
+}
+
+// List returns every live replica record, sorted by ID — the
+// deterministic order the drill diffs against the owner's state.
+func (rs *ReplicaStore) List() []wal.Record {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	out := make([]wal.Record, 0, len(rs.m))
+	for _, rec := range rs.m {
+		if rec.Op == wal.OpPut {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+
+	"cqp/internal/wal"
+)
+
+func rput(v uint64, id, text string) wal.Record {
+	return wal.Record{Op: wal.OpPut, ID: id, Text: text, Version: v, UpdatedAt: int64(v)}
+}
+
+func rdel(v uint64, id string) wal.Record {
+	return wal.Record{Op: wal.OpDelete, ID: id, Version: v, UpdatedAt: int64(v)}
+}
+
+func TestReplicaApplyVersionGuard(t *testing.T) {
+	rs := NewReplicaStore()
+	if !rs.Apply("n1", rput(3, "u1", "new")) {
+		t.Fatal("fresh record rejected")
+	}
+	// Older and equal versions are stale duplicates.
+	if rs.Apply("n1", rput(2, "u1", "old")) || rs.Apply("n1", rput(3, "u1", "dup")) {
+		t.Fatal("stale record applied")
+	}
+	rec, ok := rs.Get("u1")
+	if !ok || rec.Text != "new" {
+		t.Fatalf("got %+v ok=%v", rec, ok)
+	}
+	if rs.Applied("n1") != 3 {
+		t.Fatalf("applied = %d, want 3", rs.Applied("n1"))
+	}
+}
+
+// TestReplicaTombstoneBlocksResurrection: a reordered older put must not
+// bring back a deleted profile.
+func TestReplicaTombstoneBlocksResurrection(t *testing.T) {
+	rs := NewReplicaStore()
+	rs.Apply("n1", rput(1, "u1", "alive"))
+	rs.Apply("n1", rdel(5, "u1"))
+	if rs.Apply("n1", rput(4, "u1", "zombie")) {
+		t.Fatal("put below tombstone version applied")
+	}
+	if _, ok := rs.Get("u1"); ok {
+		t.Fatal("deleted profile resurrected")
+	}
+	if rs.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", rs.Len())
+	}
+}
+
+// TestReplicaFullSync: absence from a snapshot deletes superseded entries
+// for the syncing owner's keys; newer-than-clock entries and other
+// owners' keys survive.
+func TestReplicaFullSync(t *testing.T) {
+	rs := NewReplicaStore()
+	rs.Apply("n1", rput(1, "gone", "will be deleted by absence"))
+	rs.Apply("n1", rput(2, "kept", "stays, snapshot includes it"))
+	rs.Apply("n1", rput(9, "newer", "streamed past the snapshot clock"))
+	rs.Apply("n2", rput(3, "other", "different owner's shard"))
+
+	owned := map[string]bool{"gone": true, "kept": true, "newer": true}
+	rs.FullSync("n1", 5, []wal.Record{rput(2, "kept", "stays, snapshot includes it")},
+		func(id string) bool { return owned[id] })
+
+	if _, ok := rs.Get("gone"); ok {
+		t.Fatal("absent-from-snapshot entry survived full sync")
+	}
+	if _, ok := rs.Get("kept"); !ok {
+		t.Fatal("snapshot entry lost")
+	}
+	if _, ok := rs.Get("newer"); !ok {
+		t.Fatal("entry newer than snapshot clock deleted")
+	}
+	if _, ok := rs.Get("other"); !ok {
+		t.Fatal("another owner's entry deleted")
+	}
+	if rs.Applied("n1") != 9 {
+		t.Fatalf("applied = %d, want 9 (stream had advanced past clock)", rs.Applied("n1"))
+	}
+	list := rs.List()
+	if len(list) != 3 || list[0].ID != "kept" || list[1].ID != "newer" || list[2].ID != "other" {
+		t.Fatalf("List: %+v", list)
+	}
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cqp/internal/wal"
+)
+
+// Replication protocol. The owner appends to its WAL exactly as in
+// single-node mode; every record that becomes acked history is also
+// enqueued to the mutated profile's follower. A per-peer sender goroutine
+// ships queued records in batches of CRC-framed WAL records over the
+// shared keep-alive HTTP client (POST /cluster/replicate), and the
+// follower answers with the highest version it has applied from this
+// owner's stream — the cumulative ack. Batches are retried in place with
+// backoff, so per-peer delivery is ordered and at-least-once; the
+// follower's version guard makes redelivery idempotent.
+//
+// When a follower is unreachable long enough for its queue to overflow,
+// the sender stops pretending the stream is contiguous: it drops the
+// queue, marks the peer sync-needed, and on reconnect pushes a full
+// snapshot (clock + live owned records, the same payload catch-up pulls)
+// before resuming frame shipping. Absence from a snapshot carries
+// deletions, so nothing relies on an unbroken tombstone stream.
+
+const (
+	// sendBatchMax bounds one replicate POST.
+	sendBatchMax = 256
+	// sendBackoffMin/Max bound the retry backoff for an unreachable peer.
+	sendBackoffMin = 100 * time.Millisecond
+	sendBackoffMax = 2 * time.Second
+)
+
+// replicateResponse is the follower's ack body.
+type replicateResponse struct {
+	// Applied is the highest version applied from this owner's stream.
+	Applied uint64 `json:"applied"`
+	// Records is how many records this request carried that changed state.
+	Records int `json:"records"`
+}
+
+// Replicate enqueues one acked record for shipment to its follower. Called
+// from the WAL's OnAppend hook (owner's mutation path, lock held), so it
+// must not block: when the peer's queue is full the record is dropped and
+// the peer is marked for a full sync instead.
+func (n *Node) Replicate(rec wal.Record) {
+	if !n.cfg.Replicate {
+		return
+	}
+	follower := n.ring.Follower(rec.ID)
+	if follower == "" || follower == n.cfg.Self {
+		return
+	}
+	p, ok := n.peers[follower]
+	if !ok {
+		return
+	}
+	select {
+	case p.ch <- rec:
+		p.pending.add(1)
+	default:
+		n.markNeedSync(p)
+		n.counter("cluster_replication_dropped_total", "peer", p.id).Inc()
+	}
+}
+
+// markNeedSync queues a full-sync token for the peer (idempotent).
+func (n *Node) markNeedSync(p *peerState) {
+	select {
+	case p.needSync <- struct{}{}:
+	default:
+	}
+}
+
+// sendLoop is one peer's shipping goroutine.
+func (n *Node) sendLoop(p *peerState) {
+	defer n.wg.Done()
+	backoff := sendBackoffMin
+	var batch []wal.Record
+	for {
+		// A pending full-sync token outranks queued frames: the stream is
+		// known broken, so replace state wholesale first.
+		select {
+		case <-p.needSync:
+			n.drain(p)
+			batch = nil
+			if err := n.pushFullSync(p); err != nil {
+				n.markNeedSync(p)
+				n.counter("cluster_replication_errors_total", "peer", p.id).Inc()
+				if !n.sleep(&backoff) {
+					return
+				}
+				continue
+			}
+			n.counter("cluster_full_syncs_total", "peer", p.id).Inc()
+			backoff = sendBackoffMin
+			continue
+		default:
+		}
+		if len(batch) == 0 {
+			select {
+			case <-n.stop:
+				return
+			case <-p.needSync:
+				n.markNeedSync(p) // re-queue; handled at loop top
+				continue
+			case rec := <-p.ch:
+				batch = append(batch, rec)
+			}
+			for len(batch) < sendBatchMax {
+				select {
+				case rec := <-p.ch:
+					batch = append(batch, rec)
+				default:
+					goto full
+				}
+			}
+		full:
+		}
+		if err := n.postReplicate(p, batch); err != nil {
+			n.counter("cluster_replication_errors_total", "peer", p.id).Inc()
+			if !n.sleep(&backoff) {
+				return
+			}
+			continue
+		}
+		p.pending.add(int64(-len(batch)))
+		n.counter("cluster_replicated_records_total", "peer", p.id).Add(int64(len(batch)))
+		batch = nil
+		backoff = sendBackoffMin
+	}
+}
+
+// drain empties a peer's queue (its contents are superseded by the full
+// sync about to be pushed).
+func (n *Node) drain(p *peerState) {
+	for {
+		select {
+		case <-p.ch:
+			p.pending.add(-1)
+		default:
+			return
+		}
+	}
+}
+
+// sleep backs off between retries; false means the node is closing.
+func (n *Node) sleep(backoff *time.Duration) bool {
+	select {
+	case <-n.stop:
+		return false
+	case <-time.After(*backoff):
+	}
+	*backoff *= 2
+	if *backoff > sendBackoffMax {
+		*backoff = sendBackoffMax
+	}
+	return true
+}
+
+// postReplicate ships one batch of frames and records the follower's ack.
+func (n *Node) postReplicate(p *peerState, batch []wal.Record) error {
+	body := wal.EncodeRecords(batch)
+	resp, err := n.doReplicatePost(p, PathReplicate+"?from="+n.cfg.Self, body)
+	if err != nil {
+		return err
+	}
+	p.pending.setAcked(resp.Applied)
+	return nil
+}
+
+// pushFullSync replaces the peer's replica view of this node's shards
+// with a fresh snapshot from SyncSource.
+func (n *Node) pushFullSync(p *peerState) error {
+	if n.cfg.SyncSource == nil {
+		return fmt.Errorf("cluster: no sync source configured")
+	}
+	clock, recs := n.cfg.SyncSource(p.id)
+	body := EncodeSyncPayload(clock, recs)
+	resp, err := n.doReplicatePost(p, PathReplicate+"?from="+n.cfg.Self+"&sync=1", body)
+	if err != nil {
+		return err
+	}
+	p.pending.setAcked(resp.Applied)
+	return nil
+}
+
+// doReplicatePost performs one replication POST with a bounded deadline.
+func (n *Node) doReplicatePost(p *peerState, path string, body []byte) (*replicateResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: replicate to %s: status %d", p.id, resp.StatusCode)
+	}
+	var rr replicateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("cluster: replicate ack from %s: %w", p.id, err)
+	}
+	return &rr, nil
+}
+
+// ApplyReplicate is the follower half of the replicate endpoint: sync=1
+// bodies replace the owner's shard view, plain bodies stream frames into
+// the version-guarded replica. Returns the ack the owner expects.
+func (n *Node) ApplyReplicate(from string, sync bool, body []byte) (applied uint64, changed int, err error) {
+	if sync {
+		clock, recs, err := DecodeSyncPayload(body)
+		if err != nil {
+			return 0, 0, err
+		}
+		owner := from
+		n.replica.FullSync(owner, clock, recs, func(id string) bool { return n.ring.Owner(id) == owner })
+		return n.replica.Applied(from), len(recs), nil
+	}
+	recs, err := wal.DecodeFrames(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, rec := range recs {
+		if n.replica.Apply(from, rec) {
+			changed++
+		}
+	}
+	return n.replica.Applied(from), changed, nil
+}

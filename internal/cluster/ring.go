@@ -1,0 +1,147 @@
+// Package cluster turns cqpd into a multi-node service: a consistent-hash
+// ring assigns every profile ID an owner node and a follower node
+// (replication factor R=2) out of a static peer list, owners stream their
+// acked write-ahead-log frames to the follower of each mutated profile,
+// and followers hold a version-guarded replica that serves reads when the
+// owner is unreachable.
+//
+// The design leans entirely on invariants the single-node daemon already
+// guarantees: the WAL serializes every mutation as a CRC-framed record
+// under a strictly monotone per-node version clock, so shipping those
+// frames in append order and applying them under the same version guard
+// reproduces the owner's profile state record for record. Nothing in this
+// package interprets profiles; it moves acked frames.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is how many points each node contributes to the
+// ring. 64 keeps the ownership split within a few percent of even for
+// small clusters while the ring stays tiny (3 nodes → 192 points).
+const DefaultVirtualNodes = 64
+
+// ReplicationFactor is the number of nodes that hold each profile: the
+// owner plus one follower. Fixed at 2 — the static-peer-list design has
+// no use for deeper chains until membership is dynamic.
+const ReplicationFactor = 2
+
+// Ring is an immutable consistent-hash ring over a static node set. Keys
+// map to the first ring point at or clockwise after their hash; the next
+// distinct node clockwise is the follower. Immutability is the point:
+// every node computes the identical ring from the identical -peers list,
+// so routing needs no coordination.
+type Ring struct {
+	nodes  []string // sorted distinct node IDs
+	hashes []uint64 // sorted ring points
+	owner  []string // owner[i] is the node at hashes[i]
+}
+
+// NewRing builds the ring with vnodes virtual nodes per node (0 selects
+// DefaultVirtualNodes). Node IDs must be non-empty and distinct.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node id")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n)
+		}
+	}
+	r := &Ring{
+		nodes:  sorted,
+		hashes: make([]uint64, 0, len(sorted)*vnodes),
+		owner:  make([]string, 0, len(sorted)*vnodes),
+	}
+	type point struct {
+		h    uint64
+		node string
+	}
+	pts := make([]point, 0, len(sorted)*vnodes)
+	for _, n := range sorted {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{hash64(fmt.Sprintf("%s#%d", n, v)), n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].node < pts[j].node // deterministic on (vanishingly rare) collisions
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.owner = append(r.owner, p.node)
+	}
+	return r, nil
+}
+
+// Nodes returns the distinct nodes responsible for key, owner first, up
+// to n entries (fewer when the cluster is smaller than n).
+func (r *Ring) Nodes(key string, n int) []string {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	for i := 0; len(out) < n && i < len(r.hashes); i++ {
+		node := r.owner[(start+i)%len(r.hashes)]
+		seen := false
+		for _, o := range out {
+			if o == node {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Owner returns the node that owns key.
+func (r *Ring) Owner(key string) string { return r.Nodes(key, 1)[0] }
+
+// Follower returns the replica holder for key: the next distinct node
+// clockwise from the owner. Empty for a single-node ring.
+func (r *Ring) Follower(key string) string {
+	ns := r.Nodes(key, ReplicationFactor)
+	if len(ns) < ReplicationFactor {
+		return ""
+	}
+	return ns[1]
+}
+
+// Members returns the ring's node IDs, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.nodes...) }
+
+// hash64 is FNV-1a 64 with a splitmix64 finalizer — fast, allocation-free,
+// and stable across processes, which is all consistent routing needs
+// (peers are trusted; this is not an adversarial hash). The finalizer
+// matters: raw FNV-1a on short, similar strings ("n1#0", "n1#1", …)
+// leaves the high bits correlated and the ring lopsided.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

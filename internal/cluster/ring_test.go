@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node id accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+}
+
+// TestRingDeterministic: every node must compute the identical routing
+// from the identical peer list, regardless of list order — that is the
+// whole coordination-free premise.
+func TestRingDeterministic(t *testing.T) {
+	r1, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"n3", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		if r1.Owner(key) != r2.Owner(key) || r1.Follower(key) != r2.Follower(key) {
+			t.Fatalf("key %q: ring order-dependent (%s/%s vs %s/%s)", key,
+				r1.Owner(key), r1.Follower(key), r2.Owner(key), r2.Follower(key))
+		}
+	}
+}
+
+// TestRingOwnerFollowerDistinct: the follower is always a different node
+// from the owner on a multi-node ring, and empty on a 1-node ring.
+func TestRingOwnerFollowerDistinct(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		o, f := r.Owner(key), r.Follower(key)
+		if o == f || o == "" || f == "" {
+			t.Fatalf("key %q: owner %q follower %q", key, o, f)
+		}
+	}
+	solo, err := NewRing([]string{"only"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Owner("x") != "only" || solo.Follower("x") != "" {
+		t.Fatalf("1-node ring: owner %q follower %q", solo.Owner("x"), solo.Follower("x"))
+	}
+}
+
+// TestRingBalance: with default vnodes, no node of three owns more than
+// half of a large key population — a coarse bound that catches gross
+// hashing mistakes without flaking on distribution noise.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 3000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("user-%d", i))]++
+	}
+	for node, c := range counts {
+		if c == 0 || c > keys/2 {
+			t.Fatalf("node %s owns %d of %d keys: %v", node, c, keys, counts)
+		}
+	}
+}
+
+// TestRingNodesWalk: Nodes never repeats a node and caps at cluster size.
+func TestRingNodesWalk(t *testing.T) {
+	r, err := NewRing([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := r.Nodes("some-key", 5)
+	if len(ns) != 2 || ns[0] == ns[1] {
+		t.Fatalf("Nodes walk: %v", ns)
+	}
+}

@@ -49,6 +49,9 @@ type batchUnit struct {
 	prof      *cqp.Profile
 	version   uint64
 	cacheable bool
+	// stale marks a profile resolved from a failover replica; the item's
+	// answer is marked stale_replica and never cached.
+	stale bool
 }
 
 // itemError builds the per-item error envelope for a status code.
@@ -132,7 +135,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i].Error = itemError(http.StatusBadRequest, err)
 			continue
 		}
-		prof, version, cacheable, code, err := s.resolveProfile(item.ProfileID, item.Profile)
+		prof, version, cacheable, stale, code, err := s.resolveProfile(r, item.ProfileID, item.Profile)
 		if err != nil {
 			results[i].Error = itemError(code, err)
 			continue
@@ -144,7 +147,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		leaderOf[id] = i
 		units = append(units, batchUnit{
-			idx: i, q: q, prob: prob, prof: prof, version: version, cacheable: cacheable,
+			idx: i, q: q, prob: prob, prof: prof, version: version,
+			cacheable: cacheable, stale: stale,
 		})
 	}
 	lp.lap(obs.PhaseParse)
@@ -225,6 +229,9 @@ func (s *Server) personalizeUnit(ctx context.Context, u batchUnit, item personal
 	}
 	resp := *o.out.(*personalizeResponse)
 	resp.Degraded = o.degraded
+	if u.stale && resp.Degraded == "" {
+		resp.Degraded = degradedStaleReplica
+	}
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, item.ProfileID, o.out)
 	} else if o.degraded == "stale" {

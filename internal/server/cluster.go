@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cqp"
+	"cqp/internal/cluster"
+	"cqp/internal/wal"
+)
+
+// Multi-node request routing. Any node accepts any request: work for a
+// profile another node owns is proxied to that owner over the cluster's
+// keep-alive HTTP client, with one forwarding hop at most (the forwarded
+// header is the loop guard — a forwarded request is always served
+// locally). When the owner is unreachable, reads and pipeline requests
+// fail over to the follower's replicated snapshot, marked "stale_replica"
+// in the response envelope on the degradation-ladder plumbing; mutations
+// do not fail over — accepting a write the owner's WAL cannot ack would
+// forfeit the zero-acked-loss guarantee — and answer 503 until the owner
+// returns.
+
+const (
+	// headerForwarded carries the proxying node's ID on a forwarded
+	// request; its presence means "serve locally, do not re-route".
+	headerForwarded = "X-Cqpd-Forwarded"
+	// headerReplica marks a forwarded request that should be answered from
+	// the replica store — the proxying node decided the owner is down and
+	// picked the follower.
+	headerReplica = "X-Cqpd-Replica"
+	// degradedStaleReplica is the envelope marker for answers computed
+	// from a follower's replica instead of the owner's live store.
+	degradedStaleReplica = "stale_replica"
+	// clusterSyncMaxBytes bounds a replication or sync body — far above
+	// any real batch, it only stops a runaway peer from ballooning memory.
+	clusterSyncMaxBytes = 64 << 20
+)
+
+// replicaServeKey marks a request context as replica-serving: profile
+// resolution may fall back to the follower's replicated snapshot.
+type replicaServeKey struct{}
+
+func withReplicaServe(ctx context.Context) context.Context {
+	return context.WithValue(ctx, replicaServeKey{}, true)
+}
+
+func replicaServing(ctx context.Context) bool {
+	v, _ := ctx.Value(replicaServeKey{}).(bool)
+	return v
+}
+
+// routeByPath routes a /profiles/{id} request by its path ID. Mutations
+// must run on the owner; reads may fail over.
+func (s *Server) routeByPath(mutation bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.routeRequest(w, r, mutation, r.PathValue("id"), h)
+	}
+}
+
+// routePeek is the routing view of a pipeline request body: the top-level
+// profile_id, or (for /personalize/batch) the first item's. A batch is
+// routed as one request by its first stored-profile item — the endpoint's
+// shape is one user's list page, so items overwhelmingly share one owner;
+// a mixed-owner batch resolves its foreign items against the serving
+// node's local store and they fail item-wise, so callers wanting
+// cross-owner batches should split them per user.
+type routePeek struct {
+	ProfileID string `json:"profile_id"`
+	Items     []struct {
+		ProfileID string `json:"profile_id"`
+	} `json:"items"`
+}
+
+// routeByBody routes a pipeline request by the profile_id inside its JSON
+// body. The body is buffered (bounded) and restored, so the local handler
+// or the proxy reads it unchanged; malformed JSON routes locally and gets
+// the handler's own 400.
+func (s *Server) routeByBody(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cluster == nil {
+			h(w, r)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		var peek routePeek
+		_ = json.Unmarshal(body, &peek)
+		id := peek.ProfileID
+		for _, it := range peek.Items {
+			if id != "" {
+				break
+			}
+			id = it.ProfileID
+		}
+		s.routeRequest(w, r, false, id, h)
+	}
+}
+
+// routeRequest is the routing decision for one request touching profile
+// id: local when this node owns it (or no cluster, or no id, or the
+// request was already forwarded), proxy to the owner otherwise, failover
+// to the follower's replica when the owner is unreachable.
+func (s *Server) routeRequest(w http.ResponseWriter, r *http.Request, mutation bool, id string, h http.HandlerFunc) {
+	c := s.cluster
+	if c == nil || id == "" {
+		h(w, r)
+		return
+	}
+	if r.Header.Get(headerForwarded) != "" {
+		if r.Header.Get(headerReplica) == "1" {
+			r = r.WithContext(withReplicaServe(r.Context()))
+		}
+		h(w, r)
+		return
+	}
+	if c.IsOwner(id) {
+		h(w, r)
+		return
+	}
+	// The profile lives elsewhere: buffer the body once so a failed proxy
+	// attempt can still fall back without losing it.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := c.Owner(id)
+	if c.Up(owner) && s.proxyToPeer(w, r, owner, body, false) {
+		return
+	}
+	s.reg.Counter("cluster_failovers_total", "owner", owner).Inc()
+	if mutation {
+		writeError(w, http.StatusServiceUnavailable, "owner_down",
+			fmt.Sprintf("server: node %s owning profile %q is unreachable; mutations do not fail over", owner, id))
+		return
+	}
+	if c.Replicating() {
+		if c.IsFollower(id) {
+			s.reg.Counter("cluster_failover_serves_total").Inc()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			h(w, r.WithContext(withReplicaServe(r.Context())))
+			return
+		}
+		if f := c.Follower(id); f != "" && f != owner && c.Up(f) &&
+			s.proxyToPeer(w, r, f, body, true) {
+			return
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, "owner_down",
+		fmt.Sprintf("server: node %s owning profile %q is unreachable and no replica can serve it", owner, id))
+}
+
+// proxyToPeer forwards the request to peer and streams the answer back.
+// Returns false only on a transport failure before any response byte —
+// the caller may then fail over; the peer's breaker is settled either
+// way, so one failed proxy is enough to mark the peer down.
+func (s *Server) proxyToPeer(w http.ResponseWriter, r *http.Request, peer string, body []byte, replica bool) bool {
+	c := s.cluster
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		c.PeerURL(peer)+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return true
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(headerForwarded, c.Self())
+	if replica {
+		req.Header.Set(headerReplica, "1")
+	}
+	resp, err := c.Client().Do(req)
+	if err != nil {
+		c.ReportPeerFailure(peer)
+		return false
+	}
+	c.ReportPeerSuccess(peer)
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	s.reg.Counter("cluster_proxied_requests_total", "peer", peer).Inc()
+	for _, hdr := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(hdr); v != "" {
+			w.Header().Set(hdr, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// replicaProfile materializes a replica record as a StoredProfile. The
+// text was validated by the owner before it was acked, so a parse failure
+// here means replica corruption and reads as absence.
+func (s *Server) replicaProfile(id string) (*StoredProfile, bool) {
+	rec, ok := s.cluster.Replica().Get(id)
+	if !ok {
+		return nil, false
+	}
+	prof, err := cqp.ParseProfile(rec.Text)
+	if err != nil || prof.Validate(s.db.Schema()) != nil {
+		return nil, false
+	}
+	return &StoredProfile{
+		ID:        rec.ID,
+		Version:   rec.Version,
+		Profile:   prof,
+		Text:      rec.Text,
+		UpdatedAt: time.Unix(0, rec.UpdatedAt),
+	}, true
+}
+
+// syncRecords is the node's replication SyncSource: its version clock and
+// the live records it owns whose follower is peer — the exact set peer's
+// replica should hold for this node's shards.
+func (s *Server) syncRecords(peer string) (uint64, []wal.Record) {
+	clock, recs := s.store.Records()
+	c := s.cluster
+	if c == nil {
+		return clock, recs
+	}
+	out := recs[:0]
+	for _, rec := range recs {
+		if c.IsOwner(rec.ID) && c.Follower(rec.ID) == peer {
+			out = append(out, rec)
+		}
+	}
+	return clock, out
+}
+
+// handleClusterPing answers peers' health probes: 200 only once the node
+// is recovered, caught up, and serving — so peers never route to a node
+// still rebuilding its replica.
+func (s *Server) handleClusterPing(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "recovering", "server: catching up")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node_id": s.cluster.Self()})
+}
+
+// handleClusterReplicate is the follower's ingest endpoint: frame batches
+// (and sync=1 snapshots) from an owner, answered with the cumulative ack.
+// Served even while catching up — replication must not wait for readiness
+// or a cold-start cluster deadlocks.
+func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) {
+	from := r.URL.Query().Get("from")
+	if s.cluster.PeerURL(from) == "" {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("server: replication from unknown node %q", from))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, clusterSyncMaxBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	applied, changed, err := s.cluster.ApplyReplicate(from, r.URL.Query().Get("sync") == "1", body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": applied, "records": changed})
+}
+
+// handleClusterSync serves a rejoining peer's catch-up pull: this node's
+// clock and the live records it owns that the peer follows. Like
+// replicate, it answers before the node itself is ready.
+func (s *Server) handleClusterSync(w http.ResponseWriter, r *http.Request) {
+	peer := r.URL.Query().Get("node")
+	if s.cluster.PeerURL(peer) == "" {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("server: sync request from unknown node %q", peer))
+		return
+	}
+	clock, recs := s.syncRecords(peer)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(cluster.EncodeSyncPayload(clock, recs))
+}
+
+// handleClusterRoute answers where a profile ID lives — the drill and
+// operators use it to find the node to kill or blame.
+func (s *Server) handleClusterRoute(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":       id,
+		"owner":    s.cluster.Owner(id),
+		"follower": s.cluster.Follower(id),
+		"self":     s.cluster.Self(),
+	})
+}
+
+// clusterStateEntry is one profile's identity in a /cluster/state digest.
+type clusterStateEntry struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+}
+
+// handleClusterState serves a deterministic digest of this node's owned
+// store and its replica — both sorted by ID — so a drill can diff a
+// restarted owner against its pre-kill state and a follower against the
+// owner, byte for byte.
+func (s *Server) handleClusterState(w http.ResponseWriter, _ *http.Request) {
+	_, recs := s.store.Records()
+	store := make([]clusterStateEntry, 0, len(recs))
+	for _, rec := range recs {
+		store = append(store, clusterStateEntry{ID: rec.ID, Version: rec.Version})
+	}
+	replica := make([]clusterStateEntry, 0)
+	for _, rec := range s.cluster.Replica().List() {
+		replica = append(replica, clusterStateEntry{ID: rec.ID, Version: rec.Version})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node_id": s.cluster.Self(),
+		"store":   store,
+		"replica": replica,
+	})
+}

@@ -1,0 +1,430 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cqp"
+)
+
+// testCluster runs a real multi-node cqpd cluster in-process: one Server
+// per node, each on its own loopback listener, wired through the same
+// static peer list.
+type testCluster struct {
+	t       *testing.T
+	ids     []string
+	addrs   map[string]string // id → host:port (stable across restarts)
+	peers   map[string]string // id → base URL
+	servers map[string]*Server
+	dirs    map[string]string // id → data dir ("" = memory store)
+}
+
+func newTestCluster(t *testing.T, ids []string, durable bool) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		t:       t,
+		ids:     ids,
+		addrs:   make(map[string]string),
+		peers:   make(map[string]string),
+		servers: make(map[string]*Server),
+		dirs:    make(map[string]string),
+	}
+	lns := make(map[string]net.Listener)
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[id] = ln
+		tc.addrs[id] = ln.Addr().String()
+		tc.peers[id] = "http://" + ln.Addr().String()
+		if durable {
+			tc.dirs[id] = t.TempDir()
+		}
+	}
+	for _, id := range ids {
+		tc.start(id, lns[id])
+	}
+	t.Cleanup(func() {
+		for _, id := range ids {
+			tc.stop(id)
+		}
+	})
+	tc.waitReady(ids...)
+	return tc
+}
+
+// start builds one node's Server and begins serving on ln.
+func (tc *testCluster) start(id string, ln net.Listener) {
+	tc.t.Helper()
+	db := cqp.SyntheticMovieDB(300, 1)
+	s, err := New(db, Config{
+		NodeID:        id,
+		ClusterPeers:  tc.peers,
+		Replicate:     true,
+		ProbeInterval: 25 * time.Millisecond,
+		DataDir:       tc.dirs[id],
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.servers[id] = s
+	go s.Serve(ln)
+}
+
+// stop shuts one node down (its listener closes with the http server).
+func (tc *testCluster) stop(id string) {
+	s := tc.servers[id]
+	if s == nil {
+		return
+	}
+	delete(tc.servers, id)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+}
+
+// restart rebinds the node's original address and starts a fresh Server
+// over the same data dir — the rejoin path.
+func (tc *testCluster) restart(id string) {
+	tc.t.Helper()
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", tc.addrs[id])
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		tc.t.Fatalf("rebind %s: %v", tc.addrs[id], err)
+	}
+	tc.start(id, ln)
+	tc.waitReady(id)
+}
+
+func (tc *testCluster) url(id string) string { return tc.peers[id] }
+
+func (tc *testCluster) node(id string) *Server { return tc.servers[id] }
+
+// waitReady blocks until each named node's /healthz answers 200 and its
+// view of every *running* peer has settled to up. The second wait
+// matters: probes that landed during a peer's pre-ready window opened
+// its one-strike breaker, and traffic driven before the next probe
+// closes it would take the failover path spuriously.
+func (tc *testCluster) waitReady(ids ...string) {
+	tc.t.Helper()
+	for _, id := range ids {
+		ok := false
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(tc.url(id) + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					ok = true
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if !ok {
+			tc.t.Fatalf("node %s never became ready", id)
+		}
+		c := tc.node(id).Cluster()
+		for {
+			allUp := true
+			for peer := range tc.servers {
+				if peer != id && !c.Up(peer) {
+					allUp = false
+				}
+			}
+			if allUp {
+				break
+			}
+			if time.Now().After(deadline) {
+				tc.t.Fatalf("node %s never saw its peers up: %+v", id, c.Status())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// anyNode returns a running node (ring state is identical on all).
+func (tc *testCluster) anyNode() *Server {
+	for _, s := range tc.servers {
+		return s
+	}
+	tc.t.Fatal("no running nodes")
+	return nil
+}
+
+// keyOwnedBy finds a profile ID owned by node owner.
+func (tc *testCluster) keyOwnedBy(owner string) string {
+	c := tc.anyNode().Cluster()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("user-%d", i)
+		if c.Owner(k) == owner {
+			return k
+		}
+	}
+	tc.t.Fatalf("no key owned by %s", owner)
+	return ""
+}
+
+// otherThan returns a node ID distinct from every argument.
+func (tc *testCluster) otherThan(exclude ...string) string {
+	for _, id := range tc.ids {
+		skip := false
+		for _, e := range exclude {
+			if id == e {
+				skip = true
+			}
+		}
+		if !skip {
+			return id
+		}
+	}
+	tc.t.Fatal("no node left")
+	return ""
+}
+
+// TestClusterRoutingProxiesToOwner: any node accepts a profile mutation;
+// it lands on (only) the owner's store and every node reads it back.
+func TestClusterRoutingProxiesToOwner(t *testing.T) {
+	tc := newTestCluster(t, []string{"n1", "n2", "n3"}, false)
+	c := tc.anyNode().Cluster()
+	owner := c.Owner("alice")
+	entry := tc.otherThan(owner)
+	text := testProfileText()
+
+	putProfile(t, tc.url(entry), "alice", text)
+	if _, ok := tc.node(owner).store.Get("alice"); !ok {
+		t.Fatalf("owner %s does not hold the routed profile", owner)
+	}
+	if _, ok := tc.node(entry).store.Get("alice"); ok {
+		t.Fatalf("entry node %s kept a local copy instead of proxying", entry)
+	}
+	for _, id := range tc.ids {
+		resp, body := doJSON(t, http.MethodGet, tc.url(id)+"/profiles/alice", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET via %s: %d: %s", id, resp.StatusCode, body)
+		}
+		var pj profileJSON
+		if err := json.Unmarshal(body, &pj); err != nil {
+			t.Fatal(err)
+		}
+		if pj.Text != text || pj.StaleReplica {
+			t.Fatalf("GET via %s: text mismatch or stale marker: %+v", id, pj)
+		}
+	}
+
+	// A pipeline request entering at a non-owner is proxied too.
+	resp, body := doJSON(t, http.MethodPost, tc.url(entry)+"/personalize", map[string]any{
+		"sql": testSQL, "profile_id": "alice",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied personalize: %d: %s", resp.StatusCode, body)
+	}
+	var pr personalizeResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Degraded != "" || pr.ProfileVersion == 0 {
+		t.Fatalf("proxied personalize degraded=%q version=%d", pr.Degraded, pr.ProfileVersion)
+	}
+
+	// The route endpoint agrees with the ring.
+	resp, body = doJSON(t, http.MethodGet, tc.url(entry)+"/cluster/route/alice", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("route: %d: %s", resp.StatusCode, body)
+	}
+	var route struct{ Owner, Follower string }
+	if err := json.Unmarshal(body, &route); err != nil {
+		t.Fatal(err)
+	}
+	if route.Owner != owner || route.Follower != c.Follower("alice") {
+		t.Fatalf("route: %+v, ring says %s/%s", route, owner, c.Follower("alice"))
+	}
+
+	// Deletes route the same way.
+	resp, _ = doJSON(t, http.MethodDelete, tc.url(entry)+"/profiles/alice", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("proxied delete: %d", resp.StatusCode)
+	}
+	if _, ok := tc.node(owner).store.Get("alice"); ok {
+		t.Fatal("delete did not reach the owner")
+	}
+}
+
+// TestClusterFailoverServesReplica: killing a profile's owner leaves
+// reads serving from the follower's replica (marked stale_replica) while
+// mutations answer 503 — and the very first post-kill request succeeds,
+// because a failed proxy settles the peer's breaker immediately.
+func TestClusterFailoverServesReplica(t *testing.T) {
+	tc := newTestCluster(t, []string{"n1", "n2", "n3"}, false)
+	c := tc.anyNode().Cluster()
+	key := tc.keyOwnedBy("n1")
+	follower := c.Follower(key)
+	third := tc.otherThan("n1", follower)
+	text := testProfileText()
+
+	putProfile(t, tc.url("n1"), key, text)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := tc.node(follower).Cluster().Replica().Get(key); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("profile %s never replicated to follower %s", key, follower)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	tc.stop("n1")
+
+	// Read via the third node: proxy to dead owner fails → fail over to
+	// the follower's replica.
+	resp, body := doJSON(t, http.MethodGet, tc.url(third)+"/profiles/"+key, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover GET via %s: %d: %s", third, resp.StatusCode, body)
+	}
+	var pj profileJSON
+	if err := json.Unmarshal(body, &pj); err != nil {
+		t.Fatal(err)
+	}
+	if !pj.StaleReplica || pj.Text != text {
+		t.Fatalf("failover GET: want stale replica with original text, got %+v", pj)
+	}
+
+	// Read via the follower itself: served from its own replica.
+	resp, body = doJSON(t, http.MethodGet, tc.url(follower)+"/profiles/"+key, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover GET via follower: %d: %s", resp.StatusCode, body)
+	}
+
+	// Pipeline requests degrade to the replica and say so in the envelope.
+	resp, body = doJSON(t, http.MethodPost, tc.url(follower)+"/personalize", map[string]any{
+		"sql": testSQL, "profile_id": key,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover personalize: %d: %s", resp.StatusCode, body)
+	}
+	var pr personalizeResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Degraded != degradedStaleReplica {
+		t.Fatalf("failover personalize degraded=%q, want %q", pr.Degraded, degradedStaleReplica)
+	}
+
+	// Mutations do not fail over.
+	req, err := http.NewRequest(http.MethodPut, tc.url(third)+"/profiles/"+key, strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mutation with dead owner: %d, want 503", wresp.StatusCode)
+	}
+}
+
+// TestClusterRejoinCatchUp: a durably-stored owner that dies and rejoins
+// replays its WAL, catch-up syncs the shards it follows, and only then
+// advertises ready — with a /profiles listing identical to pre-kill (zero
+// acked mutations lost).
+func TestClusterRejoinCatchUp(t *testing.T) {
+	tc := newTestCluster(t, []string{"n1", "n2", "n3"}, true)
+
+	// Spread acked profiles across all three owners, entering via n2.
+	for i := 0; i < 12; i++ {
+		putProfile(t, tc.url("n2"), fmt.Sprintf("user-%d", i), testProfileText())
+	}
+	_, beforeList := doJSON(t, http.MethodGet, tc.url("n1")+"/profiles", nil)
+
+	// Wait until every follower replica caught up, so the rejoin pull has
+	// a complete source.
+	c := tc.anyNode().Cluster()
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < 12; i++ {
+		id := fmt.Sprintf("user-%d", i)
+		f := c.Follower(id)
+		for {
+			if _, ok := tc.node(f).Cluster().Replica().Get(id); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("profile %s never reached follower %s", id, f)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	tc.stop("n1")
+	tc.restart("n1")
+
+	_, afterList := doJSON(t, http.MethodGet, tc.url("n1")+"/profiles", nil)
+	var beforeP, afterP struct {
+		Profiles []ProfileInfo `json:"profiles"`
+	}
+	if err := json.Unmarshal(beforeList, &beforeP); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(afterList, &afterP); err != nil {
+		t.Fatal(err)
+	}
+	if len(afterP.Profiles) != len(beforeP.Profiles) {
+		t.Fatalf("rejoined listing has %d profiles, had %d", len(afterP.Profiles), len(beforeP.Profiles))
+	}
+	for i := range beforeP.Profiles {
+		b, a := beforeP.Profiles[i], afterP.Profiles[i]
+		if a.ID != b.ID || a.Version != b.Version {
+			t.Fatalf("rejoined listing diverged at %d: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// The rejoined node's replica was rebuilt by catch-up: every profile
+	// it follows is present again.
+	rejoined := tc.node("n1").Cluster()
+	for i := 0; i < 12; i++ {
+		id := fmt.Sprintf("user-%d", i)
+		if rejoined.Follower(id) != "n1" {
+			continue
+		}
+		if _, ok := rejoined.Replica().Get(id); !ok {
+			t.Fatalf("rejoined node missing replica of %s after catch-up", id)
+		}
+	}
+
+	// Healthz reports the cluster block.
+	_, hb := doJSON(t, http.MethodGet, tc.url("n1")+"/healthz", nil)
+	var hz struct {
+		Role    string `json:"role"`
+		Backend string `json:"backend"`
+		Cluster *struct {
+			NodeID string `json:"node_id"`
+			Peers  []struct {
+				ID string `json:"id"`
+				Up bool   `json:"up"`
+			} `json:"peers"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(hb, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Role != "member" || hz.Cluster == nil || hz.Cluster.NodeID != "n1" || len(hz.Cluster.Peers) != 2 {
+		t.Fatalf("healthz cluster block: %s", hb)
+	}
+}

@@ -466,28 +466,37 @@ func (s *Server) admit(w http.ResponseWriter, err error) {
 }
 
 // resolveProfile returns the request's profile: a stored one by ID (with
-// its version, cacheable) or an inline parsed one (never cached).
-func (s *Server) resolveProfile(id, inline string) (prof *cqp.Profile, version uint64, cacheable bool, code int, err error) {
+// its version, cacheable) or an inline parsed one (never cached). On a
+// replica-serving request (cluster failover — the owner is down and this
+// node follows the profile) a local-store miss falls back to the
+// replicated snapshot; stale reports that fallback so the handler can
+// mark the response "stale_replica" and skip caching it.
+func (s *Server) resolveProfile(r *http.Request, id, inline string) (prof *cqp.Profile, version uint64, cacheable, stale bool, code int, err error) {
 	switch {
 	case id != "" && inline != "":
-		return nil, 0, false, http.StatusBadRequest, fmt.Errorf("server: profile_id and profile are mutually exclusive")
+		return nil, 0, false, false, http.StatusBadRequest, fmt.Errorf("server: profile_id and profile are mutually exclusive")
 	case id != "":
 		sp, ok := s.store.Get(id)
-		if !ok {
-			return nil, 0, false, http.StatusNotFound, fmt.Errorf("server: no profile %q", id)
+		if !ok && s.cluster != nil && replicaServing(r.Context()) {
+			if rp, rok := s.replicaProfile(id); rok {
+				return rp.Profile, rp.Version, false, true, 0, nil
+			}
 		}
-		return sp.Profile, sp.Version, true, 0, nil
+		if !ok {
+			return nil, 0, false, false, http.StatusNotFound, fmt.Errorf("server: no profile %q", id)
+		}
+		return sp.Profile, sp.Version, true, false, 0, nil
 	case inline != "":
 		p, err := cqp.ParseProfile(inline)
 		if err != nil {
-			return nil, 0, false, http.StatusBadRequest, err
+			return nil, 0, false, false, http.StatusBadRequest, err
 		}
 		if err := p.Validate(s.db.Schema()); err != nil {
-			return nil, 0, false, http.StatusBadRequest, err
+			return nil, 0, false, false, http.StatusBadRequest, err
 		}
-		return p, 0, false, 0, nil
+		return p, 0, false, false, 0, nil
 	default:
-		return nil, 0, false, http.StatusBadRequest, fmt.Errorf("server: request needs profile_id or profile")
+		return nil, 0, false, false, http.StatusBadRequest, fmt.Errorf("server: request needs profile_id or profile")
 	}
 }
 
@@ -601,7 +610,7 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	prof, version, cacheable, code, err := s.resolveProfile(req.ProfileID, req.Profile)
+	prof, version, cacheable, stale, code, err := s.resolveProfile(r, req.ProfileID, req.Profile)
 	if err != nil {
 		s.fail(w, code, err)
 		return
@@ -660,7 +669,10 @@ func (s *Server) handlePersonalize(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := *o.out.(*personalizeResponse)
 	resp.Degraded = o.degraded
-	rec.SetRung(o.degraded)
+	if stale && resp.Degraded == "" {
+		resp.Degraded = degradedStaleReplica
+	}
+	rec.SetRung(resp.Degraded)
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, req.ProfileID, o.out)
 	} else if o.degraded == "stale" {
@@ -695,7 +707,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	prof, version, cacheable, code, err := s.resolveProfile(req.ProfileID, req.Profile)
+	prof, version, cacheable, stale, code, err := s.resolveProfile(r, req.ProfileID, req.Profile)
 	if err != nil {
 		s.fail(w, code, err)
 		return
@@ -779,7 +791,10 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := *o.out.(*executeResponse)
 	resp.Degraded = o.degraded
-	rec.SetRung(o.degraded)
+	if stale && resp.Degraded == "" {
+		resp.Degraded = degradedStaleReplica
+	}
+	rec.SetRung(resp.Degraded)
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, req.ProfileID, o.out)
 	} else if o.degraded == "stale" {
@@ -810,7 +825,7 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	prof, version, cacheable, code, err := s.resolveProfile(req.ProfileID, req.Profile)
+	prof, version, cacheable, stale, code, err := s.resolveProfile(r, req.ProfileID, req.Profile)
 	if err != nil {
 		s.fail(w, code, err)
 		return
@@ -880,7 +895,10 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := *o.out.(*frontResponse)
 	resp.Degraded = o.degraded
-	rec.SetRung(o.degraded)
+	if stale && resp.Degraded == "" {
+		resp.Degraded = degradedStaleReplica
+	}
+	rec.SetRung(resp.Degraded)
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, req.ProfileID, o.out)
 	} else if o.degraded == "stale" {
@@ -910,7 +928,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	prof, version, cacheable, code, err := s.resolveProfile(req.ProfileID, req.Profile)
+	prof, version, cacheable, stale, code, err := s.resolveProfile(r, req.ProfileID, req.Profile)
 	if err != nil {
 		s.fail(w, code, err)
 		return
@@ -978,7 +996,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := *o.out.(*topkResponse)
 	resp.Degraded = o.degraded
-	rec.SetRung(o.degraded)
+	if stale && resp.Degraded == "" {
+		resp.Degraded = degradedStaleReplica
+	}
+	rec.SetRung(resp.Degraded)
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, req.ProfileID, o.out)
 	} else if o.degraded == "stale" {
@@ -992,13 +1013,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// profileJSON is the single-profile response shape.
+// profileJSON is the single-profile response shape. StaleReplica marks an
+// answer served from a follower's replicated snapshot during failover —
+// correct as of the last replicated mutation, possibly behind the
+// unreachable owner.
 type profileJSON struct {
-	ID          string    `json:"id"`
-	Version     uint64    `json:"version"`
-	Preferences int       `json:"preferences"`
-	Text        string    `json:"text,omitempty"`
-	UpdatedAt   time.Time `json:"updated_at"`
+	ID           string    `json:"id"`
+	Version      uint64    `json:"version"`
+	Preferences  int       `json:"preferences"`
+	Text         string    `json:"text,omitempty"`
+	UpdatedAt    time.Time `json:"updated_at"`
+	StaleReplica bool      `json:"stale_replica,omitempty"`
 }
 
 // handleProfilePut serves PUT /profiles/{id}: the body is the profile in
@@ -1032,13 +1057,18 @@ func (s *Server) handleProfilePut(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sp, ok := s.store.Get(id)
+	stale := false
+	if !ok && s.cluster != nil && replicaServing(r.Context()) {
+		sp, ok = s.replicaProfile(id)
+		stale = ok
+	}
 	if !ok {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("server: no profile %q", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, profileJSON{
 		ID: sp.ID, Version: sp.Version, Preferences: sp.Profile.Len(),
-		Text: sp.Text, UpdatedAt: sp.UpdatedAt,
+		Text: sp.Text, UpdatedAt: sp.UpdatedAt, StaleReplica: stale,
 	})
 }
 
@@ -1098,6 +1128,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"queue_depth":   s.reg.Gauge("server_queue_depth").Value(),
 		"cache_entries": s.cache.Len(),
 		"breaker":       s.breaker.State().String(),
+		"backend":       s.cfg.Backend,
+	}
+	if s.cluster != nil {
+		// role + per-peer replication lag: the cluster block carries each
+		// follower's queued-plus-unacked record count and reachability.
+		body["role"] = "member"
+		body["cluster"] = s.cluster.Status()
+	} else {
+		body["role"] = "standalone"
 	}
 	if l := s.store.WAL(); l != nil {
 		st := l.Stats()

@@ -66,6 +66,10 @@ type ProfileStore struct {
 	// serialized by the single log file anyway.
 	mutMu sync.Mutex
 	log   *wal.Log // nil for a memory-only store
+	// onMutate observes acked mutations on a memory-only store (the
+	// durable store delegates to the log's OnAppend hook instead). Set
+	// before serving; called under mutMu.
+	onMutate func(wal.Record)
 }
 
 type profileShard struct {
@@ -121,6 +125,48 @@ func NewDurableProfileStore(s *cqp.Schema, dir string, opts wal.Options) (*Profi
 // WAL returns the store's write-ahead log (nil for a memory-only store).
 func (ps *ProfileStore) WAL() *wal.Log { return ps.log }
 
+// SetOnMutate registers fn to observe every acked mutation as its WAL
+// record — the replication tap. A durable store delegates to the log's
+// OnAppend hook, so fn fires exactly when the record has entered acked
+// history; a memory-only store calls fn after the mutation is applied.
+// Either way fn runs with the mutation lock held and must not call back
+// into the store. Register before serving; nil unregisters.
+func (ps *ProfileStore) SetOnMutate(fn func(wal.Record)) {
+	if ps.log != nil {
+		ps.log.OnAppend(fn)
+		return
+	}
+	ps.mutMu.Lock()
+	ps.onMutate = fn
+	ps.mutMu.Unlock()
+}
+
+// Records snapshots the store as WAL records: the version clock and every
+// live profile, sorted by ID. The clock is read before the shard scan, so
+// any profile the scan misses (a concurrent Put) carries a version above
+// the returned clock — exactly the invariant a replication full sync
+// needs to treat absence at-or-below the clock as deletion.
+func (ps *ProfileStore) Records() (uint64, []wal.Record) {
+	clock := ps.clock.Load()
+	var out []wal.Record
+	for i := range ps.shards {
+		sh := &ps.shards[i]
+		sh.mu.RLock()
+		for _, sp := range sh.m {
+			out = append(out, wal.Record{
+				Op:        wal.OpPut,
+				ID:        sp.ID,
+				Text:      sp.Text,
+				Version:   sp.Version,
+				UpdatedAt: sp.UpdatedAt.UnixNano(),
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return clock, out
+}
+
 // shard routes an ID to its lock stripe with FNV-1a inlined: hash/fnv's
 // New32a allocates its hash state on every call, and this sits on the hot
 // path of every profile lookup, so the loop keeps it allocation-free.
@@ -175,6 +221,12 @@ func (ps *ProfileStore) Put(id, text string) (*StoredProfile, error) {
 	sh.mu.Lock()
 	sh.m[id] = sp
 	sh.mu.Unlock()
+	if ps.log == nil && ps.onMutate != nil {
+		ps.onMutate(wal.Record{
+			Op: wal.OpPut, ID: id, Text: text,
+			Version: sp.Version, UpdatedAt: sp.UpdatedAt.UnixNano(),
+		})
+	}
 	return sp, nil
 }
 
@@ -202,12 +254,13 @@ func (ps *ProfileStore) Delete(id string) (bool, error) {
 		return false, nil
 	}
 	v := ps.clock.Load() + 1
+	now := time.Now().UnixNano()
 	if ps.log != nil {
 		err := ps.log.Append(wal.Record{
 			Op:        wal.OpDelete,
 			ID:        id,
 			Version:   v,
-			UpdatedAt: time.Now().UnixNano(),
+			UpdatedAt: now,
 		})
 		if err != nil {
 			return false, fmt.Errorf("%w: %v", errDurability, err)
@@ -217,6 +270,9 @@ func (ps *ProfileStore) Delete(id string) (bool, error) {
 	sh.mu.Lock()
 	delete(sh.m, id)
 	sh.mu.Unlock()
+	if ps.log == nil && ps.onMutate != nil {
+		ps.onMutate(wal.Record{Op: wal.OpDelete, ID: id, Version: v, UpdatedAt: now})
+	}
 	return true, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cqp"
+	"cqp/internal/cluster"
 	"cqp/internal/obs"
 	"cqp/internal/resilience"
 	"cqp/internal/wal"
@@ -103,6 +104,27 @@ type Config struct {
 	// SpillDir is where spill partitions live (default: the OS temp dir).
 	// Files are unlinked at creation, so a crash leaks nothing.
 	SpillDir string
+
+	// NodeID names this daemon in a multi-node cluster; empty runs
+	// standalone. When set it must appear in ClusterPeers.
+	NodeID string
+	// ClusterPeers is the static peer list: node ID → base URL, including
+	// this node's own entry. Every node must be given the identical list.
+	ClusterPeers map[string]string
+	// Replicate enables WAL-frame shipping to followers; without it the
+	// cluster routes requests but reads cannot fail over.
+	Replicate bool
+	// ProbeInterval is the peer health-probe period (default 500ms) — the
+	// failover detection bound.
+	ProbeInterval time.Duration
+	// VNodes is the consistent-hash virtual nodes per peer (default 64).
+	VNodes int
+	// CatchUpAttempts bounds per-peer catch-up pulls before a rejoining
+	// node gives up waiting and advertises ready anyway (default 15, at
+	// 200ms spacing).
+	CatchUpAttempts int
+	// Backend names the database backend for /healthz ("mem" when empty).
+	Backend string
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +167,12 @@ func (c Config) withDefaults() Config {
 	if c.FlightRecords == 0 {
 		c.FlightRecords = 256
 	}
+	if c.CatchUpAttempts <= 0 {
+		c.CatchUpAttempts = 15
+	}
+	if c.Backend == "" {
+		c.Backend = "mem"
+	}
 	return c
 }
 
@@ -166,6 +194,7 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 	recovery *wal.Recovery
+	cluster  *cluster.Node // nil when standalone
 	// ready flips once recovery (replaying the durable store's
 	// snapshot+log) has completed; until then /healthz answers 503 so a
 	// load balancer never routes to a daemon still rebuilding profiles.
@@ -231,10 +260,49 @@ func New(db *cqp.DB, cfg Config) (*Server, error) {
 				"from", from.String(), "to", to.String()).Inc()
 		},
 	})
+	if cfg.NodeID != "" {
+		node, err := cluster.New(cluster.Config{
+			Self:          cfg.NodeID,
+			Peers:         cfg.ClusterPeers,
+			VNodes:        cfg.VNodes,
+			ProbeInterval: cfg.ProbeInterval,
+			Replicate:     cfg.Replicate,
+			SyncSource:    s.syncRecords,
+			Metrics:       reg,
+		})
+		if err != nil {
+			s.store.Close()
+			return nil, err
+		}
+		s.cluster = node
+		if cfg.Replicate {
+			s.store.SetOnMutate(node.Replicate)
+		}
+		node.Start()
+	}
 	s.routes()
-	s.ready.Store(true)
+	if s.cluster != nil && s.cluster.Replicating() && len(cfg.ClusterPeers) > 1 {
+		// A (re)joining node catch-up syncs the shards it follows before
+		// advertising ready: peers' pings answer 503 until the replica is
+		// rebuilt, so nobody fails over onto an empty replica. Attempts are
+		// bounded — on a cold-start cluster every node is catching up from
+		// every other, and waiting forever would deadlock the fleet.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := s.cluster.CatchUp(ctx, s.cfg.CatchUpAttempts); err != nil && s.log != nil {
+				s.log.Warn("cluster catch-up incomplete", "error", err)
+			}
+			s.ready.Store(true)
+		}()
+	} else {
+		s.ready.Store(true)
+	}
 	return s, nil
 }
+
+// Cluster returns the daemon's cluster node (nil when standalone).
+func (s *Server) Cluster() *cluster.Node { return s.cluster }
 
 // Recovery reports what the durable store replayed at startup (nil for a
 // memory-only daemon).
@@ -263,19 +331,30 @@ func (s *Server) SLO() *obs.SLO { return s.slo }
 
 // routes mounts every endpoint on the daemon's mux.
 func (s *Server) routes() {
-	// Pipeline endpoints run through admission control.
-	s.mux.HandleFunc("POST /personalize", s.instrument("personalize", s.handlePersonalize))
-	s.mux.HandleFunc("POST /personalize/batch", s.instrument("batch", s.handleBatch))
-	s.mux.HandleFunc("POST /execute", s.instrument("execute", s.handleExecute))
-	s.mux.HandleFunc("POST /front", s.instrument("front", s.handleFront))
-	s.mux.HandleFunc("POST /topk", s.instrument("topk", s.handleTopK))
+	// Pipeline endpoints run through admission control; in cluster mode the
+	// routing wrapper proxies them to the profile's owner first.
+	s.mux.HandleFunc("POST /personalize", s.instrument("personalize", s.routeByBody(s.handlePersonalize)))
+	s.mux.HandleFunc("POST /personalize/batch", s.instrument("batch", s.routeByBody(s.handleBatch)))
+	s.mux.HandleFunc("POST /execute", s.instrument("execute", s.routeByBody(s.handleExecute)))
+	s.mux.HandleFunc("POST /front", s.instrument("front", s.routeByBody(s.handleFront)))
+	s.mux.HandleFunc("POST /topk", s.instrument("topk", s.routeByBody(s.handleTopK)))
 
 	// Profile CRUD and admin bypass the pool: they are O(profile) work.
-	s.mux.HandleFunc("PUT /profiles/{id}", s.instrument("profile_put", s.handleProfilePut))
-	s.mux.HandleFunc("GET /profiles/{id}", s.instrument("profile_get", s.handleProfileGet))
-	s.mux.HandleFunc("DELETE /profiles/{id}", s.instrument("profile_delete", s.handleProfileDelete))
+	s.mux.HandleFunc("PUT /profiles/{id}", s.instrument("profile_put", s.routeByPath(true, s.handleProfilePut)))
+	s.mux.HandleFunc("GET /profiles/{id}", s.instrument("profile_get", s.routeByPath(false, s.handleProfileGet)))
+	s.mux.HandleFunc("DELETE /profiles/{id}", s.instrument("profile_delete", s.routeByPath(true, s.handleProfileDelete)))
 	s.mux.HandleFunc("GET /profiles", s.instrument("profile_list", s.handleProfileList))
 	s.mux.HandleFunc("POST /refresh", s.instrument("refresh", s.handleRefresh))
+
+	// Cluster-internal endpoints: no instrument wrapper — probes fire every
+	// interval from every peer and would drown the flight recorder.
+	if s.cluster != nil {
+		s.mux.HandleFunc("GET "+cluster.PathPing, s.handleClusterPing)
+		s.mux.HandleFunc("POST "+cluster.PathReplicate, s.handleClusterReplicate)
+		s.mux.HandleFunc("GET "+cluster.PathSync, s.handleClusterSync)
+		s.mux.HandleFunc("GET /cluster/route/{id}", s.handleClusterRoute)
+		s.mux.HandleFunc("GET /cluster/state", s.handleClusterState)
+	}
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -342,6 +421,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if srv != nil {
 		err = srv.Shutdown(ctx)
+	}
+	if s.cluster != nil {
+		s.cluster.Close()
 	}
 	s.pool.Close()
 	if cerr := s.store.Close(); err == nil {

@@ -1,0 +1,84 @@
+package wal
+
+// This file is the log's exported frame surface: the same CRC-framed
+// record encoding the files use, usable as a wire format (the cluster
+// replicator ships acked frames to followers verbatim), plus the tailing
+// hook replication rides — a callback invoked for every record the moment
+// it becomes acked history.
+
+// EncodeFrame appends rec to buf as one CRC32C-framed record — the exact
+// byte layout Append writes to the log file, so a shipped frame is
+// bit-identical to the durable one.
+func EncodeFrame(buf []byte, rec Record) []byte {
+	return appendFrame(buf, rec)
+}
+
+// DecodeFrame decodes the frame starting at off, returning the record and
+// the offset just past it. Errors mean a short, corrupt or torn frame;
+// the caller decides which (see Log.recover for the file-replay policy).
+func DecodeFrame(buf []byte, off int) (Record, int, error) {
+	return readFrame(buf, off)
+}
+
+// DecodeFrames decodes a buffer holding zero or more complete frames —
+// the replication wire format. Unlike file replay there is no torn-tail
+// tolerance: a partial or damaged frame fails the whole buffer, because a
+// transport that delivered half a frame delivered nothing trustworthy.
+func DecodeFrames(buf []byte) ([]Record, error) {
+	var recs []Record
+	off := 0
+	for off < len(buf) {
+		rec, next, err := readFrame(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+	return recs, nil
+}
+
+// EncodeRecords frames every record into one buffer (the inverse of
+// DecodeFrames).
+func EncodeRecords(recs []Record) []byte {
+	var n int
+	for _, r := range recs {
+		n += frameHeaderBytes + recordFixedBytes + len(r.ID) + len(r.Text)
+	}
+	buf := make([]byte, 0, n)
+	for _, r := range recs {
+		buf = appendFrame(buf, r)
+	}
+	return buf
+}
+
+// FrameOverhead is the per-record framing cost in bytes beyond ID and
+// Text, exported so transports can size batches.
+const FrameOverhead = frameHeaderBytes + recordFixedBytes
+
+// OnAppend registers fn to be called for every record that Append commits
+// to acked history, in commit order, after the record is durable under
+// the configured sync policy. The callback runs with the log's internal
+// lock held: it must be fast, must not block, and must not call back into
+// the Log. One subscriber is supported (the cluster replicator); a second
+// registration replaces the first. Pass nil to unsubscribe.
+func (l *Log) OnAppend(fn func(Record)) {
+	l.mu.Lock()
+	l.onAppend = fn
+	l.mu.Unlock()
+}
+
+// StateRecords returns the store-global version clock and a copy of the
+// live profile state (OpPut records only, unsorted) — the snapshot half
+// of a snapshot + frame-tail catch-up sync. Records appended after the
+// call reach the subscriber via OnAppend; version guards make the overlap
+// idempotent.
+func (l *Log) StateRecords() (clock uint64, recs []Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recs = make([]Record, 0, len(l.state))
+	for _, r := range l.state {
+		recs = append(recs, r)
+	}
+	return l.clock, recs
+}

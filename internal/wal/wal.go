@@ -150,6 +150,7 @@ type Log struct {
 	snapshotting bool
 	closed       bool
 	buf          []byte
+	onAppend     func(Record) // tailing subscriber (OnAppend)
 
 	dirf     *os.File
 	lastSnap time.Time
@@ -417,6 +418,9 @@ func (l *Log) Append(rec Record) error {
 	}
 	l.sinceSnap++
 	l.counter("wal_appends_total").Inc()
+	if l.onAppend != nil {
+		l.onAppend(rec)
+	}
 	var job *snapshotJob
 	if l.opts.SnapshotEvery > 0 && l.sinceSnap >= l.opts.SnapshotEvery && !l.snapshotting {
 		job = l.rotateLocked()
@@ -487,8 +491,14 @@ func (l *Log) writeSnapshot(job *snapshotJob) error {
 		return err
 	}
 	// Older files are now superseded; recovery needs snap-(seq+1) and
-	// wal-(seq+1) only.
-	for _, e := range mustReadDir(l.dir) {
+	// wal-(seq+1) only. A directory-read error here is reported, not
+	// swallowed: the snapshot itself landed, so recovery stays correct, but
+	// the caller counts the failed prune and the next checkpoint retries it.
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot prune: %w", err)
+	}
+	for _, e := range entries {
 		name := e.Name()
 		if s := parseSeq(name, "wal-", ".log"); s != 0 && s <= job.seq {
 			os.Remove(filepath.Join(l.dir, name))
@@ -503,14 +513,6 @@ func (l *Log) writeSnapshot(job *snapshotJob) error {
 	l.mu.Unlock()
 	l.counter("wal_snapshots_total").Inc()
 	return nil
-}
-
-func mustReadDir(dir string) []os.DirEntry {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil
-	}
-	return entries
 }
 
 // Checkpoint forces a rotate-and-snapshot cycle (test and admin hook).
