@@ -21,15 +21,25 @@ import (
 // and measure how long reads of that profile stay dark. The drill fails
 // (non-zero exit) when any acked mutation is lost — during the outage or
 // after the killed owner rejoins — or when failover never completes.
+//
+// A second, membership leg then scales the healthy cluster out and back
+// in: a 4th node boots as a cluster of itself and joins via POST
+// /cluster/join while a mixed PUT/GET load hammers the original members,
+// every shard the new ring assigns to it is verified moved (route sweep
+// across all four nodes must agree at the new epoch), then the node
+// leaves again and the exact pre-join assignment must come back. The
+// gate for this leg: zero failed load requests, zero acked-mutation
+// loss, routing agreement at every step.
 
 const (
 	drillNodes       = 3
 	drillBootWait    = 30 * time.Second
 	drillDrainWait   = 15 * time.Second
 	drillFailoverCap = 10 * time.Second
+	drillMemberWait  = 60 * time.Second
 )
 
-// drillResult is the BENCH_8.json shape.
+// drillResult is the BENCH_9.json shape.
 type drillResult struct {
 	Nodes          int    `json:"nodes"`
 	Profiles       int    `json:"profiles"`
@@ -51,6 +61,25 @@ type drillResult struct {
 	// RejoinListingOK: the restarted owner's /profiles listing holds every
 	// profile it owns at exactly the acked version.
 	RejoinListingOK bool `json:"rejoin_listing_ok"`
+
+	// Membership leg: scale out to 4 nodes and back under load.
+	JoinMS  float64 `json:"join_ms"`  // /cluster/join call to committed epoch on all nodes
+	LeaveMS float64 `json:"leave_ms"` // /cluster/leave call to committed epoch on survivors
+	// MovedShards is how many tracked profiles the new ring assigned to
+	// the joiner — each verified present there and evicted from its old
+	// owner after the join, and restored after the leave.
+	MovedShards int `json:"moved_shards"`
+	// MembershipLoadOps/Errors score the PUT/GET loop that ran through
+	// both transitions. The gate: errors must be 0.
+	MembershipLoadOps    int64 `json:"membership_load_ops"`
+	MembershipLoadErrors int64 `json:"membership_load_errors"`
+	// MembershipRouteAgree: all four nodes answered /cluster/route
+	// identically at the post-join epoch for every tracked profile.
+	MembershipRouteAgree bool `json:"membership_route_agree"`
+	// MembershipRestored: after the leave, ownership of every tracked
+	// profile matched the pre-join map exactly and read back at the
+	// acked version.
+	MembershipRestored bool `json:"membership_restored"`
 }
 
 // drillNode is one cqpd process under the drill's control.
@@ -296,6 +325,12 @@ func runClusterDrill(cqpdBin string, nProfiles int, seed int64, jsonPath string)
 	fmt.Printf("cluster drill: %s rejoined in %.0fms, listing ok=%v, lost=%d\n",
 		victim.id, res.CatchupMS, res.RejoinListingOK, res.LostMutations)
 
+	// Membership leg: the cluster is whole again — scale it out to a 4th
+	// node and back in, under load, without dropping a single request.
+	if err := runMembershipLeg(tmp, cqpdBin, seed, nodes, ids, text, acked, owner, &res); err != nil {
+		return fail("membership leg: %v", err)
+	}
+
 	if jsonPath != "" {
 		if dir := filepath.Dir(jsonPath); dir != "." {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -312,7 +347,287 @@ func runClusterDrill(cqpdBin string, nProfiles int, seed int64, jsonPath string)
 		return fail("drill failed: %d lost mutations, %d outage read errors, listing ok=%v",
 			res.LostMutations, res.OutageReadErrors, res.RejoinListingOK)
 	}
-	fmt.Println("cluster drill: PASS — zero acked mutations lost")
+	if res.MembershipLoadErrors > 0 || !res.MembershipRouteAgree || !res.MembershipRestored {
+		return fail("membership leg failed: %d load errors, route agree=%v, restored=%v",
+			res.MembershipLoadErrors, res.MembershipRouteAgree, res.MembershipRestored)
+	}
+	fmt.Println("cluster drill: PASS — zero acked mutations lost, zero failed requests through join/leave")
+	return nil
+}
+
+// runMembershipLeg boots n4 as a 1-node cluster, joins it into the ring
+// through POST /cluster/join while a mixed PUT/GET loop runs against the
+// original members, verifies shard movement and routing agreement, then
+// drains it back out with /cluster/leave and checks the exact pre-join
+// assignment returned. Populates the Membership* fields of res; returns
+// an error only on infrastructure failure — scoring failures land in res
+// and are gated by the caller.
+func runMembershipLeg(tmp, cqpdBin string, seed int64, nodes []*drillNode, ids []string,
+	text string, acked map[string]uint64, owner map[string]string, res *drillResult) error {
+	addrs, err := freeAddrs(1)
+	if err != nil {
+		return err
+	}
+	joiner := &drillNode{id: "n4", addr: addrs[0], base: "http://" + addrs[0],
+		log: filepath.Join(tmp, "n4.log")}
+	joiner.args = []string{cqpdBin,
+		"-addr", joiner.addr,
+		"-movies", "300", "-seed", fmt.Sprint(seed),
+		"-data", filepath.Join(tmp, "n4"),
+		"-node-id", "n4", "-peers", "n4=" + joiner.base, "-replicate",
+		"-probe-interval", "100ms",
+	}
+	if err := joiner.start(); err != nil {
+		return err
+	}
+	defer joiner.kill()
+	if err := waitHealthy(joiner.base, drillBootWait); err != nil {
+		fmt.Fprint(os.Stderr, joiner.tail())
+		return fmt.Errorf("joiner never became healthy: %v", err)
+	}
+
+	var st struct {
+		Ring struct {
+			Epoch uint64 `json:"epoch"`
+		} `json:"ring"`
+	}
+	if _, err := drillGet(nodes[0].base+"/cluster/state", &st); err != nil {
+		return err
+	}
+	joinEpoch, leaveEpoch := st.Ring.Epoch+1, st.Ring.Epoch+2
+
+	// Sustained mixed load against the original members, running through
+	// both transitions. Every request must succeed.
+	stopLoad := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			base := nodes[i%len(nodes)].base
+			id := fmt.Sprintf("load-%02d", i%20)
+			if _, err := putDrillProfile(base, id, text); err != nil {
+				res.MembershipLoadErrors++
+				fmt.Fprintf(os.Stderr, "membership load: PUT %s: %v\n", id, err)
+			}
+			res.MembershipLoadOps++
+			if i > 0 {
+				gid := fmt.Sprintf("load-%02d", (i-1)%20)
+				if _, code, err := getDrillProfile(base, gid); err != nil || code != http.StatusOK {
+					res.MembershipLoadErrors++
+					fmt.Fprintf(os.Stderr, "membership load: GET %s: code=%d err=%v\n", gid, code, err)
+				}
+				res.MembershipLoadOps++
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	stopped := false
+	stop := func() {
+		if !stopped {
+			stopped = true
+			close(stopLoad)
+			<-loadDone
+		}
+	}
+	defer stop()
+	time.Sleep(100 * time.Millisecond) // load demonstrably in flight first
+
+	fmt.Printf("cluster drill: joining %s into the ring under load\n", joiner.id)
+	joinAt := time.Now()
+	if err := drillPost(nodes[0].base+"/cluster/join",
+		map[string]any{"id": joiner.id, "url": joiner.base}); err != nil {
+		return fmt.Errorf("join: %v", err)
+	}
+	all := append(append([]*drillNode{}, nodes...), joiner)
+	if err := waitDrillEpoch(all, joinEpoch); err != nil {
+		return fmt.Errorf("join never committed: %v", err)
+	}
+	res.JoinMS = float64(time.Since(joinAt).Microseconds()) / 1000
+
+	// Route sweep: all four nodes must agree on every tracked profile at
+	// the new epoch; the profiles now owned by the joiner are the moved set.
+	res.MembershipRouteAgree = true
+	moved := make([]string, 0, len(ids))
+	for _, id := range ids {
+		o, ok, err := drillRouteAgreement(all, id, joinEpoch)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			res.MembershipRouteAgree = false
+		}
+		if o == joiner.id {
+			moved = append(moved, id)
+		}
+	}
+	res.MovedShards = len(moved)
+	if len(moved) == 0 {
+		return fmt.Errorf("join moved no tracked shards to %s", joiner.id)
+	}
+
+	// Every moved shard was handed off: present on the joiner at the acked
+	// version, evicted from its old owner, and readable undegraded.
+	joinerStore, err := drillStoreMap(joiner.base)
+	if err != nil {
+		return err
+	}
+	oldStores := make(map[string]map[string]uint64, len(nodes))
+	for _, n := range nodes {
+		if oldStores[n.id], err = drillStoreMap(n.base); err != nil {
+			return err
+		}
+	}
+	for i, id := range moved {
+		if joinerStore[id] != acked[id] {
+			res.LostMutations++
+			fmt.Fprintf(os.Stderr, "membership: %s on joiner at v%d, acked v%d\n", id, joinerStore[id], acked[id])
+		}
+		if _, still := oldStores[owner[id]][id]; still {
+			return fmt.Errorf("moved shard %s still on old owner %s", id, owner[id])
+		}
+		pj, code, err := getDrillProfile(nodes[i%len(nodes)].base, id)
+		if err != nil || code != http.StatusOK || pj.Version != acked[id] || pj.StaleReplica {
+			res.LostMutations++
+			fmt.Fprintf(os.Stderr, "membership: read %s post-join: code=%d v=%d stale=%v err=%v\n",
+				id, code, pj.Version, pj.StaleReplica, err)
+		}
+	}
+	fmt.Printf("cluster drill: join committed epoch %d in %.0fms, %d of %d shards moved\n",
+		joinEpoch, res.JoinMS, len(moved), len(ids))
+
+	// Scale back in: the joiner leaves, still under load.
+	leaveAt := time.Now()
+	if err := drillPost(nodes[0].base+"/cluster/leave",
+		map[string]any{"id": joiner.id}); err != nil {
+		return fmt.Errorf("leave: %v", err)
+	}
+	if err := waitDrillEpoch(nodes, leaveEpoch); err != nil {
+		return fmt.Errorf("leave never committed: %v", err)
+	}
+	res.LeaveMS = float64(time.Since(leaveAt).Microseconds()) / 1000
+	stop()
+
+	// The exact pre-join assignment is restored and nothing was lost on
+	// the round trip through the joiner.
+	res.MembershipRestored = true
+	for i, id := range ids {
+		o, ok, err := drillRouteAgreement(nodes, id, leaveEpoch)
+		if err != nil {
+			return err
+		}
+		if !ok || o != owner[id] {
+			res.MembershipRestored = false
+			fmt.Fprintf(os.Stderr, "membership: %s owned by %s after leave, was %s (agree=%v)\n", id, o, owner[id], ok)
+		}
+		pj, code, err := getDrillProfile(nodes[i%len(nodes)].base, id)
+		if err != nil || code != http.StatusOK || pj.Version != acked[id] || pj.StaleReplica {
+			res.LostMutations++
+			res.MembershipRestored = false
+			fmt.Fprintf(os.Stderr, "membership: read %s post-leave: code=%d v=%d stale=%v err=%v\n",
+				id, code, pj.Version, pj.StaleReplica, err)
+		}
+	}
+	fmt.Printf("cluster drill: leave committed epoch %d in %.0fms; load %d ops, %d errors\n",
+		leaveEpoch, res.LeaveMS, res.MembershipLoadOps, res.MembershipLoadErrors)
+	return nil
+}
+
+// drillRouteAgreement asks every node to route id and reports the agreed
+// owner, whether all answers matched at the wanted epoch, or an error on
+// transport failure.
+func drillRouteAgreement(nodes []*drillNode, id string, epoch uint64) (string, bool, error) {
+	ownerSeen := ""
+	for _, n := range nodes {
+		var route struct {
+			Owner string `json:"owner"`
+			Epoch uint64 `json:"epoch"`
+		}
+		if _, err := drillGet(n.base+"/cluster/route/"+id, &route); err != nil {
+			return "", false, fmt.Errorf("route %s via %s: %v", id, n.id, err)
+		}
+		if route.Epoch != epoch {
+			return route.Owner, false, nil
+		}
+		if ownerSeen == "" {
+			ownerSeen = route.Owner
+		} else if route.Owner != ownerSeen {
+			return ownerSeen, false, nil
+		}
+	}
+	return ownerSeen, true, nil
+}
+
+// drillStoreMap fetches a node's authoritative store listing as id→version.
+func drillStoreMap(base string) (map[string]uint64, error) {
+	var st struct {
+		Store []struct {
+			ID      string `json:"id"`
+			Version uint64 `json:"version"`
+		} `json:"store"`
+	}
+	if _, err := drillGet(base+"/cluster/state", &st); err != nil {
+		return nil, err
+	}
+	m := make(map[string]uint64, len(st.Store))
+	for _, e := range st.Store {
+		m[e.ID] = e.Version
+	}
+	return m, nil
+}
+
+// waitDrillEpoch polls until every node reports the target ring epoch.
+func waitDrillEpoch(nodes []*drillNode, epoch uint64) error {
+	deadline := time.Now().Add(drillMemberWait)
+	for {
+		behind := ""
+		for _, n := range nodes {
+			var st struct {
+				Ring struct {
+					Epoch uint64 `json:"epoch"`
+				} `json:"ring"`
+			}
+			if _, err := drillGet(n.base+"/cluster/state", &st); err != nil {
+				behind = fmt.Sprintf("%s: %v", n.id, err)
+				break
+			}
+			if st.Ring.Epoch != epoch {
+				behind = fmt.Sprintf("%s at epoch %d", n.id, st.Ring.Epoch)
+				break
+			}
+		}
+		if behind == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("epoch %d not reached within %s (%s)", epoch, drillMemberWait, behind)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// drillPost sends a JSON body and expects 200; membership transitions can
+// take a while, so it uses its own generous timeout.
+func drillPost(url string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	cli := &http.Client{Timeout: drillMemberWait}
+	resp, err := cli.Post(url, "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rb, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("POST %s: %d: %s", url, resp.StatusCode, rb)
+	}
+	io.Copy(io.Discard, resp.Body)
 	return nil
 }
 

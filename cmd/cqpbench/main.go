@@ -15,7 +15,7 @@
 //	cqpbench -herd 64 -bursts 8 -gate -json BENCH_5.json   # thundering-herd serving benchmark
 //	cqpbench -batch 32                                     # /personalize/batch vs singleton requests
 //	cqpbench -spillbench 6000 -spillbudget 262144 -gate    # union-all peak heap, unbounded vs spilled
-//	cqpbench -cluster-drill -json results/BENCH_8.json     # 3-node kill -9 failover drill
+//	cqpbench -cluster-drill -json results/BENCH_9.json     # kill -9 failover + join/leave membership drill
 package main
 
 import (
@@ -62,7 +62,7 @@ func main() {
 		gate      = flag.Bool("gate", false, "herd mode: exit non-zero when coalescing loses to the no-coalesce baseline; spillbench mode: when spilling fails to cut peak heap")
 		spillN    = flag.Int("spillbench", 0, "executor benchmark: union-all over this many movies, unbounded vs spill-budgeted (0 = off)")
 		spillBudg = flag.Int64("spillbudget", 256<<10, "spillbench mode: per-run executor memory budget in bytes")
-		drill     = flag.Bool("cluster-drill", false, "robustness drill: boot a 3-node replicated cqpd cluster, kill -9 a profile's owner, verify failover and zero acked-mutation loss")
+		drill     = flag.Bool("cluster-drill", false, "robustness drill: boot a 3-node replicated cqpd cluster, kill -9 a profile's owner, verify failover and zero acked-mutation loss; then join a 4th node under load and drain it back out with zero failed requests")
 		cqpdBin   = flag.String("cqpd", "", "cluster-drill mode: path to a cqpd binary (empty = go build one)")
 	)
 	flag.Parse()

@@ -22,6 +22,12 @@
 //	cqpd -node-id n1 -data s1/ -replicate \
 //	     -peers 'n1=http://h1:8344,n2=http://h2:8344,n3=http://h3:8344'
 //	                                  # one member of a 3-node cluster
+//	cqpd -node-id n4 -data s4/ -replicate -peers 'n4=http://h4:8344'
+//	                                  # boot a joiner alone, then:
+//	                                  # POST any member /cluster/join
+//	                                  # {"id":"n4","url":"http://h4:8344"}
+//	cqpd ... -replicas 3 -peer-strikes 2 -antientropy 10s
+//	                                  # R=3, slower breaker, 10s repair period
 //
 // Endpoints: POST /personalize, /personalize/batch, /execute, /front,
 // /topk; PUT/GET/DELETE
@@ -81,12 +87,19 @@ func main() {
 		nodeID    = flag.String("node-id", "", "this node's ID in a multi-node cluster (requires -peers)")
 		peersCSV  = flag.String("peers", "", "static cluster peer list: comma-separated id=url pairs including this node, e.g. 'n1=http://10.0.0.1:8344,n2=http://10.0.0.2:8344'")
 		replicate = flag.Bool("replicate", false, "ship acked WAL frames to followers so reads fail over when an owner dies (requires -peers and -data)")
+		replicas  = flag.Int("replicas", 2, "replication factor R: owner plus R−1 followers per profile (must match across the cluster; R=3 survives two simultaneous owner deaths)")
+		strikes   = flag.Int("peer-strikes", 1, "consecutive probe/proxy failures before a peer's breaker opens (raise on lossy networks to avoid flapping into stale_replica reads)")
 		probeIvl  = flag.Duration("probe-interval", 500*time.Millisecond, "cluster peer health-probe period (the failover detection bound)")
+		handoff   = flag.Int("handoff-rate", 20000, "membership-change shard handoff streaming bound, records/second")
+		antiEnt   = flag.Duration("antientropy", 5*time.Second, "background replica digest-diff repair period (negative disables)")
 	)
 	flag.Parse()
 
 	peers, err := validateStartup(*nodeID, *peersCSV, *replicate, *dataDir, *spill)
 	if err != nil {
+		fatal(err)
+	}
+	if err := validateClusterKnobs(*replicas, *strikes, *handoff); err != nil {
 		fatal(err)
 	}
 
@@ -138,7 +151,11 @@ func main() {
 		NodeID:         *nodeID,
 		ClusterPeers:   peers,
 		Replicate:      *replicate,
+		Replicas:       *replicas,
+		PeerStrikes:    *strikes,
 		ProbeInterval:  *probeIvl,
+		HandoffRate:    *handoff,
+		AntiEntropy:    *antiEnt,
 		Backend:        *backend,
 	})
 	if err != nil {
@@ -335,6 +352,22 @@ func validateStartup(nodeID, peersCSV string, replicate bool, dataDir string, sp
 		return nil, fmt.Errorf("-replicate needs -data; replication ships the write-ahead log, and a memory-only node has no log to ship")
 	}
 	return peers, nil
+}
+
+// validateClusterKnobs bounds the cluster tuning flags. Replicas is
+// capped at 9 — past that every node follows every shard on any
+// realistic cluster and the flag is almost certainly a typo.
+func validateClusterKnobs(replicas, strikes, handoffRate int) error {
+	if replicas < 1 || replicas > 9 {
+		return fmt.Errorf("-replicas must be 1..9 (got %d); 2 is the default, 3 survives two simultaneous owner deaths", replicas)
+	}
+	if strikes < 1 {
+		return fmt.Errorf("-peer-strikes must be ≥ 1 (got %d); 1 is instant failover", strikes)
+	}
+	if handoffRate < 1 {
+		return fmt.Errorf("-handoff-rate must be ≥ 1 records/second (got %d)", handoffRate)
+	}
+	return nil
 }
 
 func fatal(err error) {

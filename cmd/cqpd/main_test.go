@@ -166,6 +166,35 @@ func TestValidateStartup(t *testing.T) {
 	}
 }
 
+func TestValidateClusterKnobs(t *testing.T) {
+	cases := []struct {
+		name                       string
+		replicas, strikes, handoff int
+		wantErr                    string
+	}{
+		{name: "defaults", replicas: 2, strikes: 1, handoff: 20000},
+		{name: "r3", replicas: 3, strikes: 2, handoff: 1},
+		{name: "zero replicas", replicas: 0, strikes: 1, handoff: 1, wantErr: "-replicas"},
+		{name: "absurd replicas", replicas: 10, strikes: 1, handoff: 1, wantErr: "-replicas"},
+		{name: "zero strikes", replicas: 2, strikes: 0, handoff: 1, wantErr: "-peer-strikes"},
+		{name: "zero handoff rate", replicas: 2, strikes: 1, handoff: 0, wantErr: "-handoff-rate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateClusterKnobs(c.replicas, c.strikes, c.handoff)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %v does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
 func TestPreloadProfile(t *testing.T) {
 	srv, err := server.New(cqp.SyntheticMovieDB(100, 1), server.Config{})
 	if err != nil {

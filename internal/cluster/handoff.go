@@ -1,0 +1,585 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cqp/internal/wal"
+)
+
+// Membership transitions. A ring change (join or leave) moves through
+// three phases, driven by whichever node received the admin request (the
+// coordinator) and stamped with the new ring's epoch:
+//
+//	prepare ──► handoff ──► commit
+//	   │            │
+//	   └── abort ◄──┘  (any phase failure rolls every node back)
+//
+// prepare installs the next ring on every old and new member — nothing
+// routes by it yet, but handoff targets become reachable and every node
+// knows a transition is in flight (concurrent transitions are rejected
+// here). handoff has each current member stream the owned records that
+// move under the next ring to their new owners, in WAL-frame batches at a
+// bounded rate; the target applies them version-guarded, so retries and
+// replays are no-ops. commit atomically swaps the active ring, then — on
+// each old owner, under the profile store's mutation lock — re-sweeps the
+// moved shards, flushes any records mutated since the handoff snapshot to
+// the new owner, waits for the ack, and only then evicts. The lock closes
+// the straggler race: no mutation can land between the final flush and
+// the eviction, which is what makes "zero acked-mutation loss" hold while
+// the cluster keeps taking writes mid-transition.
+//
+// Reads never fail over the window: until commit, the old owner still
+// serves moved shards (it keeps the records until eviction — the
+// double-serve); after commit, the new owner has everything including the
+// final sweep. A node that misses the commit (crashed, partitioned) keeps
+// routing on the stale ring until its next probe gossips the new epoch or
+// a wrong_epoch rejection forces a /cluster/state refetch.
+
+// handoffTimeout bounds one membership transition end to end.
+const handoffTimeout = 5 * time.Minute
+
+// RingMessage is the /cluster/ring wire form.
+type RingMessage struct {
+	// Mode is prepare, commit, abort, or install.
+	Mode string `json:"mode"`
+	// State carries the next ring for prepare and install.
+	State *RingState `json:"state,omitempty"`
+	// Epoch identifies the transition for commit and abort.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// transitionMu serializes locally-coordinated transitions. Cross-node
+// races are caught by Prepare's single-transition guard on every member.
+var transitionMu sync.Mutex
+
+// AddNode joins a new member: mints epoch+1, prepares it everywhere,
+// hands off the shards the new ring assigns to the joiner, and commits.
+// Idempotent when the node is already a member at the same URL.
+func (n *Node) AddNode(ctx context.Context, id, url string) (RingState, error) {
+	cur := n.State()
+	if id == "" || url == "" {
+		return cur, fmt.Errorf("cluster: join needs id and url")
+	}
+	if have, ok := cur.Members[id]; ok {
+		if have == url {
+			return cur, nil
+		}
+		return cur, fmt.Errorf("cluster: node %q already a member at %s", id, have)
+	}
+	st := cur.Clone()
+	st.Members[id] = url
+	st.Epoch = cur.Epoch + 1
+	return n.transition(ctx, cur, st, nil)
+}
+
+// RemoveNode removes a member: mints epoch+1, prepares it everywhere,
+// has the leaver hand off everything it owns, and commits. With force the
+// leaver is never contacted (it is presumed dead); each survivor promotes
+// the replicas it now owns at commit instead.
+func (n *Node) RemoveNode(ctx context.Context, id string, force bool) (RingState, error) {
+	cur := n.State()
+	if _, ok := cur.Members[id]; !ok {
+		return cur, fmt.Errorf("cluster: node %q is not a member", id)
+	}
+	if len(cur.Members) == 1 {
+		return cur, fmt.Errorf("cluster: refusing to remove the last member")
+	}
+	st := cur.Clone()
+	delete(st.Members, id)
+	st.Epoch = cur.Epoch + 1
+	var skip map[string]bool
+	if force {
+		skip = map[string]bool{id: true}
+	}
+	return n.transition(ctx, cur, st, skip)
+}
+
+// transition drives prepare → handoff → commit across the union of old
+// and new members (minus skipped dead nodes). Any prepare or handoff
+// failure aborts everywhere and leaves the old ring active.
+func (n *Node) transition(ctx context.Context, cur, st RingState, skip map[string]bool) (RingState, error) {
+	transitionMu.Lock()
+	defer transitionMu.Unlock()
+	ctx, cancel := context.WithTimeout(ctx, handoffTimeout)
+	defer cancel()
+
+	urls := make(map[string]string, len(cur.Members)+1)
+	for id, u := range cur.Members {
+		urls[id] = u
+	}
+	for id, u := range st.Members {
+		urls[id] = u
+	}
+	var all []string
+	for id := range urls {
+		if !skip[id] {
+			all = append(all, id)
+		}
+	}
+	sort.Strings(all)
+
+	abort := func() {
+		for _, id := range all {
+			n.ringCall(ctx, id, urls[id], RingMessage{Mode: "abort", Epoch: st.Epoch})
+		}
+	}
+
+	for _, id := range all {
+		if err := n.ringCall(ctx, id, urls[id], RingMessage{Mode: "prepare", State: &st}); err != nil {
+			abort()
+			return cur, fmt.Errorf("cluster: prepare epoch %d on %s: %w", st.Epoch, id, err)
+		}
+	}
+
+	// Only current members can own shards that move.
+	var sources []string
+	for id := range cur.Members {
+		if !skip[id] {
+			sources = append(sources, id)
+		}
+	}
+	sort.Strings(sources)
+	for _, id := range sources {
+		if err := n.handoffCall(ctx, id, urls[id], st.Epoch); err != nil {
+			abort()
+			return cur, fmt.Errorf("cluster: handoff epoch %d on %s: %w", st.Epoch, id, err)
+		}
+	}
+
+	// Past this point the transition only rolls forward: a member that
+	// misses its commit converges by epoch gossip or wrong_epoch refetch.
+	var commitErrs []string
+	for _, id := range all {
+		if err := n.ringCall(ctx, id, urls[id], RingMessage{Mode: "commit", Epoch: st.Epoch}); err != nil {
+			commitErrs = append(commitErrs, id)
+			n.counter("cluster_commit_errors_total", "peer", id).Inc()
+		}
+	}
+	if len(commitErrs) > 0 {
+		return st, fmt.Errorf("cluster: epoch %d committed, but %v missed the commit (gossip will converge them)",
+			st.Epoch, commitErrs)
+	}
+	return st, nil
+}
+
+// ringCall delivers one ring message, locally or over HTTP.
+func (n *Node) ringCall(ctx context.Context, id, url string, msg RingMessage) error {
+	if id == n.cfg.Self {
+		_, err := n.HandleRingMessage(msg)
+		return err
+	}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	return n.postJSON(ctx, url+PathRing, body, 10*time.Second)
+}
+
+// handoffCall asks one member to run its handoff for the transition.
+func (n *Node) handoffCall(ctx context.Context, id, url string, epoch uint64) error {
+	if id == n.cfg.Self {
+		_, err := n.RunHandoff(ctx, epoch)
+		return err
+	}
+	body, err := json.Marshal(map[string]uint64{"epoch": epoch})
+	if err != nil {
+		return err
+	}
+	// No extra deadline: a large handoff legitimately takes a while (it is
+	// rate-bounded); the transition ctx caps it.
+	return n.postJSON(ctx, url+PathHandoff, body, 0)
+}
+
+// postJSON posts a JSON body and requires a 2xx answer.
+func (n *Node) postJSON(ctx context.Context, url string, body []byte, timeout time.Duration) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// HandleRingMessage dispatches one /cluster/ring message and returns the
+// node's (possibly updated) active state for the response body.
+func (n *Node) HandleRingMessage(msg RingMessage) (RingState, error) {
+	var err error
+	switch msg.Mode {
+	case "prepare":
+		if msg.State == nil {
+			err = fmt.Errorf("cluster: prepare needs a ring state")
+		} else {
+			err = n.Prepare(*msg.State)
+		}
+	case "commit":
+		err = n.Commit(msg.Epoch)
+	case "abort":
+		n.Abort(msg.Epoch)
+	case "install":
+		if msg.State == nil {
+			err = fmt.Errorf("cluster: install needs a ring state")
+		} else {
+			_, err = n.AdoptIfNewer(*msg.State)
+		}
+	default:
+		err = fmt.Errorf("cluster: unknown ring message mode %q", msg.Mode)
+	}
+	return n.State(), err
+}
+
+// Prepare installs the next ring for a pending transition. Handoff
+// targets and joining followers become reachable peers now, so streams
+// can start before the ring is active. Rejects overlapping transitions —
+// this guard, enforced on every member, is what serializes concurrent
+// coordinators cluster-wide.
+func (n *Node) Prepare(st RingState) error {
+	ring, err := st.Build()
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st.Epoch <= n.state.Epoch {
+		return fmt.Errorf("cluster: prepare epoch %d not newer than active %d", st.Epoch, n.state.Epoch)
+	}
+	if n.next != nil {
+		if n.next.Epoch == st.Epoch {
+			return nil // coordinator retry
+		}
+		return fmt.Errorf("cluster: transition to epoch %d already in progress", n.next.Epoch)
+	}
+	for id, url := range st.Members {
+		if id == n.cfg.Self {
+			continue
+		}
+		if _, ok := n.peers[id]; !ok {
+			p := n.newPeer(id, url)
+			n.peers[id] = p
+			if n.cfg.Replicate {
+				n.startPeer(p)
+			}
+		}
+	}
+	stc := st.Clone()
+	n.next = &stc
+	n.nextRing = ring
+	return nil
+}
+
+// Abort drops a prepared transition (no-op if none or a different epoch)
+// and forgets peers that were only reachable for its sake.
+func (n *Node) Abort(epoch uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.next == nil || n.next.Epoch != epoch {
+		return
+	}
+	n.next, n.nextRing = nil, nil
+	for id, p := range n.peers {
+		if _, ok := n.state.Members[id]; !ok {
+			close(p.done)
+			delete(n.peers, id)
+		}
+	}
+}
+
+// RunHandoff streams every owned record that moves under the prepared
+// ring to its new owner, in WAL-frame batches at the configured bounded
+// rate. The store keeps serving (and keeps the records — reads
+// double-serve until commit evicts them); anything mutated after this
+// snapshot is caught by commit's final sweep.
+func (n *Node) RunHandoff(ctx context.Context, epoch uint64) (int, error) {
+	n.mu.RLock()
+	if n.next == nil || n.next.Epoch != epoch {
+		cur := n.state.Epoch
+		n.mu.RUnlock()
+		return 0, fmt.Errorf("cluster: no prepared transition for epoch %d (active %d)", epoch, cur)
+	}
+	oldRing, newRing := n.ring, n.nextRing
+	n.mu.RUnlock()
+	if n.cfg.OwnedRecords == nil {
+		return 0, nil
+	}
+	_, recs := n.cfg.OwnedRecords()
+	moved := map[string][]wal.Record{}
+	for _, rec := range recs {
+		if oldRing.Owner(rec.ID) != n.cfg.Self {
+			continue
+		}
+		if target := newRing.Owner(rec.ID); target != n.cfg.Self {
+			moved[target] = append(moved[target], rec)
+		}
+	}
+	targets := make([]string, 0, len(moved))
+	for t := range moved {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	total := 0
+	for _, target := range targets {
+		sent, err := n.streamHandoff(ctx, epoch, target, moved[target])
+		total += sent
+		if err != nil {
+			return total, fmt.Errorf("handoff to %s: %w", target, err)
+		}
+	}
+	return total, nil
+}
+
+// streamHandoff ships one target's moved records in rate-bounded batches.
+func (n *Node) streamHandoff(ctx context.Context, epoch uint64, target string, recs []wal.Record) (int, error) {
+	url := n.PeerURL(target)
+	if url == "" {
+		return 0, fmt.Errorf("unknown target %q", target)
+	}
+	sent := 0
+	for len(recs) > 0 {
+		batch := recs
+		if len(batch) > sendBatchMax {
+			batch = batch[:sendBatchMax]
+		}
+		if err := n.postHandoffBatch(ctx, url, target, epoch, batch); err != nil {
+			return sent, err
+		}
+		sent += len(batch)
+		recs = recs[len(batch):]
+		n.counter("cluster_handoff_records_total", "peer", target).Add(int64(len(batch)))
+		if len(recs) > 0 && n.cfg.HandoffRate > 0 {
+			pause := time.Duration(len(batch)) * time.Second / time.Duration(n.cfg.HandoffRate)
+			select {
+			case <-ctx.Done():
+				return sent, ctx.Err()
+			case <-time.After(pause):
+			}
+		}
+	}
+	return sent, nil
+}
+
+// postHandoffBatch delivers one frame batch with bounded retries.
+func (n *Node) postHandoffBatch(ctx context.Context, url, target string, epoch uint64, batch []wal.Record) error {
+	body := wal.EncodeRecords(batch)
+	path := url + PathHandoffApply + "?from=" + n.cfg.Self + "&epoch=" + strconv.FormatUint(epoch, 10)
+	var err error
+	for try := 0; try < 5; try++ {
+		if err = n.postJSON(ctx, path, body, 10*time.Second); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Duration(try+1) * 200 * time.Millisecond):
+		}
+	}
+	return err
+}
+
+// ApplyHandoffFrames is the target half of a handoff stream: decode the
+// frames and install each record version-guarded into the local store.
+// Accepted while the epoch matches either the prepared transition or the
+// already-committed active ring (targets may commit before sources flush
+// their final sweep).
+func (n *Node) ApplyHandoffFrames(epoch uint64, body []byte) (int, error) {
+	n.mu.RLock()
+	ok := n.state.Epoch == epoch || (n.next != nil && n.next.Epoch == epoch)
+	myEpoch := n.state.Epoch
+	n.mu.RUnlock()
+	if !ok {
+		return 0, &errWrongEpoch{peer: n.cfg.Self, peerEpoch: myEpoch, sentEpoch: epoch}
+	}
+	if n.cfg.ApplyRecord == nil {
+		return 0, fmt.Errorf("cluster: node has no store to apply handoff to")
+	}
+	recs, err := wal.DecodeFrames(body)
+	if err != nil {
+		return 0, err
+	}
+	for _, rec := range recs {
+		if err := n.cfg.ApplyRecord(rec); err != nil {
+			return 0, fmt.Errorf("apply %s: %w", rec.ID, err)
+		}
+	}
+	return len(recs), nil
+}
+
+// IsWrongEpoch classifies an error as an epoch-mismatch rejection.
+func IsWrongEpoch(err error) bool {
+	_, ok := err.(*errWrongEpoch)
+	return ok
+}
+
+// Commit activates a prepared transition: swap the ring, drop departed
+// peers, promote replicas this node now owns, then — under the store's
+// mutation lock — flush and evict the moved shards, and finally degrade
+// every peer to full-sync so replica placement rebuilds under the new
+// ring. Idempotent for an already-active epoch.
+func (n *Node) Commit(epoch uint64) error {
+	n.mu.Lock()
+	if n.state.Epoch == epoch {
+		n.mu.Unlock()
+		return nil
+	}
+	if n.next == nil || n.next.Epoch != epoch {
+		cur := n.state.Epoch
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: no prepared transition for epoch %d (active %d)", epoch, cur)
+	}
+	oldRing := n.ring
+	n.state = *n.next
+	n.ring = n.nextRing
+	n.next, n.nextRing = nil, nil
+	n.detached = !n.ring.Has(n.cfg.Self)
+	newRing := n.ring
+	for id, p := range n.peers {
+		if _, ok := n.state.Members[id]; !ok {
+			close(p.done)
+			delete(n.peers, id)
+		}
+	}
+	n.mu.Unlock()
+	n.gauge("cluster_ring_epoch").Set(int64(epoch))
+	n.counter("cluster_transitions_total").Inc()
+
+	// Promote replica records this node owns under the new ring into its
+	// store — this is how a force-removed dead node's shards come back to
+	// life from the survivors' replicas. Version-guarded, so records that
+	// also arrived by handoff are no-ops.
+	if n.cfg.ApplyRecord != nil && !n.detached {
+		promote := n.replica.OwnedBy(func(id string) bool {
+			return newRing.Owner(id) == n.cfg.Self && oldRing.Owner(id) != n.cfg.Self
+		})
+		for _, rec := range promote {
+			if err := n.cfg.ApplyRecord(rec); err != nil {
+				n.counter("cluster_promote_errors_total").Inc()
+			}
+		}
+		if len(promote) > 0 {
+			n.counter("cluster_promoted_records_total").Add(int64(len(promote)))
+		}
+	}
+
+	// Final sweep: under the store's mutation lock, re-read the moved
+	// shards (catching every mutation acked since the handoff snapshot),
+	// flush them to their new owners, and evict only after the flush acks.
+	if n.cfg.SweepAndEvict != nil {
+		movedPred := func(id string) bool {
+			return oldRing.Owner(id) == n.cfg.Self && newRing.Owner(id) != n.cfg.Self
+		}
+		evicted, err := n.cfg.SweepAndEvict(movedPred, func(recs []wal.Record) error {
+			return n.flushMoved(newRing, epoch, recs)
+		})
+		if err != nil {
+			// The records stay local — redundant but safe; anti-entropy and
+			// the new owner's handoff copy keep serving correct data.
+			n.counter("cluster_sweep_errors_total").Inc()
+		} else if evicted > 0 {
+			n.counter("cluster_evicted_records_total").Add(int64(evicted))
+		}
+	}
+
+	n.MarkAllNeedSync()
+	return nil
+}
+
+// flushMoved delivers the final-sweep records to their new owners. Runs
+// under the store's mutation lock, so retries are kept tight.
+func (n *Node) flushMoved(newRing *Ring, epoch uint64, recs []wal.Record) error {
+	byOwner := map[string][]wal.Record{}
+	for _, rec := range recs {
+		byOwner[newRing.Owner(rec.ID)] = append(byOwner[newRing.Owner(rec.ID)], rec)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for target, batch := range byOwner {
+		url := n.PeerURL(target)
+		if url == "" {
+			return fmt.Errorf("unknown new owner %q", target)
+		}
+		if err := n.postHandoffBatch(ctx, url, target, epoch, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdoptIfNewer installs a strictly newer ring state wholesale — the
+// convergence path for nodes that missed a transition (rebooted on stale
+// static peers, partitioned through a commit). Refused mid-transition;
+// the coordinator's commit supersedes gossip.
+func (n *Node) AdoptIfNewer(st RingState) (bool, error) {
+	ring, err := st.Build()
+	if err != nil {
+		return false, err
+	}
+	n.mu.Lock()
+	if st.Epoch <= n.state.Epoch {
+		n.mu.Unlock()
+		return false, nil
+	}
+	if n.next != nil {
+		// Mid-transition. Seeing the prepared epoch already active on a
+		// peer means the coordinator's commit wave has started; roll
+		// forward now rather than 409ing traffic from committed peers
+		// until our own commit call arrives (it stays a no-op). A state
+		// from some OTHER epoch while prepared is a conflict — leave it
+		// for the coordinator to resolve.
+		next := n.next.Epoch
+		n.mu.Unlock()
+		if st.Epoch == next {
+			return true, n.Commit(next)
+		}
+		return false, nil
+	}
+	n.state = st.Clone()
+	n.ring = ring
+	n.detached = !ring.Has(n.cfg.Self)
+	for id, url := range st.Members {
+		if id == n.cfg.Self {
+			continue
+		}
+		if _, ok := n.peers[id]; !ok {
+			p := n.newPeer(id, url)
+			n.peers[id] = p
+			if n.cfg.Replicate {
+				n.startPeer(p)
+			}
+		}
+	}
+	for id, p := range n.peers {
+		if _, ok := st.Members[id]; !ok {
+			close(p.done)
+			delete(n.peers, id)
+		}
+	}
+	n.mu.Unlock()
+	n.gauge("cluster_ring_epoch").Set(int64(st.Epoch))
+	n.counter("cluster_ring_adoptions_total").Inc()
+	n.MarkAllNeedSync()
+	return true, nil
+}

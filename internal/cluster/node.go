@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -18,32 +19,70 @@ import (
 
 // Internal cluster paths, mounted by the server on every node.
 const (
-	PathPing      = "/cluster/ping"
-	PathReplicate = "/cluster/replicate"
-	PathSync      = "/cluster/sync"
+	PathPing         = "/cluster/ping"
+	PathReplicate    = "/cluster/replicate"
+	PathSync         = "/cluster/sync"
+	PathState        = "/cluster/state"
+	PathRing         = "/cluster/ring"
+	PathHandoff      = "/cluster/handoff"
+	PathHandoffApply = "/cluster/handoff/apply"
+	PathJoin         = "/cluster/join"
+	PathLeave        = "/cluster/leave"
 )
 
-// Config wires a Node into a static cluster.
+// Config wires a Node into a cluster. Peers is the boot membership (ring
+// epoch 0); joins and leaves evolve it from there.
 type Config struct {
 	// Self is this node's ID; it must appear in Peers.
 	Self string
-	// Peers maps every node ID (including Self) to its base URL, e.g.
-	// "n1" -> "http://10.0.0.1:8344".
+	// Peers maps every boot-time node ID (including Self) to its base URL,
+	// e.g. "n1" -> "http://10.0.0.1:8344".
 	Peers map[string]string
 	// VNodes is the virtual nodes per peer (0 = DefaultVirtualNodes).
 	VNodes int
+	// Replicas is the replication factor R: the owner plus R−1 followers
+	// hold each profile (0 = DefaultReplicas). Every node must boot with
+	// the same value; joiners adopt the cluster's value from the ring
+	// broadcast.
+	Replicas int
+	// PeerStrikes is how many consecutive probe/proxy failures open a
+	// peer's breaker (0 = 1, the instant-failover default). Raise it on
+	// lossy networks where a single dropped probe should not flap a
+	// healthy peer into stale_replica reads.
+	PeerStrikes int
 	// ProbeInterval is the peer health-probe period (default 500ms). It is
 	// also the failover detection bound: a dead peer is circuit-broken
-	// within one failed probe or one failed proxy attempt, whichever
+	// within PeerStrikes failed probes or proxy attempts, whichever
 	// comes first.
 	ProbeInterval time.Duration
 	// Replicate enables WAL-frame shipping to followers. Routing (proxying
 	// to owners) works without it; failover reads do not.
 	Replicate bool
+	// HandoffRate bounds shard handoff streaming in records per second
+	// (0 = 20000). The bound keeps a membership change from starving
+	// foreground traffic of bandwidth.
+	HandoffRate int
+	// AntiEntropy is the period of the background owner↔follower digest
+	// diff that detects and repairs silently diverged replicas (0 = 5s;
+	// negative disables). Only runs when Replicate is set.
+	AntiEntropy time.Duration
 	// SyncSource supplies the catch-up payload served to (and pushed at) a
 	// peer: this node's version clock and the live records it owns whose
-	// follower is that peer.
+	// follower set includes that peer.
 	SyncSource func(peer string) (clock uint64, recs []wal.Record)
+	// OwnedRecords snapshots this node's whole profile store as WAL
+	// records (clock first) — the handoff source set.
+	OwnedRecords func() (clock uint64, recs []wal.Record)
+	// ApplyRecord installs one handed-off or promoted record into this
+	// node's profile store, preserving its version (version-guarded, so
+	// redelivery and stale records are no-ops).
+	ApplyRecord func(rec wal.Record) error
+	// SweepAndEvict atomically re-reads the records matching moved from
+	// the profile store, hands them to flush, and — only if flush
+	// succeeds — evicts them. It runs under the store's mutation lock, so
+	// no mutation can slip between the final handoff frame and the
+	// eviction.
+	SweepAndEvict func(moved func(id string) bool, flush func(recs []wal.Record) error) (int, error)
 	// Metrics receives the cluster gauges and counters (nil = none).
 	Metrics *obs.Registry
 	// Client overrides the HTTP client used for probes, replication and
@@ -63,8 +102,20 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("cluster: peer %q has no URL", id)
 		}
 	}
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.PeerStrikes <= 0 {
+		c.PeerStrikes = 1
+	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.HandoffRate <= 0 {
+		c.HandoffRate = 20000
+	}
+	if c.AntiEntropy == 0 {
+		c.AntiEntropy = 5 * time.Second
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Transport: &http.Transport{
@@ -79,30 +130,38 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// Node is one cluster member's local view: the shared ring, per-peer
-// health (a one-strike circuit breaker per peer, settled by both the
+// Node is one cluster member's local view: the active epoch's ring, the
+// pending next ring during a membership transition, per-peer health (a
+// configurable-strikes circuit breaker per peer, settled by both the
 // background prober and live proxy attempts), the replication senders,
 // and the replica store for the shards this node follows.
 type Node struct {
 	cfg     Config
-	ring    *Ring
 	replica *ReplicaStore
-	peers   map[string]*peerState // every peer except self
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	once    sync.Once
+
+	mu       sync.RWMutex
+	state    RingState // active membership
+	ring     *Ring     // built from state
+	next     *RingState
+	nextRing *Ring // built from next during a transition
+	detached bool  // self committed out of the ring (after leave)
+	peers    map[string]*peerState
 }
 
 // peerState is this node's view of one remote peer.
 type peerState struct {
 	id, url string
-	// breaker is the peer's reachability state: one failed probe or proxy
-	// opens it (instant failover), a half-open probe success closes it.
+	// breaker is the peer's reachability state: PeerStrikes failed probes
+	// or proxies open it, a half-open probe success closes it.
 	breaker *resilience.Breaker
 	// sender state (Replicate only).
 	ch       chan wal.Record
 	needSync chan struct{} // capacity 1; a pending token forces a full sync
 	pending  chanCounter
+	done     chan struct{} // closed when the peer leaves the ring
 }
 
 // chanCounter is a tiny atomic counter for queue+in-flight lag.
@@ -143,60 +202,87 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]string, 0, len(cfg.Peers))
-	for id := range cfg.Peers {
-		ids = append(ids, id)
+	state := RingState{
+		Epoch:    0,
+		Replicas: cfg.Replicas,
+		Members:  map[string]string{},
+		VNodes:   cfg.VNodes,
 	}
-	ring, err := NewRing(ids, cfg.VNodes)
+	for id, url := range cfg.Peers {
+		state.Members[id] = url
+	}
+	ring, err := state.Build()
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{
 		cfg:     cfg,
+		state:   state,
 		ring:    ring,
 		replica: NewReplicaStore(),
 		peers:   make(map[string]*peerState),
 		stop:    make(chan struct{}),
 	}
-	for id, url := range cfg.Peers {
+	for id, url := range state.Members {
 		if id == cfg.Self {
 			continue
 		}
-		id := id
-		n.peers[id] = &peerState{
-			id:  id,
-			url: url,
-			breaker: resilience.NewBreaker(resilience.BreakerConfig{
-				FailureThreshold: 1,
-				OpenTimeout:      cfg.ProbeInterval,
-				HalfOpenProbes:   1,
-				OnTransition: func(_, to resilience.BreakerState) {
-					up := int64(0)
-					if to != resilience.Open {
-						up = 1
-					}
-					n.gauge("cluster_peer_up", "peer", id).Set(up)
-				},
-			}),
-			ch:       make(chan wal.Record, 4096),
-			needSync: make(chan struct{}, 1),
-		}
-		n.gauge("cluster_peer_up", "peer", id).Set(1)
+		n.peers[id] = n.newPeer(id, url)
 	}
+	n.gauge("cluster_ring_epoch").Set(0)
 	return n, nil
 }
 
-// Start launches the health prober and, when replication is enabled, one
-// sender per peer.
+// newPeer builds one peer's breaker and sender state. Callers holding
+// n.mu add it to n.peers; startPeer launches its sender.
+func (n *Node) newPeer(id, url string) *peerState {
+	p := &peerState{
+		id:  id,
+		url: url,
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: n.cfg.PeerStrikes,
+			OpenTimeout:      n.cfg.ProbeInterval,
+			HalfOpenProbes:   1,
+			OnTransition: func(_, to resilience.BreakerState) {
+				up := int64(0)
+				if to != resilience.Open {
+					up = 1
+				} else {
+					n.counter("cluster_breaker_flaps_total", "peer", id).Inc()
+				}
+				n.gauge("cluster_peer_up", "peer", id).Set(up)
+			},
+		}),
+		ch:       make(chan wal.Record, 4096),
+		needSync: make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	n.gauge("cluster_peer_up", "peer", id).Set(1)
+	return p
+}
+
+// Start launches the health prober, the anti-entropy loop, and — when
+// replication is enabled — one sender per peer.
 func (n *Node) Start() {
 	n.wg.Add(1)
 	go n.probeLoop()
 	if n.cfg.Replicate {
+		n.mu.RLock()
 		for _, p := range n.peers {
+			n.startPeer(p)
+		}
+		n.mu.RUnlock()
+		if n.cfg.AntiEntropy > 0 {
 			n.wg.Add(1)
-			go n.sendLoop(p)
+			go n.antiEntropyLoop()
 		}
 	}
+}
+
+// startPeer launches the peer's replication sender.
+func (n *Node) startPeer(p *peerState) {
+	n.wg.Add(1)
+	go n.sendLoop(p)
 }
 
 // Close stops the background loops and waits for them.
@@ -208,8 +294,35 @@ func (n *Node) Close() {
 // Self returns this node's ID.
 func (n *Node) Self() string { return n.cfg.Self }
 
-// Ring returns the shared consistent-hash ring.
-func (n *Node) Ring() *Ring { return n.ring }
+// Ring returns the active epoch's consistent-hash ring (immutable; a
+// membership change installs a fresh one).
+func (n *Node) Ring() *Ring {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ring
+}
+
+// State returns the active membership (epoch, replicas, members).
+func (n *Node) State() RingState {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.state.Clone()
+}
+
+// Epoch returns the active ring version.
+func (n *Node) Epoch() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.state.Epoch
+}
+
+// Detached reports whether this node has left the ring (after a committed
+// leave it keeps serving as a stateless proxy until shut down).
+func (n *Node) Detached() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.detached
+}
 
 // Replica returns the node's replica store.
 func (n *Node) Replica() *ReplicaStore { return n.replica }
@@ -218,39 +331,74 @@ func (n *Node) Replica() *ReplicaStore { return n.replica }
 func (n *Node) Client() *http.Client { return n.cfg.Client }
 
 // Owner returns the node that owns id.
-func (n *Node) Owner(id string) string { return n.ring.Owner(id) }
+func (n *Node) Owner(id string) string { return n.Ring().Owner(id) }
 
-// Follower returns the replica holder for id ("" on a 1-node ring).
-func (n *Node) Follower(id string) string { return n.ring.Follower(id) }
+// Follower returns the first replica holder for id ("" on a 1-node ring).
+func (n *Node) Follower(id string) string { return n.Ring().Follower(id) }
+
+// Followers returns the replica holders for id in failover order.
+func (n *Node) Followers(id string) []string { return n.Ring().Followers(id) }
 
 // IsOwner reports whether this node owns id.
-func (n *Node) IsOwner(id string) bool { return n.ring.Owner(id) == n.cfg.Self }
+func (n *Node) IsOwner(id string) bool { return n.Ring().Owner(id) == n.cfg.Self }
 
-// IsFollower reports whether this node is the replica holder for id.
-func (n *Node) IsFollower(id string) bool { return n.ring.Follower(id) == n.cfg.Self }
+// IsFollower reports whether this node is a replica holder for id.
+func (n *Node) IsFollower(id string) bool { return n.Ring().HasFollower(id, n.cfg.Self) }
 
-// PeerURL returns the base URL for a peer ID ("" when unknown).
-func (n *Node) PeerURL(id string) string { return n.cfg.Peers[id] }
+// PeerURL returns the base URL for a node ID ("" when unknown). During a
+// transition the pending ring's members resolve too, so handoff targets
+// and joining followers are reachable before commit.
+func (n *Node) PeerURL(id string) string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if url, ok := n.state.Members[id]; ok {
+		return url
+	}
+	if n.next != nil {
+		return n.next.Members[id]
+	}
+	return ""
+}
 
 // Replicating reports whether WAL-frame shipping is enabled.
 func (n *Node) Replicating() bool { return n.cfg.Replicate }
+
+// peer looks up a peer's state by ID.
+func (n *Node) peer(id string) (*peerState, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	p, ok := n.peers[id]
+	return p, ok
+}
+
+// snapshotPeers returns the current peer set (stable copies; the states
+// themselves are shared and internally synchronized).
+func (n *Node) snapshotPeers() []*peerState {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*peerState, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, p)
+	}
+	return out
+}
 
 // Up reports whether peer is believed reachable: its breaker is not open.
 // Half-open counts as up — the next request is the probe, and its outcome
 // settles the breaker.
 func (n *Node) Up(peer string) bool {
-	p, ok := n.peers[peer]
+	p, ok := n.peer(peer)
 	if !ok {
 		return peer == n.cfg.Self
 	}
 	return p.breaker.State() != resilience.Open
 }
 
-// ReportPeerFailure settles a live proxy attempt against peer as failed,
-// opening its breaker immediately — failover does not wait for the next
-// background probe.
+// ReportPeerFailure settles a live proxy attempt against peer as failed —
+// with the default single strike the breaker opens immediately, so
+// failover does not wait for the next background probe.
 func (n *Node) ReportPeerFailure(peer string) {
-	if p, ok := n.peers[peer]; ok {
+	if p, ok := n.peer(peer); ok {
 		if p.breaker.Allow() {
 			p.breaker.Failure()
 		}
@@ -260,7 +408,7 @@ func (n *Node) ReportPeerFailure(peer string) {
 
 // ReportPeerSuccess settles a live proxy attempt as successful.
 func (n *Node) ReportPeerSuccess(peer string) {
-	if p, ok := n.peers[peer]; ok {
+	if p, ok := n.peer(peer); ok {
 		if p.breaker.Allow() {
 			p.breaker.Success()
 		}
@@ -275,28 +423,44 @@ type PeerStatus struct {
 	AckedVersion uint64 `json:"acked_version"`
 }
 
-// Status snapshots the node's cluster view for /healthz: per-peer
-// reachability and replication lag (queued + unacked records per
-// follower), plus replica occupancy. Peers are sorted by ID.
+// Status snapshots the node's cluster view for /healthz: the ring epoch
+// and size, per-peer reachability and replication lag (queued + unacked
+// records per follower), plus replica occupancy. Peers are sorted by ID.
 type Status struct {
 	Self            string       `json:"node_id"`
+	Epoch           uint64       `json:"epoch"`
+	Replicas        int          `json:"replicas"`
+	Members         int          `json:"members"`
+	Transitioning   bool         `json:"transitioning,omitempty"`
+	Detached        bool         `json:"detached,omitempty"`
 	Replicating     bool         `json:"replicating"`
 	ReplicaProfiles int          `json:"replica_profiles"`
 	Peers           []PeerStatus `json:"peers"`
 }
 
 func (n *Node) Status() Status {
+	n.mu.RLock()
 	st := Status{
 		Self:            n.cfg.Self,
+		Epoch:           n.state.Epoch,
+		Replicas:        n.ring.Replicas(),
+		Members:         len(n.state.Members),
+		Transitioning:   n.next != nil,
+		Detached:        n.detached,
 		Replicating:     n.cfg.Replicate,
 		ReplicaProfiles: n.replica.Len(),
 	}
-	for id, p := range n.peers {
+	peers := make([]*peerState, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.RUnlock()
+	for _, p := range peers {
 		lag, acked := p.pending.get()
-		n.gauge("cluster_replication_lag_records", "peer", id).Set(lag)
+		n.gauge("cluster_replication_lag_records", "peer", p.id).Set(lag)
 		st.Peers = append(st.Peers, PeerStatus{
-			ID:           id,
-			Up:           n.Up(id),
+			ID:           p.id,
+			Up:           n.Up(p.id),
 			LagRecords:   lag,
 			AckedVersion: acked,
 		})
@@ -305,9 +469,11 @@ func (n *Node) Status() Status {
 	return st
 }
 
-// probeLoop pings every peer each interval, settling its breaker: a dead
-// peer opens within one interval; a recovered peer closes on the first
-// half-open probe success.
+// probeLoop pings every peer each interval, settling its breaker, and
+// gossips ring epochs: a peer that answers with a newer epoch is pulled
+// from, one with an older epoch is pushed the current ring — so a node
+// that rebooted on a stale static peer list converges within a probe
+// interval without any traffic hitting wrong_epoch first.
 func (n *Node) probeLoop() {
 	defer n.wg.Done()
 	t := time.NewTicker(n.cfg.ProbeInterval)
@@ -317,12 +483,14 @@ func (n *Node) probeLoop() {
 		case <-n.stop:
 			return
 		case <-t.C:
-			for _, p := range n.peers {
+			for _, p := range n.snapshotPeers() {
 				if !p.breaker.Allow() {
 					continue // open; wait out the timeout
 				}
-				if n.ping(p) {
+				ok, peerEpoch := n.ping(p)
+				if ok {
 					p.breaker.Success()
+					n.gossipEpoch(p, peerEpoch)
 				} else {
 					p.breaker.Failure()
 					n.counter("cluster_probe_failures_total", "peer", p.id).Inc()
@@ -332,12 +500,68 @@ func (n *Node) probeLoop() {
 	}
 }
 
-// ping checks one peer's readiness: 200 on /cluster/ping means recovered,
-// caught up, and serving.
-func (n *Node) ping(p *peerState) bool {
+// gossipEpoch reconciles ring versions after a successful probe.
+func (n *Node) gossipEpoch(p *peerState, peerEpoch uint64) {
+	mine := n.Epoch()
+	switch {
+	case peerEpoch > mine:
+		n.RefreshFromPeer(p.id)
+	case peerEpoch < mine:
+		n.pushRing(p)
+	}
+}
+
+// pushRing installs this node's active ring on a lagging peer.
+func (n *Node) pushRing(p *peerState) {
+	st := n.State()
+	body, err := json.Marshal(RingMessage{Mode: "install", State: &st})
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	n.postJSON(ctx, p.url+PathRing, body, 0)
+}
+
+// ping checks one peer's readiness and returns its ring epoch: 200 on
+// /cluster/ping means recovered, caught up, and serving.
+func (n *Node) ping(p *peerState) (bool, uint64) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*n.cfg.ProbeInterval)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+PathPing, nil)
+	if err != nil {
+		return false, 0
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return false, 0
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return false, 0
+	}
+	var pong struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&pong); err != nil {
+		return true, n.Epoch() // old peer without epoch in the pong
+	}
+	return true, pong.Epoch
+}
+
+// RefreshFromPeer refetches peer's /cluster/state and adopts its ring if
+// it is a newer epoch — the wrong_epoch recovery path.
+func (n *Node) RefreshFromPeer(peer string) bool {
+	url := n.PeerURL(peer)
+	if url == "" {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+PathState, nil)
 	if err != nil {
 		return false
 	}
@@ -345,22 +569,44 @@ func (n *Node) ping(p *peerState) bool {
 	if err != nil {
 		return false
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var st struct {
+		RingState RingState `json:"ring"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return false
+	}
+	adopted, err := n.AdoptIfNewer(st.RingState)
+	if err != nil {
+		n.counter("cluster_ring_adopt_errors_total").Inc()
+		return false
+	}
+	return adopted
 }
 
-// CatchUp pulls a full sync from every peer: each peer returns its clock
-// and the live records it owns that this node follows, which replace the
-// local replica view of that peer's shards. Unreachable peers are skipped
-// after attempts tries — a cold-start cluster must not deadlock waiting
-// for peers that are themselves waiting — and the error reports them.
+// CatchUp first adopts the newest ring any peer advertises (a node
+// rebooted on a stale static peer list must route by the live membership,
+// not its boot flags), then pulls a full sync from every peer: each peer
+// returns its clock and the live records it owns that this node follows,
+// which replace the local replica view of that peer's shards. Unreachable
+// peers are skipped after attempts tries — a cold-start cluster must not
+// deadlock waiting for peers that are themselves waiting — and the error
+// reports them.
 func (n *Node) CatchUp(ctx context.Context, attempts int) error {
 	if attempts <= 0 {
 		attempts = 5
 	}
+	for _, p := range n.snapshotPeers() {
+		n.RefreshFromPeer(p.id)
+	}
 	var unreachable []string
-	for id, p := range n.peers {
+	for _, p := range n.snapshotPeers() {
 		var err error
 		for try := 0; try < attempts; try++ {
 			if err = n.pullSync(ctx, p); err == nil {
@@ -373,9 +619,9 @@ func (n *Node) CatchUp(ctx context.Context, attempts int) error {
 			}
 		}
 		if err != nil {
-			unreachable = append(unreachable, id)
+			unreachable = append(unreachable, p.id)
 		} else {
-			n.counter("cluster_catchup_syncs_total", "peer", id).Inc()
+			n.counter("cluster_catchup_syncs_total", "peer", p.id).Inc()
 		}
 	}
 	if len(unreachable) > 0 {
@@ -412,7 +658,7 @@ func (n *Node) pullSync(ctx context.Context, p *peerState) error {
 		return fmt.Errorf("cluster: sync from %s: %w", p.id, err)
 	}
 	owner := p.id
-	n.replica.FullSync(owner, clock, recs, func(id string) bool { return n.ring.Owner(id) == owner })
+	n.replica.FullSync(owner, clock, recs, func(id string) bool { return n.Owner(id) == owner })
 	return nil
 }
 

@@ -104,6 +104,126 @@ func (rs *ReplicaStore) Len() int {
 	return n
 }
 
+// BucketDigest summarizes one anti-entropy bucket: how many live records
+// it holds and the commutative checksum over their (id, version, text).
+type BucketDigest struct {
+	Count int    `json:"count"`
+	Sum   uint64 `json:"sum"`
+}
+
+// DigestRecords buckets a record set into the anti-entropy digest. Only
+// live records count — the owner's store snapshot has no tombstones, so
+// replica tombstones must not perturb the comparison.
+func DigestRecords(recs []wal.Record) [DigestBuckets]BucketDigest {
+	var d [DigestBuckets]BucketDigest
+	for _, rec := range recs {
+		if rec.Op != wal.OpPut {
+			continue
+		}
+		b := Bucket(rec.ID)
+		d[b].Count++
+		d[b].Sum += DigestChecksum(rec.ID, rec.Version, rec.Text)
+	}
+	return d
+}
+
+// Digest computes this store's anti-entropy digest over the live entries
+// selected by pred (typically: owned by one peer). Garbage entries this
+// node no longer follows still count — the resulting mismatch is what
+// gets them repaired away.
+func (rs *ReplicaStore) Digest(pred func(id string) bool) [DigestBuckets]BucketDigest {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	var d [DigestBuckets]BucketDigest
+	for id, rec := range rs.m {
+		if rec.Op != wal.OpPut || !pred(id) {
+			continue
+		}
+		b := Bucket(id)
+		d[b].Count++
+		d[b].Sum += DigestChecksum(id, rec.Version, rec.Text)
+	}
+	return d
+}
+
+// RepairBucket replaces this store's view of one diverged digest bucket
+// with the owner's snapshot of it (recs, captured at clock; pred selects
+// the bucket's IDs owned by owner). Unlike FullSync's strict version
+// guard, entries at versions the snapshot supersedes (≤ clock) are
+// overwritten even when versions are equal — that is the only way a
+// silently corrupted same-version replica heals. Entries newer than clock
+// (streamed concurrently with the snapshot) are kept.
+func (rs *ReplicaStore) RepairBucket(owner string, clock uint64, recs []wal.Record, pred func(id string) bool) (changed int) {
+	incoming := make(map[string]wal.Record, len(recs))
+	for _, r := range recs {
+		incoming[r.ID] = r
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for id, cur := range rs.m {
+		if !pred(id) {
+			continue
+		}
+		if _, ok := incoming[id]; !ok && cur.Version <= clock {
+			delete(rs.m, id)
+			changed++
+		}
+	}
+	for id, rec := range incoming {
+		cur, ok := rs.m[id]
+		if ok && cur.Version > clock && cur.Version >= rec.Version {
+			continue
+		}
+		if !ok || cur != rec {
+			changed++
+		}
+		rs.m[id] = rec
+	}
+	if clock > rs.applied[owner] {
+		rs.applied[owner] = clock
+	}
+	return changed
+}
+
+// OwnedBy lists the live replica records selected by pred — the records
+// this node would promote into its store if pred's owner died.
+func (rs *ReplicaStore) OwnedBy(pred func(id string) bool) []wal.Record {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	out := make([]wal.Record, 0)
+	for id, rec := range rs.m {
+		if rec.Op == wal.OpPut && pred(id) {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TamperForTest mutates one replica entry in place — test hook for
+// simulating silent corruption that anti-entropy must detect and repair.
+func (rs *ReplicaStore) TamperForTest(id string, fn func(*wal.Record)) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rec, ok := rs.m[id]
+	if !ok {
+		return false
+	}
+	fn(&rec)
+	rs.m[id] = rec
+	return true
+}
+
+// DropForTest deletes one replica entry outright — test hook for
+// simulating a missed update. Reports whether the entry existed.
+func (rs *ReplicaStore) DropForTest(id string) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	_, ok := rs.m[id]
+	delete(rs.m, id)
+	return ok
+}
+
 // List returns every live replica record, sorted by ID — the
 // deterministic order the drill diffs against the owner's state.
 func (rs *ReplicaStore) List() []wal.Record {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"cqp/internal/wal"
@@ -14,13 +15,14 @@ import (
 
 // Replication protocol. The owner appends to its WAL exactly as in
 // single-node mode; every record that becomes acked history is also
-// enqueued to the mutated profile's follower. A per-peer sender goroutine
-// ships queued records in batches of CRC-framed WAL records over the
-// shared keep-alive HTTP client (POST /cluster/replicate), and the
-// follower answers with the highest version it has applied from this
-// owner's stream — the cumulative ack. Batches are retried in place with
-// backoff, so per-peer delivery is ordered and at-least-once; the
-// follower's version guard makes redelivery idempotent.
+// enqueued to each of the mutated profile's R−1 followers. A per-peer
+// sender goroutine ships queued records in batches of CRC-framed WAL
+// records over the shared keep-alive HTTP client (POST /cluster/replicate,
+// stamped with the sender's ring epoch), and the follower answers with the
+// highest version it has applied from this owner's stream — the cumulative
+// ack. Batches are retried in place with backoff, so per-peer delivery is
+// ordered and at-least-once; the follower's version guard makes redelivery
+// idempotent.
 //
 // When a follower is unreachable long enough for its queue to overflow,
 // the sender stops pretending the stream is contiguous: it drops the
@@ -28,6 +30,12 @@ import (
 // snapshot (clock + live owned records, the same payload catch-up pulls)
 // before resuming frame shipping. Absence from a snapshot carries
 // deletions, so nothing relies on an unbroken tombstone stream.
+//
+// Epoch mismatches get the same treatment: a follower on a different ring
+// version rejects the batch with wrong_epoch, the sender adopts the newer
+// ring (pulling the peer's /cluster/state when the peer is ahead) and
+// degrades the peer to full-sync mode — the queued frames were routed
+// under the old ring and may no longer belong on this peer at all.
 
 const (
 	// sendBatchMax bounds one replicate POST.
@@ -37,6 +45,22 @@ const (
 	sendBackoffMax = 2 * time.Second
 )
 
+// HeaderEpoch carries the sender's ring epoch on proxied requests and the
+// receiver's epoch on wrong_epoch rejections.
+const HeaderEpoch = "X-Cqpd-Epoch"
+
+// errWrongEpoch reports a peer rejecting traffic stamped with a ring epoch
+// different from its own.
+type errWrongEpoch struct {
+	peer      string
+	peerEpoch uint64
+	sentEpoch uint64
+}
+
+func (e *errWrongEpoch) Error() string {
+	return fmt.Sprintf("cluster: %s at epoch %d rejected epoch %d", e.peer, e.peerEpoch, e.sentEpoch)
+}
+
 // replicateResponse is the follower's ack body.
 type replicateResponse struct {
 	// Applied is the highest version applied from this owner's stream.
@@ -45,28 +69,43 @@ type replicateResponse struct {
 	Records int `json:"records"`
 }
 
-// Replicate enqueues one acked record for shipment to its follower. Called
-// from the WAL's OnAppend hook (owner's mutation path, lock held), so it
-// must not block: when the peer's queue is full the record is dropped and
-// the peer is marked for a full sync instead.
+// Replicate enqueues one acked record for shipment to each of its
+// followers. Called from the WAL's OnAppend hook (owner's mutation path,
+// lock held), so it must not block: when a peer's queue is full the record
+// is dropped and that peer is marked for a full sync instead.
+//
+// Only the profile's current owner replicates. The guard matters at
+// handoff cutover: the old owner's eviction tombstones hit the same WAL
+// hook, and without it they would ship to the new ring's followers and
+// delete live replicas.
 func (n *Node) Replicate(rec wal.Record) {
 	if !n.cfg.Replicate {
 		return
 	}
-	follower := n.ring.Follower(rec.ID)
-	if follower == "" || follower == n.cfg.Self {
+	n.mu.RLock()
+	ring := n.ring
+	if ring.Owner(rec.ID) != n.cfg.Self {
+		n.mu.RUnlock()
 		return
 	}
-	p, ok := n.peers[follower]
-	if !ok {
-		return
+	var targets []*peerState
+	for _, f := range ring.Followers(rec.ID) {
+		if f == n.cfg.Self {
+			continue
+		}
+		if p, ok := n.peers[f]; ok {
+			targets = append(targets, p)
+		}
 	}
-	select {
-	case p.ch <- rec:
-		p.pending.add(1)
-	default:
-		n.markNeedSync(p)
-		n.counter("cluster_replication_dropped_total", "peer", p.id).Inc()
+	n.mu.RUnlock()
+	for _, p := range targets {
+		select {
+		case p.ch <- rec:
+			p.pending.add(1)
+		default:
+			n.markNeedSync(p)
+			n.counter("cluster_replication_dropped_total", "peer", p.id).Inc()
+		}
 	}
 }
 
@@ -78,12 +117,31 @@ func (n *Node) markNeedSync(p *peerState) {
 	}
 }
 
-// sendLoop is one peer's shipping goroutine.
+// MarkAllNeedSync degrades every peer to full-sync mode — called after a
+// ring change commits, when the follower set of every shard may have
+// moved: the next push per peer recomputes what that peer should hold
+// under the new ring and replaces its view wholesale.
+func (n *Node) MarkAllNeedSync() {
+	if !n.cfg.Replicate {
+		return
+	}
+	for _, p := range n.snapshotPeers() {
+		n.markNeedSync(p)
+	}
+}
+
+// sendLoop is one peer's shipping goroutine. It exits when the node closes
+// or the peer leaves the ring.
 func (n *Node) sendLoop(p *peerState) {
 	defer n.wg.Done()
 	backoff := sendBackoffMin
 	var batch []wal.Record
 	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
 		// A pending full-sync token outranks queued frames: the stream is
 		// known broken, so replace state wholesale first.
 		select {
@@ -91,9 +149,9 @@ func (n *Node) sendLoop(p *peerState) {
 			n.drain(p)
 			batch = nil
 			if err := n.pushFullSync(p); err != nil {
+				n.handleSendError(p, err)
 				n.markNeedSync(p)
-				n.counter("cluster_replication_errors_total", "peer", p.id).Inc()
-				if !n.sleep(&backoff) {
+				if !n.sleepPeer(p, &backoff) {
 					return
 				}
 				continue
@@ -106,6 +164,8 @@ func (n *Node) sendLoop(p *peerState) {
 		if len(batch) == 0 {
 			select {
 			case <-n.stop:
+				return
+			case <-p.done:
 				return
 			case <-p.needSync:
 				n.markNeedSync(p) // re-queue; handled at loop top
@@ -124,8 +184,15 @@ func (n *Node) sendLoop(p *peerState) {
 		full:
 		}
 		if err := n.postReplicate(p, batch); err != nil {
-			n.counter("cluster_replication_errors_total", "peer", p.id).Inc()
-			if !n.sleep(&backoff) {
+			n.handleSendError(p, err)
+			if _, wrong := err.(*errWrongEpoch); wrong {
+				// These frames were routed under a stale ring; the full sync
+				// that follows recomputes this peer's view from scratch.
+				p.pending.add(int64(-len(batch)))
+				batch = nil
+				n.markNeedSync(p)
+			}
+			if !n.sleepPeer(p, &backoff) {
 				return
 			}
 			continue
@@ -135,6 +202,19 @@ func (n *Node) sendLoop(p *peerState) {
 		batch = nil
 		backoff = sendBackoffMin
 	}
+}
+
+// handleSendError counts a failed push and, on an epoch mismatch with a
+// peer that is ahead, adopts the peer's newer ring.
+func (n *Node) handleSendError(p *peerState, err error) {
+	if we, ok := err.(*errWrongEpoch); ok {
+		n.counter("cluster_wrong_epoch_total", "path", "replicate").Inc()
+		if we.peerEpoch > n.Epoch() {
+			n.RefreshFromPeer(p.id)
+		}
+		return
+	}
+	n.counter("cluster_replication_errors_total", "peer", p.id).Inc()
 }
 
 // drain empties a peer's queue (its contents are superseded by the full
@@ -150,10 +230,13 @@ func (n *Node) drain(p *peerState) {
 	}
 }
 
-// sleep backs off between retries; false means the node is closing.
-func (n *Node) sleep(backoff *time.Duration) bool {
+// sleepPeer backs off between retries; false means the node is closing or
+// the peer has left the ring.
+func (n *Node) sleepPeer(p *peerState, backoff *time.Duration) bool {
 	select {
 	case <-n.stop:
+		return false
+	case <-p.done:
 		return false
 	case <-time.After(*backoff):
 	}
@@ -191,11 +274,14 @@ func (n *Node) pushFullSync(p *peerState) error {
 	return nil
 }
 
-// doReplicatePost performs one replication POST with a bounded deadline.
+// doReplicatePost performs one replication POST with a bounded deadline,
+// stamped with the sender's current ring epoch.
 func (n *Node) doReplicatePost(p *peerState, path string, body []byte) (*replicateResponse, error) {
+	epoch := n.Epoch()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+path, bytes.NewReader(body))
+	url := p.url + path + "&epoch=" + strconv.FormatUint(epoch, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +294,11 @@ func (n *Node) doReplicatePost(p *peerState, path string, body []byte) (*replica
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if resp.StatusCode == http.StatusConflict {
+		if peerEpoch, err := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64); err == nil {
+			return nil, &errWrongEpoch{peer: p.id, peerEpoch: peerEpoch, sentEpoch: epoch}
+		}
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cluster: replicate to %s: status %d", p.id, resp.StatusCode)
 	}
@@ -220,7 +311,8 @@ func (n *Node) doReplicatePost(p *peerState, path string, body []byte) (*replica
 
 // ApplyReplicate is the follower half of the replicate endpoint: sync=1
 // bodies replace the owner's shard view, plain bodies stream frames into
-// the version-guarded replica. Returns the ack the owner expects.
+// the version-guarded replica. Returns the ack the owner expects. The
+// caller (the server handler) has already enforced the epoch guard.
 func (n *Node) ApplyReplicate(from string, sync bool, body []byte) (applied uint64, changed int, err error) {
 	if sync {
 		clock, recs, err := DecodeSyncPayload(body)
@@ -228,7 +320,7 @@ func (n *Node) ApplyReplicate(from string, sync bool, body []byte) (applied uint
 			return 0, 0, err
 		}
 		owner := from
-		n.replica.FullSync(owner, clock, recs, func(id string) bool { return n.ring.Owner(id) == owner })
+		n.replica.FullSync(owner, clock, recs, func(id string) bool { return n.Owner(id) == owner })
 		return n.replica.Applied(from), len(recs), nil
 	}
 	recs, err := wal.DecodeFrames(body)

@@ -1,9 +1,17 @@
 // Package cluster turns cqpd into a multi-node service: a consistent-hash
-// ring assigns every profile ID an owner node and a follower node
-// (replication factor R=2) out of a static peer list, owners stream their
-// acked write-ahead-log frames to the follower of each mutated profile,
-// and followers hold a version-guarded replica that serves reads when the
+// ring assigns every profile ID an owner node and R−1 follower nodes
+// (replication factor R, default 2), owners stream their acked
+// write-ahead-log frames to the followers of each mutated profile, and
+// followers hold a version-guarded replica that serves reads when the
 // owner is unreachable.
+//
+// Membership is dynamic: every ring change (join or leave) mints a new
+// ring-version epoch, carried on all replication and proxy traffic, so a
+// node applying a stale-epoch frame or proxying on a stale ring is
+// rejected with wrong_epoch and refetches /cluster/state instead of
+// silently misrouting. Ring changes move owned shards through a
+// bounded-rate handoff (see handoff.go), and a background anti-entropy
+// loop (see antientropy.go) converges replicas that silently diverged.
 //
 // The design leans entirely on invariants the single-node daemon already
 // guarantees: the WAL serializes every mutation as a CRC-framed record
@@ -23,24 +31,66 @@ import (
 // small clusters while the ring stays tiny (3 nodes → 192 points).
 const DefaultVirtualNodes = 64
 
-// ReplicationFactor is the number of nodes that hold each profile: the
-// owner plus one follower. Fixed at 2 — the static-peer-list design has
-// no use for deeper chains until membership is dynamic.
-const ReplicationFactor = 2
+// DefaultReplicas is the default replication factor R: the owner plus one
+// follower per profile. R=3 survives two simultaneous owner deaths at the
+// cost of one more replication stream per mutation.
+const DefaultReplicas = 2
 
-// Ring is an immutable consistent-hash ring over a static node set. Keys
-// map to the first ring point at or clockwise after their hash; the next
-// distinct node clockwise is the follower. Immutability is the point:
-// every node computes the identical ring from the identical -peers list,
-// so routing needs no coordination.
-type Ring struct {
-	nodes  []string // sorted distinct node IDs
-	hashes []uint64 // sorted ring points
-	owner  []string // owner[i] is the node at hashes[i]
+// RingState is the wire form of one ring version: the epoch, the
+// replication factor, and the member set with its URLs. Every node of a
+// cluster holds an identical RingState for the active epoch; /cluster/ring
+// broadcasts carry it, and /cluster/state serves it for refetching.
+type RingState struct {
+	Epoch    uint64            `json:"epoch"`
+	Replicas int               `json:"replicas"`
+	Members  map[string]string `json:"members"` // node ID → base URL
+	VNodes   int               `json:"vnodes,omitempty"`
 }
 
-// NewRing builds the ring with vnodes virtual nodes per node (0 selects
-// DefaultVirtualNodes). Node IDs must be non-empty and distinct.
+// Build constructs the consistent-hash ring this state describes.
+func (st RingState) Build() (*Ring, error) {
+	ids := make([]string, 0, len(st.Members))
+	for id := range st.Members {
+		ids = append(ids, id)
+	}
+	r, err := NewRing(ids, st.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	r.epoch = st.Epoch
+	if st.Replicas > 0 {
+		r.replicas = st.Replicas
+	}
+	return r, nil
+}
+
+// Clone deep-copies the state (the member map is shared otherwise).
+func (st RingState) Clone() RingState {
+	m := make(map[string]string, len(st.Members))
+	for id, url := range st.Members {
+		m[id] = url
+	}
+	st.Members = m
+	return st
+}
+
+// Ring is an immutable consistent-hash ring over one epoch's node set.
+// Keys map to the first ring point at or clockwise after their hash; the
+// next R−1 distinct nodes clockwise are the followers. Immutability per
+// epoch is the point: every node at the same epoch computes the identical
+// routing, so steady-state routing needs no coordination — only ring
+// *changes* coordinate, through the epoch-stamped handoff protocol.
+type Ring struct {
+	nodes    []string // sorted distinct node IDs
+	hashes   []uint64 // sorted ring points
+	owner    []string // owner[i] is the node at hashes[i]
+	epoch    uint64
+	replicas int
+}
+
+// NewRing builds an epoch-0 ring with vnodes virtual nodes per node (0
+// selects DefaultVirtualNodes) and the default replication factor. Node
+// IDs must be non-empty and distinct.
 func NewRing(nodes []string, vnodes int) (*Ring, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("cluster: ring needs at least one node")
@@ -59,9 +109,10 @@ func NewRing(nodes []string, vnodes int) (*Ring, error) {
 		}
 	}
 	r := &Ring{
-		nodes:  sorted,
-		hashes: make([]uint64, 0, len(sorted)*vnodes),
-		owner:  make([]string, 0, len(sorted)*vnodes),
+		nodes:    sorted,
+		hashes:   make([]uint64, 0, len(sorted)*vnodes),
+		owner:    make([]string, 0, len(sorted)*vnodes),
+		replicas: DefaultReplicas,
 	}
 	type point struct {
 		h    uint64
@@ -85,6 +136,12 @@ func NewRing(nodes []string, vnodes int) (*Ring, error) {
 	}
 	return r, nil
 }
+
+// Epoch returns the ring version this ring was built for.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Replicas returns the replication factor R (owner + R−1 followers).
+func (r *Ring) Replicas() int { return r.replicas }
 
 // Nodes returns the distinct nodes responsible for key, owner first, up
 // to n entries (fewer when the cluster is smaller than n).
@@ -114,18 +171,57 @@ func (r *Ring) Nodes(key string, n int) []string {
 // Owner returns the node that owns key.
 func (r *Ring) Owner(key string) string { return r.Nodes(key, 1)[0] }
 
-// Follower returns the replica holder for key: the next distinct node
-// clockwise from the owner. Empty for a single-node ring.
+// Followers returns the replica holders for key: the first R−1 distinct
+// successors clockwise from the owner, in failover order. Fewer (possibly
+// none) on a cluster smaller than R.
+func (r *Ring) Followers(key string) []string {
+	ns := r.Nodes(key, r.replicas)
+	return ns[1:]
+}
+
+// Follower returns the first replica holder for key — the primary
+// failover target. Empty for a single-node ring.
 func (r *Ring) Follower(key string) string {
-	ns := r.Nodes(key, ReplicationFactor)
-	if len(ns) < ReplicationFactor {
+	fs := r.Followers(key)
+	if len(fs) == 0 {
 		return ""
 	}
-	return ns[1]
+	return fs[0]
+}
+
+// HasFollower reports whether node is one of key's followers.
+func (r *Ring) HasFollower(key, node string) bool {
+	for _, f := range r.Followers(key) {
+		if f == node {
+			return true
+		}
+	}
+	return false
 }
 
 // Members returns the ring's node IDs, sorted.
 func (r *Ring) Members() []string { return append([]string(nil), r.nodes...) }
+
+// Has reports whether node is a ring member.
+func (r *Ring) Has(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// DigestBuckets is how many buckets anti-entropy digests split a node's
+// shard space into: divergence re-syncs only the diverged bucket, 1/16th
+// of the space, instead of the whole peer relationship.
+const DigestBuckets = 16
+
+// Bucket maps a profile ID to its anti-entropy digest bucket.
+func Bucket(id string) int { return int(hash64(id) % DigestBuckets) }
+
+// DigestChecksum folds one record's identity into a bucket checksum:
+// commutative (sum) over splitmix-scrambled (id, version, text) so any
+// missed update, version skew, or silent byte corruption shifts the sum.
+func DigestChecksum(id string, version uint64, text string) uint64 {
+	return mix64(hash64(id) ^ mix64(version) ^ hash64(text))
+}
 
 // hash64 is FNV-1a 64 with a splitmix64 finalizer — fast, allocation-free,
 // and stable across processes, which is all consistent routing needs
@@ -138,6 +234,11 @@ func hash64(s string) uint64 {
 		h ^= uint64(s[i])
 		h *= 1099511628211
 	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(h uint64) uint64 {
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27

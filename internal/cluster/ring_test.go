@@ -81,6 +81,104 @@ func TestRingBalance(t *testing.T) {
 	}
 }
 
+// TestRingRebalanceProperty: the consistent-hashing contract that makes
+// membership changes cheap. Adding one node to an N-node ring must
+// (a) move only keys whose new owner IS the added node — nothing
+// shuffles between surviving nodes — and (b) move roughly 1/(N+1) of
+// the key population, within a generous 2x band that tolerates vnode
+// placement noise but catches mod-N style rehashing (which moves ~all
+// keys). Removing the node again restores the exact prior assignment,
+// because the ring is a pure function of the member list.
+func TestRingRebalanceProperty(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{3, 5} {
+		base := make([]string, n)
+		for i := range base {
+			base[i] = fmt.Sprintf("n%d", i+1)
+		}
+		before, err := NewRing(base, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := "n-joiner"
+		after, err := NewRing(append(append([]string{}, base...), added), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("user-%d", i)
+			o1, o2 := before.Owner(key), after.Owner(key)
+			if o1 == o2 {
+				continue
+			}
+			if o2 != added {
+				t.Fatalf("N=%d key %q moved %s→%s, not to the added node", n, key, o1, o2)
+			}
+			moved++
+		}
+		want := float64(keys) / float64(n+1)
+		if f := float64(moved); f < want/2 || f > want*2 {
+			t.Fatalf("N=%d: %d of %d keys moved, want ≈%.0f (1/(N+1))", n, moved, keys, want)
+		}
+
+		restored, err := NewRing(base, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("user-%d", i)
+			if before.Owner(key) != restored.Owner(key) {
+				t.Fatalf("N=%d key %q: removal did not restore prior owner (%s vs %s)",
+					n, key, before.Owner(key), restored.Owner(key))
+			}
+		}
+	}
+}
+
+// TestRingFollowersReplicas: with R=3 every key gets two followers,
+// all three placements distinct, Follower() is the first of them, and
+// HasFollower agrees with the list.
+func TestRingFollowersReplicas(t *testing.T) {
+	st := RingState{
+		Epoch:    1,
+		Replicas: 3,
+		Members: map[string]string{
+			"n1": "http://h1", "n2": "http://h2",
+			"n3": "http://h3", "n4": "http://h4",
+		},
+	}
+	r, err := st.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		owner := r.Owner(key)
+		fs := r.Followers(key)
+		if len(fs) != 2 {
+			t.Fatalf("key %q: followers %v, want 2", key, fs)
+		}
+		seen := map[string]bool{owner: true}
+		for _, f := range fs {
+			if seen[f] {
+				t.Fatalf("key %q: duplicate placement in owner=%s followers=%v", key, owner, fs)
+			}
+			seen[f] = true
+			if !r.HasFollower(key, f) {
+				t.Fatalf("key %q: HasFollower(%s) = false but listed", key, f)
+			}
+		}
+		if r.Follower(key) != fs[0] {
+			t.Fatalf("key %q: Follower %q != Followers[0] %q", key, r.Follower(key), fs[0])
+		}
+		if r.HasFollower(key, owner) {
+			t.Fatalf("key %q: owner %s reported as follower", key, owner)
+		}
+	}
+}
+
 // TestRingNodesWalk: Nodes never repeats a node and caps at cluster size.
 func TestRingNodesWalk(t *testing.T) {
 	r, err := NewRing([]string{"a", "b"}, 0)

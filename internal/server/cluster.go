@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"cqp"
@@ -19,11 +20,22 @@ import (
 // keep-alive HTTP client, with one forwarding hop at most (the forwarded
 // header is the loop guard — a forwarded request is always served
 // locally). When the owner is unreachable, reads and pipeline requests
-// fail over to the follower's replicated snapshot, marked "stale_replica"
-// in the response envelope on the degradation-ladder plumbing; mutations
-// do not fail over — accepting a write the owner's WAL cannot ack would
-// forfeit the zero-acked-loss guarantee — and answer 503 until the owner
-// returns.
+// fail over along the profile's follower list to a replicated snapshot,
+// marked "stale_replica" in the response envelope on the degradation-
+// ladder plumbing; mutations do not fail over — accepting a write the
+// owner's WAL cannot ack would forfeit the zero-acked-loss guarantee —
+// and answer 503 until the owner returns.
+//
+// Every proxied request carries the sender's ring epoch. A receiver
+// rejects a sender routing on an OLDER ring with 409 wrong_epoch (and its
+// own epoch in the X-Cqpd-Epoch header): a stale ring must never silently
+// misroute. The sender then refetches /cluster/state, adopts the newer
+// ring, and re-routes — so the client sees one slightly slower answer,
+// not an error. A sender AHEAD of the receiver is served normally: during
+// a membership commit wave nodes flip epochs one by one, and the
+// not-yet-committed old owner still holds every moved record until its
+// eviction sweep — serving there is the double-serve that keeps the
+// transition invisible to clients.
 
 const (
 	// headerForwarded carries the proxying node's ID on a forwarded
@@ -31,7 +43,7 @@ const (
 	headerForwarded = "X-Cqpd-Forwarded"
 	// headerReplica marks a forwarded request that should be answered from
 	// the replica store — the proxying node decided the owner is down and
-	// picked the follower.
+	// picked a follower.
 	headerReplica = "X-Cqpd-Replica"
 	// degradedStaleReplica is the envelope marker for answers computed
 	// from a follower's replica instead of the owner's live store.
@@ -39,6 +51,8 @@ const (
 	// clusterSyncMaxBytes bounds a replication or sync body — far above
 	// any real batch, it only stops a runaway peer from ballooning memory.
 	clusterSyncMaxBytes = 64 << 20
+	// routeRetries bounds wrong_epoch re-route attempts per request.
+	routeRetries = 3
 )
 
 // replicaServeKey marks a request context as replica-serving: profile
@@ -105,17 +119,47 @@ func (s *Server) routeByBody(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// writeWrongEpoch rejects traffic routed on a stale ring: 409 with this
+// node's epoch in the header, so the sender can tell it must refetch.
+func (s *Server) writeWrongEpoch(w http.ResponseWriter, path string) {
+	epoch := s.cluster.Epoch()
+	w.Header().Set(cluster.HeaderEpoch, strconv.FormatUint(epoch, 10))
+	s.reg.Counter("cluster_wrong_epoch_total", "path", path).Inc()
+	writeError(w, http.StatusConflict, "wrong_epoch",
+		fmt.Sprintf("server: this node is at ring epoch %d; refetch /cluster/state", epoch))
+}
+
 // routeRequest is the routing decision for one request touching profile
 // id: local when this node owns it (or no cluster, or no id, or the
-// request was already forwarded), proxy to the owner otherwise, failover
-// to the follower's replica when the owner is unreachable.
+// request was already forwarded), proxy to the owner otherwise — re-
+// routing on a fresh ring after a wrong_epoch rejection — and failover
+// along the follower list when the owner is unreachable.
 func (s *Server) routeRequest(w http.ResponseWriter, r *http.Request, mutation bool, id string, h http.HandlerFunc) {
 	c := s.cluster
 	if c == nil || id == "" {
 		h(w, r)
 		return
 	}
-	if r.Header.Get(headerForwarded) != "" {
+	if fwd := r.Header.Get(headerForwarded); fwd != "" {
+		// Reject only senders routing on an OLDER ring — and even then
+		// only when they actually misrouted: if this node is still the
+		// right destination under its newer ring (owner for a normal
+		// proxy, follower for a replica read), the stale sender picked
+		// the right door anyway and rejecting would just force a
+		// pointless retry loop against a sender that may not be able to
+		// adopt the new ring until its own commit lands.
+		if eh := r.Header.Get(cluster.HeaderEpoch); eh != "" {
+			if se, err := strconv.ParseUint(eh, 10, 64); err == nil && se < c.Epoch() {
+				valid := c.IsOwner(id)
+				if r.Header.Get(headerReplica) == "1" {
+					valid = c.IsFollower(id)
+				}
+				if !valid {
+					s.writeWrongEpoch(w, "proxy")
+					return
+				}
+			}
+		}
 		if r.Header.Get(headerReplica) == "1" {
 			r = r.WithContext(withReplicaServe(r.Context()))
 		}
@@ -134,8 +178,27 @@ func (s *Server) routeRequest(w http.ResponseWriter, r *http.Request, mutation b
 		return
 	}
 	owner := c.Owner(id)
-	if c.Up(owner) && s.proxyToPeer(w, r, owner, body, false) {
-		return
+	for attempt := 0; attempt < routeRetries; attempt++ {
+		owner = c.Owner(id)
+		if owner == c.Self() {
+			// A ring refetch moved ownership here mid-request.
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			h(w, r)
+			return
+		}
+		if !c.Up(owner) {
+			break
+		}
+		res := s.proxyToPeer(w, r, owner, body, false)
+		if res == proxyServed {
+			return
+		}
+		if res == proxyWrongEpoch {
+			// The owner is on a newer ring than us: adopt it and re-route.
+			c.RefreshFromPeer(owner)
+			continue
+		}
+		break // transport failure → failover
 	}
 	s.reg.Counter("cluster_failovers_total", "owner", owner).Inc()
 	if mutation {
@@ -144,48 +207,72 @@ func (s *Server) routeRequest(w http.ResponseWriter, r *http.Request, mutation b
 		return
 	}
 	if c.Replicating() {
-		if c.IsFollower(id) {
-			s.reg.Counter("cluster_failover_serves_total").Inc()
-			r.Body = io.NopCloser(bytes.NewReader(body))
-			h(w, r.WithContext(withReplicaServe(r.Context())))
-			return
-		}
-		if f := c.Follower(id); f != "" && f != owner && c.Up(f) &&
-			s.proxyToPeer(w, r, f, body, true) {
-			return
+		// Walk the follower list in failover order; with R=3 the read
+		// survives the owner AND the first follower dying together.
+		for _, f := range c.Followers(id) {
+			if f == owner {
+				continue
+			}
+			if f == c.Self() {
+				s.reg.Counter("cluster_failover_serves_total").Inc()
+				r.Body = io.NopCloser(bytes.NewReader(body))
+				h(w, r.WithContext(withReplicaServe(r.Context())))
+				return
+			}
+			if c.Up(f) && s.proxyToPeer(w, r, f, body, true) == proxyServed {
+				return
+			}
 		}
 	}
 	writeError(w, http.StatusServiceUnavailable, "owner_down",
 		fmt.Sprintf("server: node %s owning profile %q is unreachable and no replica can serve it", owner, id))
 }
 
-// proxyToPeer forwards the request to peer and streams the answer back.
-// Returns false only on a transport failure before any response byte —
-// the caller may then fail over; the peer's breaker is settled either
-// way, so one failed proxy is enough to mark the peer down.
-func (s *Server) proxyToPeer(w http.ResponseWriter, r *http.Request, peer string, body []byte, replica bool) bool {
+// proxyResult is one proxy attempt's outcome.
+type proxyResult int
+
+const (
+	// proxyServed: the peer's answer (any status) was streamed to the client.
+	proxyServed proxyResult = iota
+	// proxyTransportErr: transport failure before any response byte — the
+	// caller may fail over.
+	proxyTransportErr
+	// proxyWrongEpoch: the peer rejected our ring epoch as stale — nothing
+	// was written; refetch the ring and re-route.
+	proxyWrongEpoch
+)
+
+// proxyToPeer forwards the request to peer, stamped with this node's ring
+// epoch, and streams the answer back. The peer's breaker is settled
+// either way, so one failed proxy is enough to mark the peer down.
+func (s *Server) proxyToPeer(w http.ResponseWriter, r *http.Request, peer string, body []byte, replica bool) proxyResult {
 	c := s.cluster
 	req, err := http.NewRequestWithContext(r.Context(), r.Method,
 		c.PeerURL(peer)+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
-		return true
+		return proxyServed
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(headerForwarded, c.Self())
+	req.Header.Set(cluster.HeaderEpoch, strconv.FormatUint(c.Epoch(), 10))
 	if replica {
 		req.Header.Set(headerReplica, "1")
 	}
 	resp, err := c.Client().Do(req)
 	if err != nil {
 		c.ReportPeerFailure(peer)
-		return false
+		return proxyTransportErr
 	}
 	c.ReportPeerSuccess(peer)
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if resp.StatusCode == http.StatusConflict && resp.Header.Get(cluster.HeaderEpoch) != "" {
+		s.reg.Counter("cluster_wrong_epoch_total", "path", "route").Inc()
+		return proxyWrongEpoch
+	}
 	s.reg.Counter("cluster_proxied_requests_total", "peer", peer).Inc()
 	for _, hdr := range []string{"Content-Type", "Retry-After"} {
 		if v := resp.Header.Get(hdr); v != "" {
@@ -194,7 +281,7 @@ func (s *Server) proxyToPeer(w http.ResponseWriter, r *http.Request, peer string
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
-	return true
+	return proxyServed
 }
 
 // replicaProfile materializes a replica record as a StoredProfile. The
@@ -219,8 +306,8 @@ func (s *Server) replicaProfile(id string) (*StoredProfile, bool) {
 }
 
 // syncRecords is the node's replication SyncSource: its version clock and
-// the live records it owns whose follower is peer — the exact set peer's
-// replica should hold for this node's shards.
+// the live records it owns whose follower set includes peer — the exact
+// set peer's replica should hold for this node's shards.
 func (s *Server) syncRecords(peer string) (uint64, []wal.Record) {
 	clock, recs := s.store.Records()
 	c := s.cluster
@@ -229,7 +316,7 @@ func (s *Server) syncRecords(peer string) (uint64, []wal.Record) {
 	}
 	out := recs[:0]
 	for _, rec := range recs {
-		if c.IsOwner(rec.ID) && c.Follower(rec.ID) == peer {
+		if c.IsOwner(rec.ID) && c.Ring().HasFollower(rec.ID, peer) {
 			out = append(out, rec)
 		}
 	}
@@ -238,25 +325,38 @@ func (s *Server) syncRecords(peer string) (uint64, []wal.Record) {
 
 // handleClusterPing answers peers' health probes: 200 only once the node
 // is recovered, caught up, and serving — so peers never route to a node
-// still rebuilding its replica.
+// still rebuilding its replica. The pong carries the ring epoch; probe
+// gossip compares it and converges stale nodes.
 func (s *Server) handleClusterPing(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
 		writeError(w, http.StatusServiceUnavailable, "recovering", "server: catching up")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"node_id": s.cluster.Self()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node_id": s.cluster.Self(),
+		"epoch":   s.cluster.Epoch(),
+	})
 }
 
 // handleClusterReplicate is the follower's ingest endpoint: frame batches
 // (and sync=1 snapshots) from an owner, answered with the cumulative ack.
 // Served even while catching up — replication must not wait for readiness
-// or a cold-start cluster deadlocks.
+// or a cold-start cluster deadlocks. Unlike the proxy path, replication
+// rejects ANY epoch mismatch: frames routed under a different ring may
+// target the wrong follower entirely, and the sender's full-sync recovery
+// is cheap.
 func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) {
 	from := r.URL.Query().Get("from")
 	if s.cluster.PeerURL(from) == "" {
 		writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("server: replication from unknown node %q", from))
 		return
+	}
+	if eh := r.URL.Query().Get("epoch"); eh != "" {
+		if se, err := strconv.ParseUint(eh, 10, 64); err == nil && se != s.cluster.Epoch() {
+			s.writeWrongEpoch(w, "replicate")
+			return
+		}
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, clusterSyncMaxBytes))
 	if err != nil {
@@ -271,9 +371,10 @@ func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, http.StatusOK, map[string]any{"applied": applied, "records": changed})
 }
 
-// handleClusterSync serves a rejoining peer's catch-up pull: this node's
-// clock and the live records it owns that the peer follows. Like
-// replicate, it answers before the node itself is ready.
+// handleClusterSync serves a peer's catch-up pull: this node's clock and
+// the live records it owns that the peer follows — optionally narrowed to
+// one anti-entropy digest bucket for targeted repair. Like replicate, it
+// answers before the node itself is ready.
 func (s *Server) handleClusterSync(w http.ResponseWriter, r *http.Request) {
 	peer := r.URL.Query().Get("node")
 	if s.cluster.PeerURL(peer) == "" {
@@ -282,19 +383,37 @@ func (s *Server) handleClusterSync(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	clock, recs := s.syncRecords(peer)
+	if b := r.URL.Query().Get("bucket"); b != "" {
+		bucket, err := strconv.Atoi(b)
+		if err != nil || bucket < 0 || bucket >= cluster.DigestBuckets {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("server: bucket must be 0..%d", cluster.DigestBuckets-1))
+			return
+		}
+		out := recs[:0]
+		for _, rec := range recs {
+			if cluster.Bucket(rec.ID) == bucket {
+				out = append(out, rec)
+			}
+		}
+		recs = out
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(cluster.EncodeSyncPayload(clock, recs))
 }
 
-// handleClusterRoute answers where a profile ID lives — the drill and
-// operators use it to find the node to kill or blame.
+// handleClusterRoute answers where a profile ID lives under the active
+// ring — the drill sweeps it across nodes to verify post-transition
+// routing agreement.
 func (s *Server) handleClusterRoute(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	writeJSON(w, http.StatusOK, map[string]any{
-		"id":       id,
-		"owner":    s.cluster.Owner(id),
-		"follower": s.cluster.Follower(id),
-		"self":     s.cluster.Self(),
+		"id":        id,
+		"epoch":     s.cluster.Epoch(),
+		"owner":     s.cluster.Owner(id),
+		"follower":  s.cluster.Follower(id),
+		"followers": s.cluster.Followers(id),
+		"self":      s.cluster.Self(),
 	})
 }
 
@@ -304,11 +423,29 @@ type clusterStateEntry struct {
 	Version uint64 `json:"version"`
 }
 
-// handleClusterState serves a deterministic digest of this node's owned
-// store and its replica — both sorted by ID — so a drill can diff a
-// restarted owner against its pre-kill state and a follower against the
-// owner, byte for byte.
-func (s *Server) handleClusterState(w http.ResponseWriter, _ *http.Request) {
+// handleClusterState serves this node's cluster view: the active ring
+// (epoch, replicas, members — what wrong_epoch recovery refetches), a
+// deterministic store/replica digest (both sorted by ID, what the drill
+// diffs), and — with ?digest=1&node=X — the per-bucket anti-entropy
+// digest of the records X should be following.
+func (s *Server) handleClusterState(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"node_id": s.cluster.Self(),
+		"ring":    s.cluster.State(),
+	}
+	if r.URL.Query().Get("digest") == "1" {
+		peer := r.URL.Query().Get("node")
+		if s.cluster.PeerURL(peer) == "" {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("server: digest request from unknown node %q", peer))
+			return
+		}
+		_, recs := s.syncRecords(peer)
+		d := cluster.DigestRecords(recs)
+		out["digest"] = &d
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
 	_, recs := s.store.Records()
 	store := make([]clusterStateEntry, 0, len(recs))
 	for _, rec := range recs {
@@ -318,9 +455,109 @@ func (s *Server) handleClusterState(w http.ResponseWriter, _ *http.Request) {
 	for _, rec := range s.cluster.Replica().List() {
 		replica = append(replica, clusterStateEntry{ID: rec.ID, Version: rec.Version})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"node_id": s.cluster.Self(),
-		"store":   store,
-		"replica": replica,
-	})
+	out["store"] = store
+	out["replica"] = replica
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleClusterRing applies one membership-transition message (prepare /
+// commit / abort from a coordinator, install from probe gossip) and
+// answers with this node's active ring state.
+func (s *Server) handleClusterRing(w http.ResponseWriter, r *http.Request) {
+	var msg cluster.RingMessage
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&msg); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.cluster.HandleRingMessage(msg)
+	if err != nil {
+		writeError(w, http.StatusConflict, "ring_conflict", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ring": st})
+}
+
+// handleClusterHandoff runs this node's shard handoff for a prepared
+// transition: stream every owned record the next ring moves elsewhere.
+func (s *Server) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	moved, err := s.cluster.RunHandoff(r.Context(), req.Epoch)
+	if err != nil {
+		writeError(w, http.StatusConflict, "handoff_failed", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"moved": moved})
+}
+
+// handleClusterHandoffApply ingests one handoff frame batch into the
+// local store, version-guarded and epoch-checked.
+func (s *Server) handleClusterHandoffApply(w http.ResponseWriter, r *http.Request) {
+	epoch, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "server: handoff apply needs an epoch")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, clusterSyncMaxBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	applied, err := s.cluster.ApplyHandoffFrames(epoch, body)
+	if err != nil {
+		if cluster.IsWrongEpoch(err) {
+			s.writeWrongEpoch(w, "handoff")
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"records": applied})
+}
+
+// handleClusterJoin coordinates adding a member: POST {"id","url"} to any
+// existing node; it drives prepare → handoff → commit across the cluster
+// and answers with the new ring. The transition is detached from the
+// request context — an admin client disconnecting must not strand the
+// cluster mid-transition.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.cluster.AddNode(context.Background(), req.ID, req.URL)
+	if err != nil {
+		writeError(w, http.StatusConflict, "transition_failed", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ring": st})
+}
+
+// handleClusterLeave coordinates removing a member: POST {"id"} (add
+// "force":true for a dead node whose shards must be promoted from
+// replicas instead of handed off).
+func (s *Server) handleClusterLeave(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID    string `json:"id"`
+		Force bool   `json:"force"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.cluster.RemoveNode(context.Background(), req.ID, req.Force)
+	if err != nil {
+		writeError(w, http.StatusConflict, "transition_failed", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ring": st})
 }

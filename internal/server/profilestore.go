@@ -276,6 +276,127 @@ func (ps *ProfileStore) Delete(id string) (bool, error) {
 	return true, nil
 }
 
+// ApplyRecord installs one record from another node — a handoff stream or
+// a replica promotion — preserving the version its original owner acked.
+// Version-guarded (a current entry at an equal-or-higher version wins), so
+// redelivery and stale copies are no-ops. The store clock is raised to at
+// least the record's version, keeping local version allocation strictly
+// monotone over everything the store holds. Durable stores log the record
+// before applying it, exactly like a local mutation.
+func (ps *ProfileStore) ApplyRecord(rec wal.Record) error {
+	if rec.ID == "" {
+		return fmt.Errorf("server: record without id")
+	}
+	var prof *cqp.Profile
+	if rec.Op == wal.OpPut {
+		var err error
+		prof, err = cqp.ParseProfile(rec.Text)
+		if err == nil {
+			err = prof.Validate(ps.schema)
+		}
+		if err != nil {
+			// The original owner validated this text before acking it, so a
+			// parse failure means corruption in transit — refuse it.
+			return fmt.Errorf("server: handed-off profile %q invalid: %w", rec.ID, err)
+		}
+	}
+	ps.mutMu.Lock()
+	defer ps.mutMu.Unlock()
+	sh := ps.shard(rec.ID)
+	sh.mu.RLock()
+	cur, exists := sh.m[rec.ID]
+	sh.mu.RUnlock()
+	if exists && cur.Version >= rec.Version {
+		return nil
+	}
+	if rec.Op == wal.OpDelete && !exists {
+		return nil
+	}
+	if ps.log != nil {
+		if err := ps.log.Append(rec); err != nil {
+			return fmt.Errorf("%w: %v", errDurability, err)
+		}
+	}
+	if rec.Version > ps.clock.Load() {
+		ps.clock.Store(rec.Version)
+	}
+	sh.mu.Lock()
+	if rec.Op == wal.OpPut {
+		sh.m[rec.ID] = &StoredProfile{
+			ID:        rec.ID,
+			Version:   rec.Version,
+			Profile:   prof,
+			Text:      rec.Text,
+			UpdatedAt: time.Unix(0, rec.UpdatedAt),
+		}
+	} else {
+		delete(sh.m, rec.ID)
+	}
+	sh.mu.Unlock()
+	if ps.log == nil && ps.onMutate != nil {
+		ps.onMutate(rec)
+	}
+	return nil
+}
+
+// SweepAndEvict atomically hands moved shards to their new owner at a
+// membership cutover: under the mutation lock — so no Put or Delete can
+// slip in between — it re-reads every record matching moved, passes the
+// batch to flush, and only if flush succeeds evicts the records (logged
+// as tombstones on a durable store, so the eviction survives a crash).
+// On flush failure nothing is evicted: the records stay served locally,
+// redundant but never lost. Returns how many records were evicted.
+func (ps *ProfileStore) SweepAndEvict(moved func(id string) bool, flush func(recs []wal.Record) error) (int, error) {
+	ps.mutMu.Lock()
+	defer ps.mutMu.Unlock()
+	var recs []wal.Record
+	for i := range ps.shards {
+		sh := &ps.shards[i]
+		sh.mu.RLock()
+		for id, sp := range sh.m {
+			if moved(id) {
+				recs = append(recs, wal.Record{
+					Op:        wal.OpPut,
+					ID:        id,
+					Text:      sp.Text,
+					Version:   sp.Version,
+					UpdatedAt: sp.UpdatedAt.UnixNano(),
+				})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	if err := flush(recs); err != nil {
+		return 0, err
+	}
+	evicted := 0
+	for _, rec := range recs {
+		v := ps.clock.Load() + 1
+		now := time.Now().UnixNano()
+		if ps.log != nil {
+			if err := ps.log.Append(wal.Record{Op: wal.OpDelete, ID: rec.ID, Version: v, UpdatedAt: now}); err != nil {
+				// The un-evicted remainder stays local — already flushed to
+				// the new owner, so redundant, never lost.
+				return evicted, fmt.Errorf("%w: %v", errDurability, err)
+			}
+		}
+		ps.clock.Store(v)
+		sh := ps.shard(rec.ID)
+		sh.mu.Lock()
+		delete(sh.m, rec.ID)
+		sh.mu.Unlock()
+		if ps.log == nil && ps.onMutate != nil {
+			ps.onMutate(wal.Record{Op: wal.OpDelete, ID: rec.ID, Version: v, UpdatedAt: now})
+		}
+		evicted++
+	}
+	return evicted, nil
+}
+
 // Close syncs and closes the store's log, if any (graceful shutdown).
 func (ps *ProfileStore) Close() error {
 	if ps.log == nil {

@@ -114,9 +114,22 @@ type Config struct {
 	// Replicate enables WAL-frame shipping to followers; without it the
 	// cluster routes requests but reads cannot fail over.
 	Replicate bool
+	// Replicas is the replication factor R: owner plus R−1 followers per
+	// profile (default 2). Must match across the cluster at boot; joiners
+	// adopt the cluster's value.
+	Replicas int
+	// PeerStrikes is how many consecutive probe/proxy failures open a
+	// peer's breaker (default 1 — instant failover).
+	PeerStrikes int
 	// ProbeInterval is the peer health-probe period (default 500ms) — the
 	// failover detection bound.
 	ProbeInterval time.Duration
+	// HandoffRate bounds membership-change shard streaming in records per
+	// second (default 20000).
+	HandoffRate int
+	// AntiEntropy is the period of the background replica digest-diff
+	// repair loop (default 5s; negative disables).
+	AntiEntropy time.Duration
 	// VNodes is the consistent-hash virtual nodes per peer (default 64).
 	VNodes int
 	// CatchUpAttempts bounds per-peer catch-up pulls before a rejoining
@@ -265,9 +278,16 @@ func New(db *cqp.DB, cfg Config) (*Server, error) {
 			Self:          cfg.NodeID,
 			Peers:         cfg.ClusterPeers,
 			VNodes:        cfg.VNodes,
+			Replicas:      cfg.Replicas,
+			PeerStrikes:   cfg.PeerStrikes,
 			ProbeInterval: cfg.ProbeInterval,
 			Replicate:     cfg.Replicate,
+			HandoffRate:   cfg.HandoffRate,
+			AntiEntropy:   cfg.AntiEntropy,
 			SyncSource:    s.syncRecords,
+			OwnedRecords:  s.store.Records,
+			ApplyRecord:   s.store.ApplyRecord,
+			SweepAndEvict: s.store.SweepAndEvict,
 			Metrics:       reg,
 		})
 		if err != nil {
@@ -354,6 +374,13 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("GET "+cluster.PathSync, s.handleClusterSync)
 		s.mux.HandleFunc("GET /cluster/route/{id}", s.handleClusterRoute)
 		s.mux.HandleFunc("GET /cluster/state", s.handleClusterState)
+		// Membership: ring transitions (peer-to-peer), handoff streaming,
+		// and the join/leave admin surface.
+		s.mux.HandleFunc("POST "+cluster.PathRing, s.handleClusterRing)
+		s.mux.HandleFunc("POST "+cluster.PathHandoff, s.handleClusterHandoff)
+		s.mux.HandleFunc("POST "+cluster.PathHandoffApply, s.handleClusterHandoffApply)
+		s.mux.HandleFunc("POST "+cluster.PathJoin, s.handleClusterJoin)
+		s.mux.HandleFunc("POST "+cluster.PathLeave, s.handleClusterLeave)
 	}
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
