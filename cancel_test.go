@@ -85,6 +85,14 @@ func TestPipelineCancelledAtEveryPhase(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Warm-up run: the estimator memoizes per-preference estimates across
+	// runs, so the first personalization crosses per-candidate estimation
+	// checkpoints that later (memo-hit) runs skip. One warm run makes the
+	// checkpoint count structural again for everything that follows.
+	if err := runPipeline(context.Background(), p, q, u); err != nil {
+		t.Fatalf("warm-up run failed: %v", err)
+	}
+
 	// Probe run: count the pipeline's checkpoints with a fuse that never
 	// blows. The count is structural (phase boundaries + one per scanned
 	// relation), so it is stable across runs of the same query.
@@ -123,6 +131,12 @@ func TestPipelineCancelledInIteratorTree(t *testing.T) {
 		"SELECT title FROM MOVIE, DIRECTOR WHERE MOVIE.did = DIRECTOR.did")
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// Warm the estimate memo first so the probe and every fused run cross
+	// the same (memo-hit) checkpoint sequence.
+	if err := runPipeline(context.Background(), p, q, u); err != nil {
+		t.Fatalf("warm-up run failed: %v", err)
 	}
 
 	probe := newCountdownCtx(1 << 30)

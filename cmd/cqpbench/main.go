@@ -59,6 +59,7 @@ func main() {
 		herd      = flag.Int("herd", 0, "serving benchmark: this many concurrent duplicate requests per burst, with and without coalescing (0 = off)")
 		bursts    = flag.Int("bursts", 8, "herd mode: distinct cache-miss bursts to fire")
 		batchN    = flag.Int("batch", 0, "serving benchmark: one /personalize/batch of this many items vs the same items as singletons (0 = off)")
+		batchB    = flag.Int("batchbench", 0, "serving benchmark: one execute-mode batch of this many all-distinct items, shared-work layers (estimate memo + scan share) on vs off (0 = off)")
 		gate      = flag.Bool("gate", false, "herd mode: exit non-zero when coalescing loses to the no-coalesce baseline; spillbench mode: when spilling fails to cut peak heap")
 		spillN    = flag.Int("spillbench", 0, "executor benchmark: union-all over this many movies, unbounded vs spill-budgeted (0 = off)")
 		spillBudg = flag.Int64("spillbudget", 256<<10, "spillbench mode: per-run executor memory budget in bytes")
@@ -83,6 +84,12 @@ func main() {
 	}
 	if *herd > 0 || *batchN > 0 {
 		if err := runServeBench(*movies, *seed, *herd, *bursts, *batchN, *jsonPath, *gate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *batchB > 0 {
+		if err := runBatchBench(*movies, *seed, *batchB, *jsonPath, *gate); err != nil {
 			fatal(err)
 		}
 		return

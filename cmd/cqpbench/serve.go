@@ -145,9 +145,9 @@ func runServeBench(movies int, seed int64, herdSize, bursts, batchItems int, jso
 
 // newBenchServer builds a daemon over a synthetic database with a stored
 // profile "bench", wrapped in an httptest transport.
-func newBenchServer(movies int, seed int64, noCoalesce bool) (*server.Server, *httptest.Server, error) {
+func newBenchServer(movies int, seed int64, cfg server.Config) (*server.Server, *httptest.Server, error) {
 	db := cqp.SyntheticMovieDB(movies, seed)
-	s, err := server.New(db, server.Config{NoCoalesce: noCoalesce})
+	s, err := server.New(db, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -166,7 +166,7 @@ func herdOnce(movies int, seed int64, herdSize, bursts int, noCoalesce bool) (he
 		return herdStats{}, err
 	}
 	defer disarm()
-	s, ts, err := newBenchServer(movies, seed, noCoalesce)
+	s, ts, err := newBenchServer(movies, seed, server.Config{NoCoalesce: noCoalesce})
 	if err != nil {
 		return herdStats{}, err
 	}
@@ -257,7 +257,7 @@ func batchOnce(movies int, seed int64, items int) (batchReport, error) {
 	}
 
 	// One batch round trip.
-	s, ts, err := newBenchServer(movies, seed, false)
+	s, ts, err := newBenchServer(movies, seed, server.Config{})
 	if err != nil {
 		return batchReport{}, err
 	}
@@ -283,7 +283,7 @@ func batchOnce(movies int, seed int64, items int) (batchReport, error) {
 	}
 
 	// The same items as sequential singleton requests, cold cache.
-	s, ts, err = newBenchServer(movies, seed, false)
+	s, ts, err = newBenchServer(movies, seed, server.Config{})
 	if err != nil {
 		return batchReport{}, err
 	}

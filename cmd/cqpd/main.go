@@ -76,6 +76,8 @@ func main() {
 		maxRows   = flag.Int("maxrows", 100, "default row cap for /execute responses")
 		maxBody   = flag.Int64("maxbody", 1<<20, "request-body size cap in bytes (oversize gets 413)")
 		coalesce  = flag.Bool("coalesce", true, "coalesce concurrent identical pipeline requests into one run")
+		estMemo   = flag.Bool("estmemo", true, "memoize per-preference cost/size estimates across requests (per statistics generation)")
+		scanShare = flag.Bool("scanshare", true, "share one physical scan per relation across an executed batch's items")
 		batchMax  = flag.Int("batch-max", 64, "max items per /personalize/batch request")
 		preload   = flag.Int("preload", 0, "store a synthetic profile with this many selection preferences as \"default\"")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain deadline")
@@ -139,6 +141,8 @@ func main() {
 		MaxRows:        *maxRows,
 		MaxBodyBytes:   *maxBody,
 		NoCoalesce:     !*coalesce,
+		NoEstimateMemo: !*estMemo,
+		NoScanShare:    !*scanShare,
 		BatchMaxItems:  *batchMax,
 		DataDir:        *dataDir,
 		FsyncPolicy:    *fsync,

@@ -51,6 +51,13 @@ type Estimator struct {
 	timing   atomic.Bool
 	estCalls atomic.Int64
 	estNanos atomic.Int64
+
+	// memo caches per-preference (SubQueryCost, Shrink) pairs across calls
+	// and across requests (see memo.go). It lives and dies with this
+	// Estimator: a statistics refresh swaps in a new Estimator and the old
+	// memo goes with it, so entries never outlive the catalog they were
+	// computed from. Atomic so DisableMemo cannot race in-flight builds.
+	memo atomic.Pointer[prefMemo]
 }
 
 // New returns an estimator over the catalog. bMillis ≤ 0 selects the
@@ -59,7 +66,9 @@ func New(cat *catalog.Catalog, bMillis float64) *Estimator {
 	if bMillis <= 0 {
 		bMillis = DefaultBlockMillis
 	}
-	return &Estimator{cat: cat, BlockMillis: bMillis}
+	e := &Estimator{cat: cat, BlockMillis: bMillis}
+	e.memo.Store(newPrefMemo())
+	return e
 }
 
 // Catalog exposes the underlying statistics.

@@ -1,0 +1,155 @@
+package estimate
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cqp/internal/catalog"
+	"cqp/internal/obs"
+	"cqp/internal/prefs"
+	"cqp/internal/sqlparse"
+	"cqp/internal/testutil"
+)
+
+func TestScopeKeyOrderInsensitive(t *testing.T) {
+	db := testutil.MovieDB(256)
+	e := New(catalog.MustBuild(db), 1)
+	q1 := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE, DIRECTOR WHERE MOVIE.did = DIRECTOR.did")
+	q2 := sqlparse.MustParse(db.Schema(), "SELECT name FROM DIRECTOR, MOVIE WHERE MOVIE.did = DIRECTOR.did")
+	if e.ScopeKey(q1) != e.ScopeKey(q2) {
+		t.Errorf("scope keys differ for same FROM set: %q vs %q", e.ScopeKey(q1), e.ScopeKey(q2))
+	}
+	q3 := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	if e.ScopeKey(q1) == e.ScopeKey(q3) {
+		t.Error("scope keys equal for different FROM sets")
+	}
+}
+
+func TestMemoRoundTripAndCounts(t *testing.T) {
+	db := testutil.MovieDB(256)
+	e := New(catalog.MustBuild(db), 1)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	scope := e.ScopeKey(q)
+	p := prefOf(t, "doi(MOVIE.year >= 1990) = 0.5")
+
+	if _, _, ok := e.PrefParams(scope, p); ok {
+		t.Fatal("lookup hit on empty memo")
+	}
+	e.StorePrefParams(scope, p, 12.5, 0.25)
+	cost, shrink, ok := e.PrefParams(scope, p)
+	if !ok || cost != 12.5 || shrink != 0.25 {
+		t.Fatalf("roundtrip = (%g, %g, %v), want (12.5, 0.25, true)", cost, shrink, ok)
+	}
+	if h, m := e.MemoCounts(); h != 1 || m != 1 {
+		t.Errorf("counts = (%d hits, %d misses), want (1, 1)", h, m)
+	}
+
+	// A different preference under the same scope is a distinct entry.
+	other := prefOf(t, "doi(MOVIE.year >= 2000) = 0.5")
+	if _, _, ok := e.PrefParams(scope, other); ok {
+		t.Error("distinct preference hit the first entry")
+	}
+}
+
+func TestMemoDisable(t *testing.T) {
+	db := testutil.MovieDB(256)
+	e := New(catalog.MustBuild(db), 1)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	scope := e.ScopeKey(q)
+	p := prefOf(t, "doi(MOVIE.year >= 1990) = 0.5")
+	e.StorePrefParams(scope, p, 1, 1)
+
+	e.DisableMemo()
+	if _, _, ok := e.PrefParams(scope, p); ok {
+		t.Error("disabled memo returned a hit")
+	}
+	e.StorePrefParams(scope, p, 2, 2) // must not panic, silently dropped
+	if h, m := e.MemoCounts(); h != 0 || m != 0 {
+		t.Errorf("disabled memo counts = (%d, %d), want zeros", h, m)
+	}
+}
+
+func TestMemoEpochFlushOnOverflow(t *testing.T) {
+	pm := newPrefMemo()
+	first := prefKey{scope: "S", pref: "p-0"}
+	for i := 0; i < memoMaxEntries; i++ {
+		pm.store(prefKey{scope: "S", pref: fmt.Sprintf("p-%d", i)}, prefParams{cost: float64(i)})
+	}
+	if _, ok := pm.lookup(first); !ok {
+		t.Fatal("entry missing before overflow")
+	}
+	// One more store crosses memoMaxEntries and flushes the epoch.
+	pm.store(prefKey{scope: "S", pref: "overflow"}, prefParams{})
+	if _, ok := pm.lookup(first); ok {
+		t.Error("entry survived epoch flush")
+	}
+	if _, ok := pm.lookup(prefKey{scope: "S", pref: "overflow"}); !ok {
+		t.Error("post-flush store missing")
+	}
+}
+
+func TestObserveMemoFoldsPreAttachmentCounts(t *testing.T) {
+	db := testutil.MovieDB(256)
+	e := New(catalog.MustBuild(db), 1)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	scope := e.ScopeKey(q)
+	p := prefOf(t, "doi(MOVIE.year >= 1990) = 0.5")
+
+	e.PrefParams(scope, p) // miss
+	e.StorePrefParams(scope, p, 1, 1)
+	e.PrefParams(scope, p) // hit
+
+	reg := obs.NewRegistry()
+	e.ObserveMemo(reg)
+	if got := reg.Counter("estimate_memo_hits_total").Value(); got != 1 {
+		t.Errorf("hits counter = %d after attach, want 1", got)
+	}
+	if got := reg.Counter("estimate_memo_misses_total").Value(); got != 1 {
+		t.Errorf("misses counter = %d after attach, want 1", got)
+	}
+	e.PrefParams(scope, p) // hit, live-counted
+	if got := reg.Counter("estimate_memo_hits_total").Value(); got != 2 {
+		t.Errorf("hits counter = %d after live hit, want 2", got)
+	}
+	e.ObserveMemo(nil) // detach must not panic and stops counting
+	e.PrefParams(scope, p)
+	if got := reg.Counter("estimate_memo_hits_total").Value(); got != 2 {
+		t.Errorf("hits counter = %d after detach, want 2", got)
+	}
+}
+
+// TestMemoConcurrent hammers one memo from parallel readers, writers and a
+// concurrent DisableMemo — the estimator is shared by every in-flight
+// personalization, so this test is the -race witness for that sharing.
+func TestMemoConcurrent(t *testing.T) {
+	db := testutil.MovieDB(256)
+	e := New(catalog.MustBuild(db), 1)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	scope := e.ScopeKey(q)
+	ps := make([]prefs.Implicit, 8)
+	for i := range ps {
+		ps[i] = prefOf(t, fmt.Sprintf("doi(MOVIE.year >= %d) = 0.5", 1900+i))
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := ps[g]
+			for i := 0; i < 500; i++ {
+				if _, _, ok := e.PrefParams(scope, p); !ok {
+					e.StorePrefParams(scope, p, float64(g), 0.5)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.MemoCounts()
+		e.DisableMemo()
+	}()
+	wg.Wait()
+}

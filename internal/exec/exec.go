@@ -153,17 +153,32 @@ func buildJoinTree(ctx context.Context, db *storage.DB, io *storage.IOCounter, q
 		}
 		return nil, nil, err
 	}
-	// openRel opens a filtered scan of one relation.
+	// openRel opens a filtered scan of one relation — through the batch's
+	// scan share when the context carries one (one physical pass feeds
+	// every consumer; the I/O charge per open is unchanged), privately
+	// otherwise.
 	openRel := func(rel string) (iter.Iterator, error) {
 		t, err := db.Table(rel)
 		if err != nil {
 			return nil, err
 		}
-		cur, err := t.Open(io)
-		if err != nil {
-			return nil, err
+		var src iter.Iterator
+		if sh := ScanShareFromContext(ctx); sh != nil {
+			shared, used, err := sh.open(ctx, t, io)
+			if err != nil {
+				return nil, err
+			}
+			if used {
+				src = shared
+			}
 		}
-		src := iter.FromCursor(ctx, cur)
+		if src == nil {
+			cur, err := t.Open(io)
+			if err != nil {
+				return nil, err
+			}
+			src = iter.FromCursor(ctx, cur)
+		}
 		sels := selsFor[rel]
 		if len(sels) == 0 {
 			return src, nil

@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"cqp/internal/sqlparse"
+	"cqp/internal/testutil"
+)
+
+// TestScanShareOnePhysicalPass: repeated evaluations under one share scan
+// each relation once, later opens are answered from the materialized pass,
+// and rows and charged I/O match unshared evaluation exactly.
+func TestScanShareOnePhysicalPass(t *testing.T) {
+	db := testutil.MovieDB(256)
+	sql := "SELECT title FROM MOVIE, DIRECTOR WHERE MOVIE.did = DIRECTOR.did"
+	q := sqlparse.MustParse(db.Schema(), sql)
+	plain, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	share := NewScanShare(0)
+	ctx := WithScanShare(context.Background(), share)
+	for i := 0; i < 3; i++ {
+		res, err := EvalContext(ctx, db, q)
+		if err != nil {
+			t.Fatalf("eval %d: %v", i, err)
+		}
+		if got, want := fmt.Sprint(titles(res.Rows)), fmt.Sprint(titles(plain.Rows)); got != want {
+			t.Fatalf("eval %d: shared rows differ:\nshared: %s\nplain:  %s", i, got, want)
+		}
+		if res.BlockReads != plain.BlockReads {
+			t.Fatalf("eval %d: charged I/O differs: shared %d, plain %d", i, res.BlockReads, plain.BlockReads)
+		}
+	}
+	physical, shared := share.Stats()
+	if physical != 2 {
+		t.Errorf("physical passes = %d, want 2 (MOVIE, DIRECTOR)", physical)
+	}
+	if shared != 4 {
+		t.Errorf("shared opens = %d, want 4 (two relations x two repeat evals)", shared)
+	}
+}
+
+// TestScanShareOversizedFallsBack: a relation above the byte cap is never
+// materialized — every consumer runs its own private scan and answers stay
+// correct.
+func TestScanShareOversizedFallsBack(t *testing.T) {
+	db := testutil.MovieDB(256)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	plain, err := Eval(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	share := NewScanShare(1) // one byte: everything is oversized
+	ctx := WithScanShare(context.Background(), share)
+	for i := 0; i < 2; i++ {
+		res, err := EvalContext(ctx, db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(plain.Rows) || res.BlockReads != plain.BlockReads {
+			t.Fatalf("oversized fallback diverged: %d rows / %d blocks, want %d / %d",
+				len(res.Rows), res.BlockReads, len(plain.Rows), plain.BlockReads)
+		}
+	}
+	if physical, shared := share.Stats(); physical != 0 || shared != 0 {
+		t.Errorf("oversized relation hit the share: physical=%d shared=%d", physical, shared)
+	}
+}
+
+// TestScanShareCancellation: a context cancelled mid-batch surfaces
+// context.Canceled from evaluation under a share rather than hanging on
+// the entry's done channel.
+func TestScanShareCancellation(t *testing.T) {
+	db := testutil.MovieDB(256)
+	q := sqlparse.MustParse(db.Schema(), "SELECT title FROM MOVIE")
+	share := NewScanShare(0)
+	ctx, cancel := context.WithCancel(WithScanShare(context.Background(), share))
+	cancel()
+	if _, err := EvalContext(ctx, db, q); err == nil {
+		t.Fatal("cancelled shared evaluation returned nil error")
+	}
+}

@@ -129,6 +129,36 @@ type sliceIter struct {
 // FromRows streams a materialized slice (tests, residual small inputs).
 func FromRows(rows []storage.Row) Iterator { return &sliceIter{rows: rows} }
 
+type sliceCtxIter struct {
+	ctx  context.Context
+	rows []storage.Row
+	i    int
+}
+
+// FromRowsContext streams a materialized slice with the same cancellation
+// checkpoints a cursor scan has — the source for shared-scan consumers,
+// whose "scan" is a slice another consumer already materialized but must
+// still die promptly with its request.
+func FromRowsContext(ctx context.Context, rows []storage.Row) Iterator {
+	return &sliceCtxIter{ctx: ctx, rows: rows}
+}
+
+func (it *sliceCtxIter) Next() (storage.Row, bool, error) {
+	if it.i%checkEvery == 0 {
+		if err := it.ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	if it.i >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.i]
+	it.i++
+	return r, true, nil
+}
+
+func (it *sliceCtxIter) Close() error { return nil }
+
 func (it *sliceIter) Next() (storage.Row, bool, error) {
 	if it.i >= len(it.rows) {
 		return nil, false, nil

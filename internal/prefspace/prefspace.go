@@ -271,23 +271,40 @@ type estResult struct {
 	err    error // fault point or context fired before estimation
 }
 
-// estimateBatch materializes every candidate selection (NewImplicit) and
-// runs its SubQueryCost/Shrink estimations across a bounded worker group,
-// preserving input order in the result slice. Each worker polls the
-// estimate.histogram fault point and ctx before every candidate, exactly as
-// the sequential build does between estimations. The estimator's entry
-// points are safe for concurrent use: they read the catalog, which is
-// immutable after catalog.Build, and touch only atomic timing counters;
+// estimateBatch materializes every candidate selection (NewImplicit),
+// answers what it can from the estimator's cross-request memo, and runs the
+// remaining SubQueryCost/Shrink estimations across a bounded worker group,
+// preserving input order in the result slice. A memoized candidate skips
+// the worker group entirely — including its estimate.histogram fault poll
+// and catalog reads, which is exactly the work the memo exists to elide
+// (the pair was computed against this same immutable catalog). Workers
+// poll the fault point and ctx before every computed candidate, exactly as
+// the sequential build does between estimations, and store their results
+// back into the memo. The estimator's entry points are safe for concurrent
+// use: they read the catalog, which is immutable after catalog.Build, and
+// touch only atomic timing counters; the memo itself is lock-guarded;
 // candidate paths are shared between candidates but read-only here.
 func estimateBatch(ctx context.Context, est *estimate.Estimator, q *query.Query, cands []*candidate, parallelism int) []estResult {
 	out := make([]estResult, len(cands))
-	estimate := func(i int) {
+	scope := est.ScopeKey(q)
+	misses := make([]int, 0, len(cands))
+	for i, c := range cands {
 		r := &out[i]
-		c := cands[i]
 		r.imp, r.impErr = prefs.NewImplicit(c.path, *c.sel)
 		if r.impErr != nil {
-			return
+			continue
 		}
+		if cost, shrink, ok := est.PrefParams(scope, r.imp); ok {
+			r.cost, r.shrink = cost, shrink
+			continue
+		}
+		misses = append(misses, i)
+	}
+	if len(misses) == 0 {
+		return out
+	}
+	estimate := func(i int) {
+		r := &out[i]
 		if r.err = ctx.Err(); r.err != nil {
 			return
 		}
@@ -296,16 +313,17 @@ func estimateBatch(ctx context.Context, est *estimate.Estimator, q *query.Query,
 		}
 		r.cost = est.SubQueryCost(q, r.imp)
 		r.shrink = est.Shrink(q, r.imp)
+		est.StorePrefParams(scope, r.imp, r.cost, r.shrink)
 	}
 	workers := parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cands) {
-		workers = len(cands)
+	if workers > len(misses) {
+		workers = len(misses)
 	}
-	if workers <= 1 || len(cands) < 2 {
-		for i := range cands {
+	if workers <= 1 || len(misses) < 2 {
+		for _, i := range misses {
 			estimate(i)
 		}
 		return out
@@ -317,11 +335,11 @@ func estimateBatch(ctx context.Context, est *estimate.Estimator, q *query.Query,
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cands) {
+				n := int(next.Add(1)) - 1
+				if n >= len(misses) {
 					return
 				}
-				estimate(i)
+				estimate(misses[n])
 			}
 		}()
 	}

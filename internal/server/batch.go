@@ -7,8 +7,10 @@ import (
 	"hash/fnv"
 	"net/http"
 	"sync"
+	"time"
 
 	"cqp"
+	"cqp/internal/exec"
 	"cqp/internal/obs"
 	"cqp/internal/resilience"
 )
@@ -16,19 +18,29 @@ import (
 // batchRequest is the body of POST /personalize/batch: a list of
 // /personalize-shaped items sharing one deadline. Per-item trace, timeout
 // and limit fields are ignored — the batch is one request with one
-// deadline, and traces don't compose across coalesced runs.
+// deadline, and traces don't compose across coalesced runs. Execute makes
+// every item run its personalized query too (the /execute shape), under
+// one scan share: each base relation is physically read once for the whole
+// batch. Limit caps rows per executed item (default Config.MaxRows).
 type batchRequest struct {
 	Items     []personalizeRequest `json:"items"`
 	TimeoutMS int                  `json:"timeout_ms"`
+	Execute   bool                 `json:"execute"`
+	Limit     int                  `json:"limit"`
 }
 
-// batchItemJSON is one item's outcome: a personalize response or a
-// per-item error envelope, never both. Duplicate marks items answered by
-// an identical earlier item's run.
+// batchItemJSON is one item's outcome: a personalize response (plus the
+// executed rows in execute mode) or a per-item error envelope, never both.
+// Duplicate marks items answered by an identical earlier item's run.
 type batchItemJSON struct {
 	*personalizeResponse
-	Duplicate bool       `json:"duplicate,omitempty"`
-	Error     *errorBody `json:"error,omitempty"`
+	Rows       []rowJSON  `json:"rows,omitempty"`
+	RowCount   int        `json:"row_count,omitempty"`
+	TotalRows  int        `json:"total_rows,omitempty"`
+	BlockReads int64      `json:"block_reads,omitempty"`
+	ExecMS     float64    `json:"exec_ms,omitempty"`
+	Duplicate  bool       `json:"duplicate,omitempty"`
+	Error      *errorBody `json:"error,omitempty"`
 }
 
 // batchResponse is the body of a /personalize/batch answer. Results is
@@ -39,6 +51,16 @@ type batchResponse struct {
 	// items answered by another item's run.
 	Distinct   int `json:"distinct"`
 	Duplicates int `json:"duplicates"`
+	// DegradedCounts breaks the batch down by ladder rung: how many items
+	// (duplicates included) were answered at each non-full-fidelity rung.
+	// The batch's flight record carries the worst rung; the full spectrum
+	// lives here.
+	DegradedCounts map[string]int `json:"degraded_counts,omitempty"`
+	// SharedScans / PhysicalScans report the batch's scan share in execute
+	// mode: opens answered from an already-materialized pass, and relations
+	// physically read (once each).
+	SharedScans   int64 `json:"shared_scans,omitempty"`
+	PhysicalScans int64 `json:"physical_scans,omitempty"`
 }
 
 // batchUnit is one parsed, pipeline-distinct batch item.
@@ -81,17 +103,41 @@ func admitStatus(err error) int {
 // every solver knob. Two items with equal identities would run the exact
 // same pipeline, so one run answers both. NoCache is part of the identity:
 // an item that demanded a fresh run must not be answered by one that may
-// come from cache.
-func batchIdentity(q *cqp.Query, item personalizeRequest, version uint64, prob cqp.Problem) string {
+// come from cache. Execute mode (and its row limit) is part of the
+// identity too — a personalize-only run cannot answer an executed item.
+func batchIdentity(q *cqp.Query, item personalizeRequest, version uint64, prob cqp.Problem, execute bool, limit int) string {
 	prof := item.ProfileID
 	if prof == "" {
 		h := fnv.New64a()
 		h.Write([]byte(item.Profile))
 		prof = fmt.Sprintf("inline:%016x", h.Sum64())
 	}
-	return fmt.Sprintf("%s|%s@%d|%s|a=%s k=%d b=%d any=%v merge=%v nc=%v",
+	return fmt.Sprintf("%s|%s@%d|%s|a=%s k=%d b=%d any=%v merge=%v nc=%v exec=%v lim=%d",
 		q.Fingerprint(), prof, version, prob,
-		item.Algorithm, item.K, item.Budget, item.AnyMatch, item.Merge, item.NoCache)
+		item.Algorithm, item.K, item.Budget, item.AnyMatch, item.Merge, item.NoCache,
+		execute, limit)
+}
+
+// rungSeverity orders degradation rungs for the batch's worst-rung
+// aggregate; higher is worse. Unknown rungs rank just below unavailable so
+// a new rung is never silently treated as full fidelity.
+func rungSeverity(rung string) int {
+	switch rung {
+	case "":
+		return 0
+	case degradedStaleReplica:
+		return 1
+	case "stale":
+		return 2
+	case "heuristic":
+		return 3
+	case "tight-cmax":
+		return 4
+	case "unavailable":
+		return 6
+	default:
+		return 5
+	}
 }
 
 // handleBatch serves POST /personalize/batch — the list-page shape: many
@@ -99,7 +145,14 @@ func batchIdentity(q *cqp.Query, item personalizeRequest, version uint64, prob c
 // (query + profile + problem + options), distinct items run concurrently
 // through the same admission pool, cache, coalescing and degradation
 // machinery as /personalize, and results come back in item order with
-// per-item errors: one malformed or infeasible item fails alone.
+// per-item errors: one malformed or infeasible item fails alone. With
+// "execute": true every item also runs its personalized query, all items
+// sharing one physical scan per base relation.
+//
+// Degradation attribution is aggregated per batch: each unit reports its
+// rung, the batch's flight record gets the worst one (concurrent units
+// used to each SetRung on the one shared request record, leaving an
+// arbitrary last writer), and the response carries per-rung counts.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
@@ -119,8 +172,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	lp := startLaps(rec)
 	ctx, cancel, tr := s.requestContext(r, req.TimeoutMS, "batch")
 	defer cancel()
+	limit := req.Limit
+	if limit <= 0 {
+		limit = s.cfg.MaxRows
+	}
+	var share *exec.ScanShare
+	if req.Execute && !s.cfg.NoScanShare {
+		share = exec.NewScanShare(0)
+		ctx = exec.WithScanShare(ctx, share)
+	}
 
 	results := make([]batchItemJSON, len(req.Items))
+	rungs := make([]string, len(req.Items))
 	leaderOf := make(map[string]int, len(req.Items))
 	followers := make(map[int][]int)
 	var units []batchUnit
@@ -140,7 +203,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i].Error = itemError(code, err)
 			continue
 		}
-		id := batchIdentity(q, item, version, prob)
+		id := batchIdentity(q, item, version, prob, req.Execute, limit)
 		if li, ok := leaderOf[id]; ok {
 			followers[li] = append(followers[li], i)
 			continue
@@ -158,7 +221,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(u batchUnit) {
 			defer wg.Done()
-			results[u.idx] = s.personalizeUnit(ctx, u, req.Items[u.idx])
+			results[u.idx], rungs[u.idx] = s.personalizeUnit(ctx, u, req.Items[u.idx], req.Execute, limit)
 		}(u)
 	}
 	wg.Wait()
@@ -168,30 +231,66 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for _, i := range dups {
 			results[i] = results[li]
 			results[i].Duplicate = true
+			rungs[i] = rungs[li]
 			duplicates++
 		}
 	}
-	tr.End()
-	writeJSON(w, http.StatusOK, batchResponse{
+	worst := ""
+	var counts map[string]int
+	for _, rung := range rungs {
+		if rung == "" {
+			continue
+		}
+		if counts == nil {
+			counts = make(map[string]int)
+		}
+		counts[rung]++
+		if rungSeverity(rung) > rungSeverity(worst) {
+			worst = rung
+		}
+	}
+	// One deterministic write after every unit finished: the record shows
+	// the batch's worst rung, whatever order the units' ladders ran in.
+	rec.SetRung(worst)
+	resp := batchResponse{
 		Results: results, Distinct: len(units), Duplicates: duplicates,
-	})
+		DegradedCounts: counts,
+	}
+	if share != nil {
+		resp.PhysicalScans, resp.SharedScans = share.Stats()
+		s.reg.Counter("server_batch_physical_scans_total").Add(resp.PhysicalScans)
+		s.reg.Counter("server_batch_shared_scans_total").Add(resp.SharedScans)
+	}
+	tr.End()
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// personalizeUnit runs one batch item through the /personalize machinery:
-// warm cache path, then the coalesced, admission-controlled, ladder-backed
-// pipeline. Identical concurrent work — inside this batch or from any
-// other request — shares one run via the flight table.
-func (s *Server) personalizeUnit(ctx context.Context, u batchUnit, item personalizeRequest) batchItemJSON {
+// personalizeUnit runs one batch item through the /personalize machinery
+// (or /execute machinery in execute mode): warm cache path, then the
+// coalesced, admission-controlled, ladder-backed pipeline. Identical
+// concurrent work — inside this batch or from any other request — shares
+// one run via the flight table; executed units share the endpoint's result
+// cache with singleton /execute requests. The second return is the item's
+// degradation rung for the batch-level aggregate; the unit itself never
+// writes the shared request record.
+func (s *Server) personalizeUnit(ctx context.Context, u batchUnit, item personalizeRequest, execute bool, limit int) (batchItemJSON, string) {
+	endpoint := "personalize"
+	if execute {
+		endpoint = "execute"
+	}
 	key, staleKey := "", ""
 	if u.cacheable && !item.NoCache {
 		extra := fmt.Sprintf("%s|a=%s k=%d b=%d any=%v merge=%v",
 			u.prob, item.Algorithm, item.K, item.Budget, item.AnyMatch, item.Merge)
-		key = s.cacheKey("personalize", u.q, item.ProfileID, u.version, extra)
-		staleKey = s.staleKey("personalize", u.q, item.ProfileID, extra)
+		if execute {
+			extra += fmt.Sprintf(" lim=%d", limit)
+		}
+		key = s.cacheKey(endpoint, u.q, item.ProfileID, u.version, extra)
+		staleKey = s.staleKey(endpoint, u.q, item.ProfileID, extra)
 		if v, ok := s.cacheGet(key); ok {
-			resp := *v.(*personalizeResponse)
-			resp.Cached = true
-			return batchItemJSON{personalizeResponse: &resp}
+			out := itemFromOutcome(v, execute)
+			out.Cached = true
+			return out, ""
 		}
 	}
 	build := func(prob cqp.Problem, alg string) func(context.Context) (any, error) {
@@ -201,41 +300,106 @@ func (s *Server) personalizeUnit(ctx context.Context, u batchUnit, item personal
 			if err != nil {
 				return nil, err
 			}
-			return personalizeResponseFrom(res, item.ProfileID, u.version), nil
+			if !execute {
+				return personalizeResponseFrom(res, item.ProfileID, u.version), nil
+			}
+			rows, err := res.ExecuteContext(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return executeResponseFrom(res, rows, item.ProfileID, u.version, limit), nil
 		}
 	}
 	rungs := []resilience.Step{s.step("heuristic", build(u.prob, "D_HeurDoi"))}
 	if tp, ok := tightenedProblem(u.prob, s.cfg.TightenFactor); ok {
 		rungs = append(rungs, s.step("tight-cmax", build(tp, "D_HeurDoi")))
 	}
-	o, leader := s.runPipeline(ctx, "personalize", key, staleKey, build(u.prob, item.Algorithm), rungs...)
-	if o.degraded != "" {
-		obs.RequestFromContext(ctx).SetRung(o.degraded)
-	}
+	o, leader := s.runPipeline(ctx, endpoint, key, staleKey, build(u.prob, item.Algorithm), rungs...)
 	if o.admitErr != nil {
 		if v, ok := s.cache.GetStale(staleKey); ok {
-			s.reg.Counter("server_degraded_total", "endpoint", "personalize", "rung", "stale").Inc()
-			obs.RequestFromContext(ctx).SetRung("stale")
-			resp := markStale(v).(personalizeResponse)
-			return batchItemJSON{personalizeResponse: &resp}
+			s.reg.Counter("server_degraded_total", "endpoint", endpoint, "rung", "stale").Inc()
+			out := itemFromOutcome(markStale(v), execute)
+			return out, "stale"
 		}
-		return batchItemJSON{Error: itemError(admitStatus(o.admitErr), o.admitErr)}
+		return batchItemJSON{Error: itemError(admitStatus(o.admitErr), o.admitErr)}, ""
 	}
 	if o.perr != nil {
-		return batchItemJSON{Error: itemError(pipelineStatus(o.perr), o.perr)}
+		rung := ""
+		if errors.Is(o.perr, resilience.ErrExhausted) {
+			rung = "unavailable"
+		}
+		return batchItemJSON{Error: itemError(pipelineStatus(o.perr), o.perr)}, rung
 	}
 	if o.out == nil {
-		return batchItemJSON{Error: itemError(http.StatusGatewayTimeout, errDeadlineSkipped)}
+		return batchItemJSON{Error: itemError(http.StatusGatewayTimeout, errDeadlineSkipped)}, ""
 	}
-	resp := *o.out.(*personalizeResponse)
-	resp.Degraded = o.degraded
-	if u.stale && resp.Degraded == "" {
-		resp.Degraded = degradedStaleReplica
+	out := itemFromOutcome(o.out, execute)
+	out.Degraded = o.degraded
+	if u.stale && out.Degraded == "" {
+		out.Degraded = degradedStaleReplica
 	}
 	if leader && o.degraded == "" {
 		s.cachePut(key, staleKey, item.ProfileID, o.out)
 	} else if o.degraded == "stale" {
-		resp.Cached = true
+		out.Cached = true
 	}
-	return batchItemJSON{personalizeResponse: &resp}
+	return out, out.Degraded
+}
+
+// executeResponseFrom assembles the /execute response shape from a
+// personalization and its executed rows, truncated to limit — shared by
+// handleExecute's build closure and execute-mode batch units so the two
+// paths can never drift (they share cache entries).
+func executeResponseFrom(res *cqp.Result, rows *exec.UnionResult, profileID string, version uint64, limit int) *executeResponse {
+	er := &executeResponse{
+		personalizeResponse: *personalizeResponseFrom(res, profileID, version),
+		TotalRows:           len(rows.Rows),
+		BlockReads:          rows.BlockReads,
+		ExecMS:              float64(rows.Elapsed) / float64(time.Millisecond),
+	}
+	for i, rr := range rows.Rows {
+		if i >= limit {
+			break
+		}
+		vals := make([]string, len(rr.Key))
+		for j, v := range rr.Key {
+			vals[j] = v.String()
+		}
+		er.Rows = append(er.Rows, rowJSON{Values: vals, Doi: rr.Doi, Matched: len(rr.Matched)})
+	}
+	er.RowCount = len(er.Rows)
+	return er
+}
+
+// itemFromOutcome shapes one unit's pipeline outcome (a cached or fresh
+// *personalizeResponse / *executeResponse, or a markStale copy of either)
+// into the batch item envelope, copying the embedded response so the
+// shared cached value is never aliased by a per-item mutation.
+func itemFromOutcome(v any, execute bool) batchItemJSON {
+	if execute {
+		var er executeResponse
+		switch t := v.(type) {
+		case *executeResponse:
+			er = *t
+		case executeResponse:
+			er = t
+		}
+		pr := er.personalizeResponse
+		return batchItemJSON{
+			personalizeResponse: &pr,
+			Rows:                er.Rows,
+			RowCount:            er.RowCount,
+			TotalRows:           er.TotalRows,
+			BlockReads:          er.BlockReads,
+			ExecMS:              er.ExecMS,
+		}
+	}
+	var pr personalizeResponse
+	switch t := v.(type) {
+	case *personalizeResponse:
+		pr = *t
+	case personalizeResponse:
+		pr = t
+	}
+	return batchItemJSON{personalizeResponse: &pr}
 }

@@ -752,24 +752,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			er := &executeResponse{
-				personalizeResponse: *personalizeResponseFrom(res, req.ProfileID, version),
-				TotalRows:           len(rows.Rows),
-				BlockReads:          rows.BlockReads,
-				ExecMS:              float64(rows.Elapsed) / float64(time.Millisecond),
-			}
-			for i, rr := range rows.Rows {
-				if i >= limit {
-					break
-				}
-				vals := make([]string, len(rr.Key))
-				for j, v := range rr.Key {
-					vals[j] = v.String()
-				}
-				er.Rows = append(er.Rows, rowJSON{Values: vals, Doi: rr.Doi, Matched: len(rr.Matched)})
-			}
-			er.RowCount = len(er.Rows)
-			return er, nil
+			return executeResponseFrom(res, rows, req.ProfileID, version, limit), nil
 		}
 	}
 	rungs := []resilience.Step{s.step("heuristic", build(prob, "D_HeurDoi"))}

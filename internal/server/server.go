@@ -62,6 +62,13 @@ type Config struct {
 	// pipeline requests. The zero value (coalescing on) is the right
 	// default; the knob exists for A/B benchmarking and incident bisection.
 	NoCoalesce bool
+	// NoEstimateMemo disables the cross-request per-preference estimate
+	// memo; NoScanShare disables shared-scan batch execution. Like
+	// NoCoalesce, the zero values (both layers on) are the right defaults —
+	// the knobs exist for A/B benchmarking (cqpbench -batchbench measures
+	// exactly this off/on difference) and incident bisection.
+	NoEstimateMemo bool
+	NoScanShare    bool
 
 	// Logger receives the per-request structured log lines (one per
 	// finished request, plus slow-query lines). Nil disables request
@@ -232,6 +239,9 @@ func New(db *cqp.DB, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	p.Observe(reg)
+	if cfg.NoEstimateMemo {
+		p.SetEstimateMemo(false)
+	}
 	s := &Server{
 		cfg:     cfg,
 		db:      db,

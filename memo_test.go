@@ -1,0 +1,165 @@
+package cqp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEstimateMemoHitsAcrossRequests: the first personalization fills the
+// per-preference estimate memo, a repeat run is served from it (hits, no
+// new misses), and the memoized path returns byte-identical output to the
+// cold path — with the memo disabled the same run still agrees.
+func TestEstimateMemoHitsAcrossRequests(t *testing.T) {
+	db := SyntheticMovieDB(300, 1)
+	p := NewPersonalizer(db)
+	u := SyntheticProfile(30, 2)
+	q, err := ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, _, _ := p.EstimateQuery(q)
+	prob := Problem2(cost * 20)
+
+	r1, err := p.Personalize(q, u, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := p.EstimateMemoCounts()
+	if m1 == 0 {
+		t.Fatal("cold run recorded no memo misses")
+	}
+
+	r2, err := p.Personalize(q, u, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := p.EstimateMemoCounts()
+	if m2 != m1 {
+		t.Errorf("warm run recorded new misses: %d -> %d", m1, m2)
+	}
+	if h2 <= h1 {
+		t.Errorf("warm run recorded no memo hits: %d -> %d", h1, h2)
+	}
+	if r1.SQL != r2.SQL {
+		t.Errorf("memoized run produced different SQL:\ncold: %s\nwarm: %s", r1.SQL, r2.SQL)
+	}
+	// Compare the semantic solution fields (the Solution stringer includes
+	// wall-clock search timing, which legitimately varies run to run).
+	if fmt.Sprint(r1.Solution.Set) != fmt.Sprint(r2.Solution.Set) ||
+		r1.Solution.Doi != r2.Solution.Doi || r1.Solution.Cost != r2.Solution.Cost ||
+		r1.Solution.Size != r2.Solution.Size || r1.Solution.Feasible != r2.Solution.Feasible {
+		t.Errorf("memoized run produced different solution:\ncold: %+v\nwarm: %+v", r1.Solution, r2.Solution)
+	}
+
+	p.SetEstimateMemo(false)
+	r3, err := p.Personalize(q, u, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.SQL != r1.SQL {
+		t.Errorf("memo-off run produced different SQL:\non:  %s\noff: %s", r1.SQL, r3.SQL)
+	}
+	if h3, m3 := p.EstimateMemoCounts(); h3 != 0 || m3 != 0 {
+		t.Errorf("disabled memo still counting: (%d hits, %d misses)", h3, m3)
+	}
+}
+
+// TestEstimateMemoInvalidatedByRefresh: Refresh swaps the estimator (and
+// with it the memo), so estimates computed before a bulk load cannot leak
+// into the new statistics generation.
+func TestEstimateMemoInvalidatedByRefresh(t *testing.T) {
+	db := SyntheticMovieDB(200, 3)
+	p := NewPersonalizer(db)
+	u := SyntheticProfile(12, 4)
+	q, err := ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, _, _ := p.EstimateQuery(q)
+	r1, err := p.Personalize(q, u, Problem2(cost*20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, m := p.EstimateMemoCounts(); m == 0 {
+		t.Fatal("cold run recorded no memo misses")
+	}
+
+	// Bulk-load ten times more movies: block counts and frequencies move.
+	var csv strings.Builder
+	csv.WriteString("mid,title,year,duration,did\n")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&csv, "%d,extra movie %d,%d,%d,%d\n", 100000+i, i, 1950+i%60, 80+i%60, 1+i%7)
+	}
+	if _, err := LoadCSV(db, "MOVIE", strings.NewReader(csv.String())); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := p.EstimateMemoCounts(); h != 0 || m != 0 {
+		t.Fatalf("memo counts survived Refresh: (%d hits, %d misses)", h, m)
+	}
+
+	cost2, _, _ := p.EstimateQuery(q)
+	r2, err := p.Personalize(q, u, Problem2(cost2*20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, m := p.EstimateMemoCounts(); m == 0 {
+		t.Error("post-Refresh run recorded no misses — stale estimates served")
+	}
+	// Supreme is the estimated cost of all K preferences: ten times the
+	// movies means more blocks, so re-estimation must move it.
+	if r2.Supreme <= r1.Supreme {
+		t.Errorf("Supreme did not grow with the data: %g -> %g", r1.Supreme, r2.Supreme)
+	}
+}
+
+// TestEstimateMemoConcurrentPipelines runs parallel personalizations over
+// distinct profiles against one Personalizer while Refresh swaps the
+// estimator mid-flight — the -race witness for the shared memo in its real
+// call path.
+func TestEstimateMemoConcurrentPipelines(t *testing.T) {
+	db := SyntheticMovieDB(200, 5)
+	p := NewPersonalizer(db)
+	q, err := ParseQuery(db.Schema(), "SELECT title FROM MOVIE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, _, _ := p.EstimateQuery(q)
+	prob := Problem2(cost * 20)
+
+	profiles := make([]*Profile, 4)
+	for i := range profiles {
+		profiles[i] = SyntheticProfile(10, int64(10+i))
+	}
+	errc := make(chan error, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := p.PersonalizeContext(context.Background(), q, profiles[g], prob); err != nil {
+					errc <- fmt.Errorf("goroutine %d iter %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := p.Refresh(); err != nil {
+			errc <- err
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -40,6 +40,9 @@ type Personalizer struct {
 	est     *estimate.Estimator
 	metrics *obs.Registry
 	acc     *obs.Accuracy
+	// memoOff disables the per-preference estimate memo on the current and
+	// every future estimator (see SetEstimateMemo).
+	memoOff bool
 
 	gen atomic.Uint64 // statistics generation, bumped by Refresh
 }
@@ -82,12 +85,38 @@ func (p *Personalizer) Refresh() error {
 	est := estimate.New(cat, estimate.DefaultBlockMillis)
 	p.mu.Lock()
 	p.est = est
+	if p.memoOff {
+		p.est.DisableMemo()
+	}
 	if p.metrics != nil {
 		p.est.EnableTiming()
+		p.est.ObserveMemo(p.metrics)
 	}
 	p.mu.Unlock()
 	p.gen.Add(1)
 	return nil
+}
+
+// SetEstimateMemo switches the cross-request per-preference estimate memo
+// on or off, now and across future Refreshes. It is on by default; the off
+// switch exists for A/B benchmarking and incident bisection (cqpd
+// -estmemo=false), mirroring Config.NoCoalesce.
+func (p *Personalizer) SetEstimateMemo(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.memoOff = !on
+	if !on {
+		p.est.DisableMemo()
+	}
+}
+
+// EstimateMemoCounts reports the current estimator's memo hit/miss totals
+// (zeros while the memo is disabled). Counts reset on Refresh — the memo
+// dies with its statistics generation.
+func (p *Personalizer) EstimateMemoCounts() (hits, misses int64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.est.MemoCounts()
 }
 
 // Generation returns the statistics generation: 1 after construction,
@@ -106,6 +135,7 @@ func (p *Personalizer) Observe(reg *obs.Registry) {
 	if reg != nil {
 		p.est.EnableTiming()
 	}
+	p.est.ObserveMemo(reg)
 	p.mu.Unlock()
 }
 
@@ -141,6 +171,16 @@ type options struct {
 	anyMatch  bool
 	merge     bool
 	budget    int
+}
+
+// defaultOptions is the single source of the per-call knob defaults.
+// PersonalizeContext, PersonalizeFrontContext and BatchItem.fingerprint
+// all resolve options through it, so batch-dedup identity can never drift
+// from the defaults the pipeline actually runs — a default changed in one
+// site used to silently merge batch items whose effective behavior
+// differed.
+func defaultOptions() options {
+	return options{maxK: 20, budget: 1 << 20}
 }
 
 // Option customizes one Personalize call.
@@ -306,7 +346,7 @@ func (p *Personalizer) Personalize(q *Query, u *Profile, prob Problem, opts ...O
 // construct; ExecuteContext adds the execute phase. Without a trace in ctx
 // the call behaves exactly like Personalize.
 func (p *Personalizer) PersonalizeContext(ctx context.Context, q *Query, u *Profile, prob Problem, opts ...Option) (*Result, error) {
-	o := options{maxK: 20, budget: 1 << 20}
+	o := defaultOptions()
 	for _, fn := range opts {
 		fn(&o)
 	}
@@ -492,7 +532,7 @@ func (p *Personalizer) PersonalizeFront(q *Query, u *Profile, costMax, sizeMin, 
 // PersonalizeContext checks (before extraction, before the frontier search,
 // before construction of the menu).
 func (p *Personalizer) PersonalizeFrontContext(ctx context.Context, q *Query, u *Profile, costMax, sizeMin, sizeMax float64, maxPoints int, opts ...Option) (*Front, error) {
-	o := options{maxK: 20, budget: 1 << 20}
+	o := defaultOptions()
 	for _, fn := range opts {
 		fn(&o)
 	}
